@@ -1,0 +1,19 @@
+"""Bench: validate the section 3.2.2 matching-efficiency model."""
+
+import pytest
+
+from repro.experiments import efficiency_model
+
+
+def test_efficiency_model(benchmark, record_result):
+    result = benchmark.pedantic(efficiency_model.run, rounds=1, iterations=1)
+    record_result(result)
+
+    for row in result.rows:
+        n, closed, binomial, monte_carlo = row
+        assert closed == pytest.approx(binomial, abs=1e-9)
+        assert monte_carlo == pytest.approx(closed, abs=0.03)
+    by_n = {row[0]: row[1] for row in result.rows}
+    # The paper's quoted values.
+    assert by_n[128] == pytest.approx(0.634, abs=5e-4)
+    assert by_n[16] == pytest.approx(0.644, abs=5e-4)

@@ -1,0 +1,22 @@
+"""Bench: regenerate Fig 10 (bandwidth through failure and recovery)."""
+
+from repro.experiments import fig10_fault_tolerance
+
+
+def test_fig10_fault_tolerance(benchmark, record_result):
+    result = benchmark.pedantic(
+        fig10_fault_tolerance.run, rounds=1, iterations=1
+    )
+    record_result(result)
+
+    drops = [row[1] for row in result.rows]
+    recoveries = [row[2] for row in result.rows]
+
+    # Shape: more failures cost more bandwidth (paper: 10% of links -> 75.3%
+    # of bandwidth), and the loss is disproportionate but bounded.
+    assert drops[-1] < drops[0] + 0.02
+    assert 0.5 < drops[-1] < 1.0
+    # Shape: repair restores the pre-failure level, so the during/post ratio
+    # tracks the during/pre ratio.
+    for drop, recovery in zip(drops, recoveries):
+        assert abs(drop - recovery) < 0.25

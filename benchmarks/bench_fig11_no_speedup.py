@@ -1,0 +1,25 @@
+"""Bench: regenerate Fig 11 (the Fig 9 comparison without speedup)."""
+
+from repro.experiments import fig11_no_speedup
+from repro.experiments.common import current_scale
+
+
+def test_fig11_no_speedup(benchmark, record_result):
+    result = benchmark.pedantic(fig11_no_speedup.run, rounds=1, iterations=1)
+    record_result(result)
+
+    scale = current_scale()
+    data = result.series
+    top_load = max(scale.loads)
+
+    nt = data["NT parallel"]
+    oblivious = data["oblivious"]
+    # Shape: same ordering as Fig 9 under constrained bandwidth — the
+    # baseline saturates even earlier because relaying doubles its volume
+    # against a 1x fabric.
+    assert nt[top_load][1] > oblivious[top_load][1]
+    assert oblivious[top_load][0] > 2 * nt[top_load][0]
+    # Sanity: with 1x uplinks nobody exceeds ~1.0 normalized goodput.
+    for system_data in data.values():
+        for _load, (_fct, goodput) in system_data.items():
+            assert goodput <= 1.0

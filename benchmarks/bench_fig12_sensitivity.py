@@ -1,0 +1,26 @@
+"""Bench: regenerate Fig 12 (epoch parameter sensitivity)."""
+
+from repro.experiments import fig12_sensitivity
+
+
+def test_fig12_sensitivity(benchmark, record_result):
+    result = benchmark.pedantic(fig12_sensitivity.run, rounds=1, iterations=1)
+    record_result(result)
+
+    panel_a = [row for row in result.rows if row[0].startswith("a")]
+    panel_b = [row for row in result.rows if row[0].startswith("b")]
+    assert len(panel_a) == 5 and len(panel_b) == 5
+
+    # Shape (panel b): stretching the scheduled phase raises FCT
+    # monotonically across the decade sweep and erodes goodput at 500 slots
+    # (outdated matchings + long scheduling delay).
+    b_fct = [row[2] for row in panel_b]
+    b_gput = [row[3] for row in panel_b]
+    assert b_fct[-1] > 3 * b_fct[1]
+    assert b_gput[-1] < b_gput[1]
+
+    # Shape (panel a): the default 60 ns slot is near the sweep's optimum —
+    # no setting beats it by a large factor (the paper's robustness claim).
+    a_fct = [row[2] for row in panel_a]
+    default_fct = a_fct[2]
+    assert min(a_fct) > 0.5 * default_fct

@@ -1,0 +1,27 @@
+"""Bench: regenerate Fig 13 (incast mix, websearch, Google workloads)."""
+
+from repro.experiments import fig13_workloads
+
+
+def test_fig13_workloads(benchmark, record_result):
+    result = benchmark.pedantic(fig13_workloads.run, rounds=1, iterations=1)
+    record_result(result)
+
+    def rows(panel, system):
+        return [
+            row for row in result.rows
+            if row[0].startswith(panel) and row[1] == system
+        ]
+
+    # Shape: on every panel, at the heaviest load NegotiaToR beats the
+    # oblivious baseline in mice FCT and goodput.
+    for panel in ("a", "b", "c"):
+        nt = rows(panel, "NT parallel")[-1]
+        ob = rows(panel, "oblivious")[-1]
+        assert ob[3] > nt[3]  # FCT
+        assert nt[5] >= ob[5] - 0.02  # goodput
+
+    # Shape (panel a): incasts finish promptly under NegotiaToR thanks to
+    # the piggyback path (well under a ms even at full load).
+    for row in rows("a", "NT parallel"):
+        assert row[4] < 1.0

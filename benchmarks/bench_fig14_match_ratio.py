@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig 14 (match ratio vs the analytic model)."""
+
+from repro.experiments import fig14_match_ratio
+
+
+def test_fig14_match_ratio(benchmark, record_result):
+    result = benchmark.pedantic(fig14_match_ratio.run, rounds=1, iterations=1)
+    record_result(result)
+
+    rows = {row[0]: row for row in result.rows}
+    for kind in ("parallel", "thinclos"):
+        _, n, measured, theory, p10, p90 = rows[kind]
+        # Shape: the simulated ratio is consistent with 1-(1-1/n)^n.
+        assert abs(measured - theory) < 0.08
+        assert p10 <= measured <= p90
+    # Shape: fewer competitors per port -> higher efficiency.
+    assert rows["thinclos"][3] > rows["parallel"][3]

@@ -1,0 +1,31 @@
+"""Bench: regenerate Fig 15 (iterative matching vs the 2x speedup)."""
+
+from repro.experiments import fig15_iterative
+from repro.experiments.common import current_scale
+
+
+def test_fig15_iterative(benchmark, record_result):
+    result = benchmark.pedantic(fig15_iterative.run, rounds=1, iterations=1)
+    record_result(result)
+
+    scale = current_scale()
+    num_loads = len(scale.loads)
+    rows = {row[0]: row for row in result.rows}
+
+    def fcts(label):
+        return rows[label][1 : 1 + num_loads]
+
+    def gputs(label):
+        return rows[label][1 + num_loads :]
+
+    # Shape: every extra iteration worsens FCT at every load.
+    for i in range(num_loads):
+        assert fcts("Speedup 2x")[i] < fcts("ITER_I")[i]
+        assert fcts("ITER_I")[i] < fcts("ITER_III")[i]
+        assert fcts("ITER_III")[i] <= fcts("ITER_V")[i] * 1.1
+    # Shape: iteration never buys goodput over the 2x speedup.
+    for i in range(num_loads):
+        best_iter = max(
+            gputs("ITER_I")[i], gputs("ITER_III")[i], gputs("ITER_V")[i]
+        )
+        assert gputs("Speedup 2x")[i] >= best_iter - 0.02

@@ -1,0 +1,22 @@
+"""Bench: regenerate Figs 17/18 (receiver-bandwidth micro-observations)."""
+
+from repro.experiments import fig17_18_micro
+
+
+def test_fig17_18_micro_observations(benchmark, record_result):
+    result = benchmark.pedantic(fig17_18_micro.run, rounds=1, iterations=1)
+    record_result(result)
+
+    incast = {row[1]: row for row in result.rows if row[0].startswith("17")}
+    alltoall = {row[1]: row for row in result.rows if row[0].startswith("18")}
+
+    # Fig 17 shape: NegotiaToR's destination hears the incast within roughly
+    # one epoch on both topologies, and identically so.
+    assert abs(incast["parallel"][2] - incast["thinclos"][2]) < 1.0
+    assert incast["parallel"][2] < 10.0
+
+    # Fig 18 shape: NegotiaToR receivers get only wanted bytes; the
+    # oblivious receiver also spends bandwidth on relayed traffic.
+    assert alltoall["parallel"][4] == 0
+    assert alltoall["thinclos"][4] == 0
+    assert alltoall["oblivious"][4] > 0

@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig 19 (pair bandwidth under egress failures)."""
+
+from repro.experiments import fig19_failure_micro
+
+
+def test_fig19_failure_micro(benchmark, record_result):
+    result = benchmark.pedantic(fig19_failure_micro.run, rounds=1, iterations=1)
+    record_result(result)
+
+    by_failed = {row[0]: row for row in result.rows}
+    healthy = by_failed[0]
+    one_down = by_failed[1]
+    # Shape: healthy runs never show a zero-bandwidth epoch; failures
+    # introduce intermittent zeros (message loss on the dead fiber) but the
+    # rotation keeps the pair transmitting in most epochs.
+    assert healthy[2] == "0%"
+    assert one_down[2] != "0%"
+    assert one_down[3] > 0  # still active in most epochs
+    # Shape: mean occupation drops with failed links.
+    assert one_down[1] < healthy[1]

@@ -1,0 +1,28 @@
+"""Bench: regenerate Fig 6 (mice FCT CDF at 100% load)."""
+
+import numpy as np
+
+from repro.experiments import fig6_fct_cdf
+
+
+def test_fig6_fct_cdf(benchmark, record_result):
+    result = benchmark.pedantic(fig6_fct_cdf.run, rounds=1, iterations=1)
+    record_result(result)
+
+    rows = {row[0]: row for row in result.rows}
+    for kind in ("parallel", "thinclos"):
+        _, p50, p80, p99, within1, within2 = rows[kind]
+        assert p50 <= p80 <= p99
+        # Shape: a large share of mice flows bypass the scheduling delay
+        # (paper: >80% within two epochs; the scaled trace has slightly
+        # less sub-1KB mass, so we check a solid majority).
+        assert within2 > 0.5
+        assert within1 < within2
+
+    # The predefined phases are identical, so the two CDFs nearly overlap
+    # in the bypass region.
+    par_values, par_fracs = result.series["parallel"]
+    thin_values, thin_fracs = result.series["thinclos"]
+    par_p50 = float(np.interp(0.5, par_fracs, par_values))
+    thin_p50 = float(np.interp(0.5, thin_fracs, thin_values))
+    assert abs(par_p50 - thin_p50) / par_p50 < 0.25

@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig 7b (all-to-all goodput vs flow size)."""
+
+from repro.experiments import fig7_alltoall
+
+
+def test_fig7_alltoall(benchmark, record_result):
+    result = benchmark.pedantic(fig7_alltoall.run, rounds=1, iterations=1)
+    record_result(result)
+
+    nt_parallel = [row[1] for row in result.rows]
+    nt_thinclos = [row[2] for row in result.rows]
+    oblivious = [row[3] for row in result.rows]
+
+    # Shape: goodput grows with flow size for every system.
+    assert nt_parallel[-1] > nt_parallel[0]
+    assert nt_thinclos[-1] > nt_thinclos[0]
+    # Shape at the heaviest size: parallel wins (full connectivity keeps
+    # links busy as flows finish); the oblivious relay cannot beat it.
+    assert nt_parallel[-1] > nt_thinclos[-1]
+    assert nt_parallel[-1] > oblivious[-1]

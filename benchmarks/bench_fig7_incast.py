@@ -1,0 +1,23 @@
+"""Bench: regenerate Fig 7a (incast finish time vs degree)."""
+
+from repro.experiments import fig7_incast
+
+
+def test_fig7_incast(benchmark, record_result):
+    result = benchmark.pedantic(fig7_incast.run, rounds=1, iterations=1)
+    record_result(result)
+
+    degrees = [row[0] for row in result.rows]
+    nt_parallel = [row[1] for row in result.rows]
+    nt_thinclos = [row[2] for row in result.rows]
+    oblivious = [row[3] for row in result.rows]
+
+    # Shape: NegotiaToR is flat in the degree (piggyback slots exist for
+    # every pair every epoch) and identical across topologies.
+    assert max(nt_parallel) <= min(nt_parallel) * 1.5
+    for par, thin in zip(nt_parallel, nt_thinclos):
+        assert abs(par - thin) <= 0.2 * par
+    # Shape: the oblivious scheme grows with the degree (random-intermediate
+    # collisions cost extra rotor cycles).
+    assert oblivious[-1] >= oblivious[0]
+    assert degrees == sorted(degrees)

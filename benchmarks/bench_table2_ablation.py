@@ -1,0 +1,21 @@
+"""Bench: regenerate Table 2 (PB/PQ ablation of mice FCT at 100% load)."""
+
+from repro.experiments import table2_ablation
+
+
+def test_table2_ablation(benchmark, record_result):
+    result = benchmark.pedantic(table2_ablation.run, rounds=1, iterations=1)
+    record_result(result)
+
+    by_config = {row[0]: row for row in result.rows}
+    full = by_config["PB and PQ"]
+    bare = by_config["-"]
+    # Shape: both mechanisms together beat no optimization by a wide margin
+    # on both topologies (99p columns), and the combined average sits near
+    # the ~2-epoch scheduling delay.
+    assert full[1] < bare[1]
+    assert full[3] < bare[3]
+    assert full[2] < 3.5  # parallel average (paper: 1.6 epochs)
+    assert full[4] < 3.5  # thin-clos average (paper: 1.6 epochs)
+    # PQ alone already dominates no-optimization (head-of-line blocking).
+    assert by_config["PQ"][1] < bare[1]

@@ -1,0 +1,16 @@
+"""Bench: regenerate Table 3 (traffic-aware selective relay on thin-clos)."""
+
+from repro.experiments import table3_relay
+
+
+def test_table3_selective_relay(benchmark, record_result):
+    result = benchmark.pedantic(table3_relay.run, rounds=1, iterations=1)
+    record_result(result)
+
+    for row in result.rows:
+        _load, base_fct, base_gput, relay_fct, relay_gput, *_ = row
+        # Shape: the paper's null result — relay moves goodput and FCT only
+        # marginally at every load (it never relays mice, and the links it
+        # could fill are either unneeded or already busy).
+        assert abs(relay_gput - base_gput) < 0.06
+        assert relay_fct < base_fct * 1.5

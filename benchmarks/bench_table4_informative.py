@@ -1,0 +1,21 @@
+"""Bench: regenerate Table 4 (informative requests)."""
+
+from repro.experiments import table4_informative
+
+
+def test_table4_informative_requests(benchmark, record_result):
+    result = benchmark.pedantic(table4_informative.run, rounds=1, iterations=1)
+    record_result(result)
+
+    top = result.rows[-1]  # heaviest load
+    _load, base_fct, size_fct, hol_fct, base_g, size_g, hol_g, _paper = top
+    # Shape at full load: data-size priority *hurts* tail FCT (mice pairs
+    # lose grants to big backlogs) without a meaningful goodput win...
+    assert size_fct > base_fct
+    assert size_g < base_g + 0.05
+    # ...while HoL-delay priority trims tail FCT modestly.
+    assert hol_fct <= base_fct * 1.05
+    # Shape: goodput is essentially unchanged across variants at all loads.
+    for row in result.rows:
+        assert abs(row[5] - row[4]) < 0.05
+        assert abs(row[6] - row[4]) < 0.05

@@ -1,0 +1,16 @@
+"""Bench: regenerate Table 5 (stateful vs stateless scheduling)."""
+
+from repro.experiments import table5_stateful
+
+
+def test_table5_stateful(benchmark, record_result):
+    result = benchmark.pedantic(table5_stateful.run, rounds=1, iterations=1)
+    record_result(result)
+
+    for row in result.rows:
+        _load, base_fct, base_g, stateful_fct, stateful_g, *_ = row
+        # Shape: the paper's null result — stateful scheduling changes
+        # neither goodput nor FCT meaningfully at any load.
+        assert abs(stateful_g - base_g) < 0.05
+        assert stateful_fct < base_fct * 1.6
+        assert stateful_fct > base_fct * 0.5

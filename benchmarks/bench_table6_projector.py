@@ -1,0 +1,18 @@
+"""Bench: regenerate Table 6 (ProjecToR-style scheduling comparison)."""
+
+from repro.experiments import table6_projector
+
+
+def test_table6_projector(benchmark, record_result):
+    result = benchmark.pedantic(table6_projector.run, rounds=1, iterations=1)
+    record_result(result)
+
+    # Shape: ProjecToR's per-port delay-priority scheduler loses to
+    # NegotiaToR Matching in FCT at every load, increasingly so at heavy
+    # loads, and in goodput at the heaviest load.
+    for row in result.rows:
+        _load, base_fct, base_g, proj_fct, proj_g, *_ = row
+        assert proj_fct > base_fct
+    top = result.rows[-1]
+    assert top[3] > 2 * top[1]  # FCT gap widens at full load
+    assert top[4] < top[2]  # goodput loss at full load

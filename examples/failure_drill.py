@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Fault-tolerance drill: fail fibers mid-run and watch recovery (3.6.1).
+
+A saturating all-to-all workload keeps every link busy while 8% of all
+directed fibers fail a third of the way through the run and are repaired at
+two thirds.  The drill prints a per-window bandwidth timeline showing the
+drop, the detection-and-exclusion steady state, and the post-repair
+recovery — Fig 10's protocol as a narrated run.
+
+Run:  python examples/failure_drill.py
+"""
+
+import random
+
+from repro import (
+    BandwidthRecorder,
+    LinkFailureModel,
+    NegotiaToRSimulator,
+    ParallelNetwork,
+    SimConfig,
+    all_to_all_workload,
+    random_failure_plan,
+)
+
+NUM_TORS, PORTS = 32, 4
+FAILURE_RATIO = 0.08
+
+
+def main() -> None:
+    config = SimConfig(
+        num_tors=NUM_TORS,
+        ports_per_tor=PORTS,
+        uplink_gbps=100.0,
+        host_aggregate_gbps=200.0,
+    )
+    topology = ParallelNetwork(NUM_TORS, PORTS)
+    sim_probe = NegotiaToRSimulator(config, topology, [])
+    epoch_ns = sim_probe.timing.epoch_ns
+
+    duration = 300 * epoch_ns
+    fail_at, repair_at = 100 * epoch_ns, 200 * epoch_ns
+    plan, failed = random_failure_plan(
+        NUM_TORS, PORTS, FAILURE_RATIO, fail_at, repair_at, random.Random(3)
+    )
+    print(f"failing {len(failed)} of {2 * NUM_TORS * PORTS} directed fibers "
+          f"at epoch 100, repairing at epoch 200\n")
+
+    recorder = BandwidthRecorder(bin_ns=epoch_ns)
+    sim = NegotiaToRSimulator(
+        config,
+        topology,
+        all_to_all_workload(NUM_TORS, flow_bytes=30_000_000),
+        failure_model=LinkFailureModel(NUM_TORS, PORTS, detect_epochs=3),
+        failure_plan=plan,
+        bandwidth_recorder=recorder,
+    )
+    sim.run(duration)
+
+    def window_gbps(first_epoch: int, last_epoch: int) -> float:
+        start, end = first_epoch * epoch_ns, last_epoch * epoch_ns
+        total = sum(
+            recorder.window_bytes(("rx", dst), start, end)
+            for dst in range(NUM_TORS)
+        )
+        return total * 8.0 / (end - start)
+
+    baseline = window_gbps(20, 100)
+    print(f"{'window (epochs)':<18} {'fabric goodput':>15} {'vs pre-failure':>15}")
+    print("-" * 52)
+    for label, first, last in [
+        ("20-100 healthy", 20, 100),
+        ("100-110 failing", 100, 110),
+        ("110-200 degraded", 110, 200),
+        ("200-210 repairing", 200, 210),
+        ("210-300 recovered", 210, 300),
+    ]:
+        gbps = window_gbps(first, last)
+        print(f"{label:<18} {gbps:>11.0f} Gbps {gbps / baseline:>14.1%}")
+    print()
+    print("detection needs a few epochs of missing-dummy evidence; once the")
+    print("dead fibers are excluded the fabric settles at the surviving")
+    print("links' capacity, and repair restores the pre-failure level.")
+
+
+if __name__ == "__main__":
+    main()

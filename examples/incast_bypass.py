@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Incast scenario: the scheduling-delay bypass in action (section 3.4).
+
+Twenty ToRs simultaneously send a 1 KB flow to the same destination — the
+partition/aggregate pattern that stresses any scheduled network.  We run the
+same incast on NegotiaToR (both topologies) and on the Sirius-like
+traffic-oblivious baseline, and show per-flow completion times.
+
+NegotiaToR's predefined phase guarantees every pair one piggybacked packet
+per epoch, so the whole incast completes in about two epochs regardless of
+its degree, without a single scheduling decision.
+
+Run:  python examples/incast_bypass.py
+"""
+
+import random
+
+from repro import (
+    NegotiaToRSimulator,
+    ObliviousSimulator,
+    ParallelNetwork,
+    SimConfig,
+    ThinClos,
+    incast_finish_time_ns,
+    incast_workload,
+)
+
+NUM_TORS, PORTS, AWGR_PORTS = 32, 4, 8
+INJECT_NS = 10_000.0
+DEGREE = 20
+
+
+def build_config() -> SimConfig:
+    return SimConfig(
+        num_tors=NUM_TORS,
+        ports_per_tor=PORTS,
+        uplink_gbps=100.0,
+        host_aggregate_gbps=200.0,
+    )
+
+
+def run_system(name: str):
+    config = build_config()
+    flows = incast_workload(
+        NUM_TORS, DEGREE, dst=0, flow_bytes=1000,
+        at_ns=INJECT_NS, rng=random.Random(1),
+    )
+    if name == "oblivious":
+        sim = ObliviousSimulator(config, ThinClos(NUM_TORS, PORTS, AWGR_PORTS), flows)
+    elif name == "thin-clos":
+        sim = NegotiaToRSimulator(config, ThinClos(NUM_TORS, PORTS, AWGR_PORTS), flows)
+    else:
+        sim = NegotiaToRSimulator(config, ParallelNetwork(NUM_TORS, PORTS), flows)
+    sim.run_until_complete(max_ns=50_000_000)
+    return sim, flows
+
+
+def main() -> None:
+    print(f"incast: {DEGREE} sources -> ToR 0, 1 KB each, injected at "
+          f"{INJECT_NS / 1e3:.0f} us\n")
+    for name in ("parallel", "thin-clos", "oblivious"):
+        sim, flows = run_system(name)
+        finish_us = incast_finish_time_ns(flows, INJECT_NS) / 1e3
+        fcts = sorted(f.fct_ns / 1e3 for f in flows)
+        print(f"{name:>10}: finish time {finish_us:7.2f} us   "
+              f"per-flow FCT min/median/max = "
+              f"{fcts[0]:.2f}/{fcts[len(fcts) // 2]:.2f}/{fcts[-1]:.2f} us")
+        if isinstance(sim, NegotiaToRSimulator):
+            epochs = finish_us * 1e3 / sim.timing.epoch_ns
+            print(f"{'':>10}  = {epochs:.1f} epochs — piggybacked, "
+                  f"never scheduled")
+    print()
+    print("NegotiaToR finishes identically on both topologies (the")
+    print("predefined phases are the same) and flat in the incast degree;")
+    print("the oblivious design pays relay detours that grow with degree.")
+
+
+if __name__ == "__main__":
+    main()

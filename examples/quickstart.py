@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate NegotiaToR on a Hadoop-like workload.
+
+Builds a 32-ToR parallel-network fabric with the paper's timing (60 ns
+predefined slots, 30 x 90 ns scheduled slots, 2x uplink speedup), offers a
+50%-load trace-driven Poisson workload, and prints the headline metrics the
+paper reports: 99th-percentile mice flow FCT and normalized goodput.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro import (
+    NegotiaToRSimulator,
+    ParallelNetwork,
+    SimConfig,
+    hadoop,
+    poisson_workload,
+)
+
+
+def main() -> None:
+    # 32 ToRs x 4 ports at 100 Gbps; hosts aggregate 200 Gbps per ToR, so
+    # uplinks run at the paper's 2x speedup.
+    config = SimConfig(
+        num_tors=32,
+        ports_per_tor=4,
+        uplink_gbps=100.0,
+        host_aggregate_gbps=200.0,
+    )
+    topology = ParallelNetwork(config.num_tors, config.ports_per_tor)
+
+    duration_ns = 1_000_000  # 1 ms of simulated time
+    flows = poisson_workload(
+        hadoop().truncated(1_000_000),  # cap elephants for the short run
+        load=0.5,
+        num_tors=config.num_tors,
+        host_aggregate_gbps=config.host_aggregate_gbps,
+        duration_ns=duration_ns,
+        rng=random.Random(42),
+    )
+    print(f"offering {len(flows)} flows over {duration_ns / 1e6:.1f} ms "
+          f"at 50% load")
+
+    sim = NegotiaToRSimulator(config, topology, flows)
+    sim.run(duration_ns)
+
+    summary = sim.summary(duration_ns)
+    print(f"epoch length        : {sim.timing.epoch_ns / 1e3:.2f} us "
+          f"({sim.timing.predefined_slots} predefined + "
+          f"{sim.timing.scheduled_slots} scheduled slots)")
+    print(f"guardband share     : {sim.timing.guard_fraction:.2%}")
+    print(f"flows completed     : {summary.num_completed}/{summary.num_flows}")
+    print(f"normalized goodput  : {summary.goodput_normalized:.3f}")
+    print(f"99p mice FCT        : {summary.mice_fct_p99_ns / 1e3:.1f} us "
+          f"({summary.mice_fct_p99_epochs:.1f} epochs)")
+    print(f"mean mice FCT       : {summary.mice_fct_mean_ns / 1e3:.1f} us "
+          f"({summary.mice_fct_mean_epochs:.1f} epochs)")
+    print()
+    print("the paper's headline: with piggybacking and priority queues, the")
+    print("average mice flow beats the ~2-epoch scheduling delay entirely.")
+
+
+if __name__ == "__main__":
+    main()

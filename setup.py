@@ -1,0 +1,9 @@
+"""Setup shim: metadata lives in pyproject.toml.
+
+Keeping a setup.py (and no [build-system] table) lets pip fall back to the
+legacy, non-isolated build path, so `pip install -e .` works offline.
+"""
+
+from setuptools import setup
+
+setup()

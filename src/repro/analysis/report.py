@@ -1,0 +1,78 @@
+"""Reproduction report generation.
+
+Runs any subset of the paper-reproduction experiments and renders a single
+markdown report with one section per table/figure — the machinery behind
+EXPERIMENTS.md.  No plotting dependencies: series data is summarized into
+tables (this environment is offline; matplotlib is unavailable).
+"""
+
+from __future__ import annotations
+
+import io
+import time
+from collections.abc import Iterable
+
+from ..experiments import EXPERIMENT_MODULES, current_scale, load_experiment
+from ..experiments.common import ExperimentResult, ExperimentScale
+
+
+def run_experiments(
+    names: Iterable[str] | None = None,
+    scale: ExperimentScale | None = None,
+    verbose: bool = False,
+) -> dict[str, ExperimentResult]:
+    """Run experiments by short name (default: all of them)."""
+    scale = scale or current_scale()
+    chosen = list(names) if names is not None else sorted(EXPERIMENT_MODULES)
+    results: dict[str, ExperimentResult] = {}
+    for name in chosen:
+        module = load_experiment(name)
+        started = time.monotonic()
+        results[name] = module.run(scale)
+        if verbose:
+            elapsed = time.monotonic() - started
+            print(f"[{name}] done in {elapsed:.1f}s")
+    return results
+
+
+def result_to_markdown(result: ExperimentResult) -> str:
+    """Render one ExperimentResult as a markdown section."""
+    out = io.StringIO()
+    out.write(f"### {result.experiment} — {result.title}\n\n")
+    out.write("| " + " | ".join(result.headers) + " |\n")
+    out.write("|" + "|".join("---" for _ in result.headers) + "|\n")
+    for row in result.rows:
+        cells = [_markdown_cell(value) for value in row]
+        out.write("| " + " | ".join(cells) + " |\n")
+    for note in result.notes:
+        out.write(f"\n*{note}*\n")
+    return out.getvalue()
+
+
+def _markdown_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def build_report(
+    results: dict[str, ExperimentResult],
+    scale: ExperimentScale,
+    title: str = "NegotiaToR reproduction report",
+) -> str:
+    """Assemble a full markdown report from experiment results."""
+    out = io.StringIO()
+    out.write(f"# {title}\n\n")
+    out.write(
+        f"Scale: `{scale.name}` — {scale.num_tors} ToRs x "
+        f"{scale.ports_per_tor} ports, {scale.duration_ns / 1e6:g} ms "
+        f"trace-driven runs, 2x uplink speedup.\n\n"
+    )
+    for name in sorted(results):
+        out.write(result_to_markdown(results[name]))
+        out.write("\n")
+    return out.getvalue()

@@ -1,0 +1,70 @@
+"""Shape checks: the paper's qualitative claims as reusable predicates.
+
+The reproduction's pass/fail criterion is not matching absolute numbers (the
+substrate is a simulator at reduced scale) but matching *shapes*: who wins,
+by roughly what factor, where crossovers fall.  The benchmark assertions and
+EXPERIMENTS.md both lean on these helpers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def improvement_factor(worse: float, better: float) -> float:
+    """How many times smaller ``better`` is than ``worse``."""
+    if better <= 0:
+        raise ValueError("metrics must be positive")
+    return worse / better
+
+def is_flat(values: Sequence[float], tolerance: float = 0.5) -> bool:
+    """Whether a series varies by at most ``tolerance`` of its minimum.
+
+    Used for Fig 7a's "incast finish time is flat in the degree".
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("need at least one value")
+    lo, hi = min(values), max(values)
+    if lo <= 0:
+        raise ValueError("values must be positive")
+    return (hi - lo) / lo <= tolerance
+
+
+def is_monotonic_increasing(
+    values: Sequence[float], slack: float = 0.0
+) -> bool:
+    """Whether a series never drops by more than ``slack`` (relative)."""
+    values = list(values)
+    for previous, current in zip(values, values[1:]):
+        if current < previous * (1.0 - slack):
+            return False
+    return True
+
+
+def saturates(
+    loads: Sequence[float], goodputs: Sequence[float], threshold: float = 0.9
+) -> bool:
+    """Whether goodput stops tracking offered load at heavy load.
+
+    True when the heaviest point delivers less than ``threshold`` of its
+    offered load while the lightest point tracks it — Fig 9b's baseline
+    behaviour.
+    """
+    if len(loads) != len(goodputs) or len(loads) < 2:
+        raise ValueError("need matching load/goodput series")
+    first_ratio = goodputs[0] / loads[0]
+    last_ratio = goodputs[-1] / loads[-1]
+    return first_ratio >= threshold and last_ratio < threshold
+
+
+def crossover_load(
+    loads: Sequence[float],
+    series_a: Sequence[float],
+    series_b: Sequence[float],
+) -> float | None:
+    """First load at which series_a exceeds series_b (None if never)."""
+    for load, a, b in zip(loads, series_a, series_b):
+        if a > b:
+            return load
+    return None

@@ -1,0 +1,219 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — show the available experiments and scales.
+* ``run <experiment> [...]`` — regenerate one or more tables/figures and
+  print the rendered results.
+* ``report`` — run a set of experiments and emit a markdown report
+  (the generator behind EXPERIMENTS.md).
+
+Examples::
+
+    python -m repro list
+    python -m repro run fig9 --scale tiny
+    python -m repro run table2 fig14 efficiency
+    python -m repro report --scale small --output report.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import EXPERIMENT_MODULES, SCALES, current_scale, load_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NegotiaToR (SIGCOMM 2024) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and scales")
+
+    run = sub.add_parser("run", help="regenerate tables/figures")
+    run.add_argument(
+        "experiments",
+        nargs="+",
+        metavar="EXPERIMENT",
+        help=f"one of: {', '.join(sorted(EXPERIMENT_MODULES))}",
+    )
+    run.add_argument("--scale", choices=sorted(SCALES), default=None)
+
+    report = sub.add_parser("report", help="emit a markdown report")
+    report.add_argument("--scale", choices=sorted(SCALES), default=None)
+    report.add_argument(
+        "--experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        default=None,
+        help="subset to include (default: all)",
+    )
+    report.add_argument("--output", default=None, help="file (default stdout)")
+
+    simulate = sub.add_parser(
+        "simulate", help="one-off simulation with headline metrics"
+    )
+    simulate.add_argument(
+        "--system",
+        choices=["negotiator", "oblivious"],
+        default="negotiator",
+    )
+    simulate.add_argument(
+        "--topology", choices=["parallel", "thinclos"], default="parallel"
+    )
+    simulate.add_argument("--scale", choices=sorted(SCALES), default=None)
+    simulate.add_argument("--load", type=float, default=0.5)
+    simulate.add_argument(
+        "--trace",
+        default="hadoop",
+        help="flow-size trace: hadoop, websearch, or google",
+    )
+    simulate.add_argument(
+        "--duration-ms", type=float, default=None, help="simulated time"
+    )
+    simulate.add_argument(
+        "--workload-file",
+        default=None,
+        help="replay a CSV workload instead of generating one",
+    )
+    simulate.add_argument(
+        "--no-pq", action="store_true", help="disable PIAS priority queues"
+    )
+    simulate.add_argument("--seed", type=int, default=None)
+    return parser
+
+
+def resolve_scale(name: str | None):
+    """Scale object from a CLI flag, falling back to REPRO_SCALE."""
+    if name is None:
+        return current_scale()
+    return SCALES[name]
+
+
+def cmd_list() -> int:
+    print("experiments:")
+    for name in sorted(EXPERIMENT_MODULES):
+        print(f"  {name:<10} -> repro.experiments.{EXPERIMENT_MODULES[name]}")
+    print("scales:")
+    for scale in SCALES.values():
+        print(
+            f"  {scale.name:<6} {scale.num_tors} ToRs x "
+            f"{scale.ports_per_tor} ports, {scale.duration_ns / 1e6:g} ms runs"
+        )
+    return 0
+
+
+def cmd_run(names: list[str], scale_name: str | None) -> int:
+    scale = resolve_scale(scale_name)
+    unknown = [n for n in names if n not in EXPERIMENT_MODULES]
+    if unknown:
+        print(
+            f"unknown experiment(s): {', '.join(unknown)} "
+            f"(try: python -m repro list)",
+            file=sys.stderr,
+        )
+        return 2
+    for name in names:
+        module = load_experiment(name)
+        print(module.run(scale).render())
+        print()
+    return 0
+
+
+def cmd_report(
+    names: list[str] | None, scale_name: str | None, output: str | None
+) -> int:
+    from .analysis.report import build_report, run_experiments
+
+    scale = resolve_scale(scale_name)
+    results = run_experiments(names, scale, verbose=output is not None)
+    text = build_report(results, scale)
+    if output is None:
+        print(text)
+    else:
+        with open(output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {output}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    import random
+
+    from .experiments.common import make_topology, sim_config
+    from .sim.network import NegotiaToRSimulator
+    from .sim.oblivious import ObliviousSimulator
+    from .workloads import by_name, poisson_workload, trace_io
+
+    scale = resolve_scale(args.scale)
+    duration_ns = (
+        args.duration_ms * 1e6 if args.duration_ms is not None
+        else scale.duration_ns
+    )
+    config = sim_config(scale, priority_queue_enabled=not args.no_pq)
+    if args.seed is not None:
+        import dataclasses
+
+        config = dataclasses.replace(config, seed=args.seed)
+
+    if args.workload_file is not None:
+        flows = trace_io.load(args.workload_file)
+        trace_io.validate_for_fabric(flows, config.num_tors)
+    else:
+        distribution = by_name(args.trace)
+        if scale.max_flow_bytes is not None:
+            distribution = distribution.truncated(scale.max_flow_bytes)
+        flows = poisson_workload(
+            distribution,
+            args.load,
+            config.num_tors,
+            config.host_aggregate_gbps,
+            duration_ns,
+            random.Random(config.seed),
+        )
+
+    topology = make_topology(scale, args.topology)
+    if args.system == "oblivious":
+        sim = ObliviousSimulator(config, topology, flows)
+    else:
+        sim = NegotiaToRSimulator(config, topology, flows)
+    sim.run(duration_ns)
+    summary = sim.summary(duration_ns)
+
+    print(f"system    : {args.system} on {args.topology} "
+          f"({config.num_tors} ToRs x {config.ports_per_tor} ports)")
+    print(f"workload  : {summary.num_flows} flows over "
+          f"{duration_ns / 1e6:g} ms "
+          f"({args.workload_file or args.trace + f' @ {args.load:.0%}'})")
+    print(f"completed : {summary.num_completed}/{summary.num_flows}")
+    print(f"goodput   : {summary.goodput_normalized:.3f} normalized "
+          f"({summary.goodput_gbps:.0f} Gbps network-wide)")
+    if summary.mice_fct_p99_ns is not None:
+        print(f"mice FCT  : p99 {summary.mice_fct_p99_ns / 1e3:.1f} us, "
+              f"mean {summary.mice_fct_mean_ns / 1e3:.1f} us")
+        if summary.mice_fct_p99_epochs is not None:
+            print(f"          : p99 {summary.mice_fct_p99_epochs:.1f} epochs, "
+                  f"mean {summary.mice_fct_mean_epochs:.1f} epochs")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    if args.command == "run":
+        return cmd_run(args.experiments, args.scale)
+    if args.command == "report":
+        return cmd_report(args.experiments, args.scale, args.output)
+    if args.command == "simulate":
+        return cmd_simulate(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,48 @@
+"""The paper's primary contribution: NegotiaToR Matching and its variants."""
+
+from .efficiency import (
+    asymptotic_match_ratio,
+    binomial_acceptance_expectation,
+    expected_match_ratio,
+    monte_carlo_match_ratio,
+)
+from .matching import Match, MatchingResult, NegotiaToRMatcher, validate_matching
+from .pipeline import PipelinedScheduler
+from .relay import RelayPolicy, SelectiveRelaySimulator
+from .rings import RoundRobinRing, build_rings
+from .variants import (
+    DataSizeScheduler,
+    HolDelayScheduler,
+    IterativeScheduler,
+    ProjecToRMatcher,
+    ProjecToRScheduler,
+    StatefulScheduler,
+    ValuePriorityMatcher,
+    make_scheduler,
+    scheduling_delay_epochs,
+)
+
+__all__ = [
+    "DataSizeScheduler",
+    "HolDelayScheduler",
+    "IterativeScheduler",
+    "Match",
+    "ProjecToRMatcher",
+    "ProjecToRScheduler",
+    "RelayPolicy",
+    "SelectiveRelaySimulator",
+    "StatefulScheduler",
+    "ValuePriorityMatcher",
+    "make_scheduler",
+    "scheduling_delay_epochs",
+    "MatchingResult",
+    "NegotiaToRMatcher",
+    "PipelinedScheduler",
+    "RoundRobinRing",
+    "asymptotic_match_ratio",
+    "binomial_acceptance_expectation",
+    "build_rings",
+    "expected_match_ratio",
+    "monte_carlo_match_ratio",
+    "validate_matching",
+]

@@ -1,0 +1,267 @@
+"""NegotiaToR Matching: distributed REQUEST / GRANT / ACCEPT (section 3.2).
+
+The algorithm computes a conflict-free port-level matching from *binary*
+per-pair demand, with no iteration:
+
+* **REQUEST** — a source ToR sends one ToR-level request to every destination
+  whose per-destination queue holds enough pending data (the engine computes
+  the request sets; this module consumes them).
+* **GRANT** — each destination allocates its RX ports to the received
+  requests using round-robin rings: one shared ring on the parallel network
+  (any port hears any source), one ring per port on thin-clos (a port hears
+  only its W-ToR group).  A granted port binds the *same* port index on the
+  source side, because AWGR ``k`` joins everyone's port ``k``.
+* **ACCEPT** — a source may receive grants from several destinations for the
+  same TX port; a per-port round-robin ring picks one, yielding the final
+  matching.
+
+Because each step only eliminates conflicts on one side, the result is a
+partial matching: every (ToR, port) appears at most once on the transmit side
+and at most once on the receive side.
+
+The class keeps all ToRs' ring state; each call site (the simulator) feeds it
+the message sets that actually survived the in-band control plane, so link
+failures naturally translate into missing requests or grants.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+
+from ..topology.base import FlatTopology
+from ..topology.parallel import ParallelNetwork
+from .rings import RoundRobinRing
+
+PortPredicate = Callable[[int, int], bool]
+
+
+def _all_ports_usable(tor: int, port: int) -> bool:
+    return True
+
+
+@dataclass(frozen=True)
+class Match:
+    """A scheduled one-hop connection: src transmits to dst on port ``port``."""
+
+    src: int
+    port: int
+    dst: int
+
+
+@dataclass
+class MatchingResult:
+    """Outcome of one epoch's GRANT + ACCEPT steps."""
+
+    matches: list[Match] = field(default_factory=list)
+    num_grants: int = 0
+
+    @property
+    def num_accepts(self) -> int:
+        """Accepted grants (equals the number of matches)."""
+        return len(self.matches)
+
+    @property
+    def match_ratio(self) -> float:
+        """Accepts / grants for this epoch (Fig 14's metric)."""
+        if self.num_grants == 0:
+            raise ValueError("no grants were issued")
+        return len(self.matches) / self.num_grants
+
+
+class NegotiaToRMatcher:
+    """All-ToR ring state plus the GRANT and ACCEPT procedures."""
+
+    def __init__(self, topology: FlatTopology, rng: random.Random) -> None:
+        self._topology = topology
+        self._num_tors = topology.num_tors
+        self._ports = topology.ports_per_tor
+        self._shared_grant_ring = isinstance(topology, ParallelNetwork)
+        if self._shared_grant_ring:
+            # Fig 3b: one GRANT ring per destination ToR, shared by its ports.
+            self._grant_rings: list = [
+                RoundRobinRing(
+                    [t for t in range(self._num_tors) if t != tor], rng=rng
+                )
+                for tor in range(self._num_tors)
+            ]
+        else:
+            # Fig 3c: one GRANT ring per (destination ToR, RX port).
+            self._grant_rings = [
+                [
+                    RoundRobinRing(topology.reachable_srcs(tor, port), rng=rng)
+                    for port in range(self._ports)
+                ]
+                for tor in range(self._num_tors)
+            ]
+        self._accept_rings = [
+            [
+                RoundRobinRing(topology.reachable_dsts(tor, port), rng=rng)
+                for port in range(self._ports)
+            ]
+            for tor in range(self._num_tors)
+        ]
+
+    @property
+    def topology(self) -> FlatTopology:
+        """The fabric this matcher schedules."""
+        return self._topology
+
+    @property
+    def uses_shared_grant_ring(self) -> bool:
+        """True on the parallel network (per-ToR ring), False on thin-clos."""
+        return self._shared_grant_ring
+
+    # ------------------------------------------------------------------
+    # GRANT
+    # ------------------------------------------------------------------
+
+    def grant_step(
+        self,
+        requests_by_dst: Mapping[int, Mapping[int, object]],
+        rx_usable: PortPredicate = _all_ports_usable,
+        tx_usable: PortPredicate = _all_ports_usable,
+    ) -> tuple[dict[int, list[tuple[int, int]]], int]:
+        """Allocate every destination's RX ports to its received requests.
+
+        ``requests_by_dst[dst]`` maps requesting sources to request payloads
+        (ignored here — requests are binary; variants interpret them).
+        ``rx_usable`` and ``tx_usable`` exclude ports with *detected* link
+        failures on the receive and transmit side respectively.
+
+        Returns (grants routed to each source as ``src -> [(dst, port), ...]``,
+        total number of grants issued).
+        """
+        grants_by_src: dict[int, list[tuple[int, int]]] = {}
+        num_grants = 0
+        for dst, requests in requests_by_dst.items():
+            if not requests:
+                continue
+            if self._shared_grant_ring:
+                assigned = self._grant_parallel(dst, requests, rx_usable, tx_usable)
+            else:
+                assigned = self._grant_thinclos(dst, requests, rx_usable, tx_usable)
+            for port, src in assigned:
+                grants_by_src.setdefault(src, []).append((dst, port))
+                num_grants += 1
+        return grants_by_src, num_grants
+
+    def _grant_parallel(
+        self,
+        dst: int,
+        requests: Mapping[int, object],
+        rx_usable: PortPredicate,
+        tx_usable: PortPredicate,
+    ) -> list[tuple[int, int]]:
+        ring = self._grant_rings[dst]
+        ports = [p for p in range(self._ports) if rx_usable(dst, p)]
+        candidates = {src for src in requests if src != dst}
+        if not ports or not candidates:
+            return []
+        constrained = any(
+            not tx_usable(src, port) for src in candidates for port in ports
+        )
+        if not constrained:
+            picks = ring.deal(candidates, len(ports))
+            return list(zip(ports, picks))
+        # A source with a failed egress port must not be granted that port:
+        # fall back to per-port picks over per-port candidate sets.
+        assigned = []
+        for port in ports:
+            eligible = {src for src in candidates if tx_usable(src, port)}
+            src = ring.pick(eligible)
+            if src is not None:
+                assigned.append((port, src))
+        return assigned
+
+    def _grant_thinclos(
+        self,
+        dst: int,
+        requests: Mapping[int, object],
+        rx_usable: PortPredicate,
+        tx_usable: PortPredicate,
+    ) -> list[tuple[int, int]]:
+        assigned = []
+        for port in range(self._ports):
+            if not rx_usable(dst, port):
+                continue
+            ring = self._grant_rings[dst][port]
+            eligible = {
+                src
+                for src in requests
+                if src in ring.members and tx_usable(src, port)
+            }
+            src = ring.pick(eligible)
+            if src is not None:
+                assigned.append((port, src))
+        return assigned
+
+    # ------------------------------------------------------------------
+    # ACCEPT
+    # ------------------------------------------------------------------
+
+    def accept_step(
+        self,
+        grants_by_src: Mapping[int, list[tuple[int, int]]],
+        tx_usable: PortPredicate = _all_ports_usable,
+    ) -> list[Match]:
+        """Resolve source-side conflicts: one accepted grant per TX port."""
+        matches: list[Match] = []
+        for src, grants in grants_by_src.items():
+            by_port: dict[int, set[int]] = {}
+            for dst, port in grants:
+                by_port.setdefault(port, set()).add(dst)
+            for port in sorted(by_port):
+                if not tx_usable(src, port):
+                    continue
+                dst = self._accept_rings[src][port].pick(by_port[port])
+                if dst is not None:
+                    matches.append(Match(src=src, port=port, dst=dst))
+        return matches
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+
+    def run_epoch(
+        self,
+        requests_by_dst: Mapping[int, Mapping[int, object]],
+        rx_usable: PortPredicate = _all_ports_usable,
+        tx_usable: PortPredicate = _all_ports_usable,
+    ) -> MatchingResult:
+        """GRANT + ACCEPT back to back (no pipelining, no message loss).
+
+        Useful for unit tests and for the matching-efficiency experiments
+        that study the algorithm in isolation.
+        """
+        grants_by_src, num_grants = self.grant_step(
+            requests_by_dst, rx_usable, tx_usable
+        )
+        matches = self.accept_step(grants_by_src, tx_usable)
+        return MatchingResult(matches=matches, num_grants=num_grants)
+
+
+def validate_matching(matches: list[Match], topology: FlatTopology) -> None:
+    """Assert the structural invariants of a NegotiaToR matching.
+
+    Raises ValueError when two matches share a (src, port) or (dst, port),
+    or when a match violates the topology's reachability.
+    """
+    tx_seen: set[tuple[int, int]] = set()
+    rx_seen: set[tuple[int, int]] = set()
+    for match in matches:
+        tx = (match.src, match.port)
+        rx = (match.dst, match.port)
+        if tx in tx_seen:
+            raise ValueError(f"transmit side conflict at {tx}")
+        if rx in rx_seen:
+            raise ValueError(f"receive side conflict at {rx}")
+        tx_seen.add(tx)
+        rx_seen.add(rx)
+        required = topology.data_port(match.src, match.dst)
+        if required is not None and required != match.port:
+            raise ValueError(
+                f"match {match} uses port {match.port} but topology only "
+                f"connects the pair via port {required}"
+            )

@@ -1,0 +1,129 @@
+"""Round-robin priority rings, the arbiters behind GRANT and ACCEPT.
+
+NegotiaToR Matching borrows the round-robin matching (RRM) arbiter used for
+crossbar switch scheduling: a ring over a fixed member set whose pointer marks
+the highest-priority member, priority falling clockwise.  After a member is
+chosen the pointer moves to the member right after it, so the least recently
+served member is always favoured — fairness without starvation (section 3.2.1).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Collection, Iterable, Sequence
+
+
+class RoundRobinRing:
+    """A round-robin arbiter over a fixed, ordered set of members.
+
+    The paper initializes ring pointers randomly; pass an ``rng`` for that, or
+    a ``start`` index for deterministic placement (tests).
+    """
+
+    __slots__ = ("_members", "_index_of", "_pointer")
+
+    def __init__(
+        self,
+        members: Sequence[int],
+        rng: random.Random | None = None,
+        start: int | None = None,
+    ) -> None:
+        if not members:
+            raise ValueError("ring needs at least one member")
+        if len(set(members)) != len(members):
+            raise ValueError("ring members must be unique")
+        self._members = tuple(members)
+        self._index_of = {member: i for i, member in enumerate(self._members)}
+        if start is not None:
+            if not 0 <= start < len(self._members):
+                raise ValueError("start index out of range")
+            self._pointer = start
+        elif rng is not None:
+            self._pointer = rng.randrange(len(self._members))
+        else:
+            self._pointer = 0
+
+    @property
+    def members(self) -> tuple[int, ...]:
+        """The ring's member set, in clockwise order."""
+        return self._members
+
+    @property
+    def pointer(self) -> int:
+        """Index of the current highest-priority member."""
+        return self._pointer
+
+    def peek(self, candidates: Collection[int]) -> int | None:
+        """Return the highest-priority member among ``candidates``.
+
+        Scans clockwise from the pointer; does not move the pointer.  Returns
+        None when no candidate belongs to the ring.
+        """
+        n = len(self._members)
+        for step in range(n):
+            member = self._members[(self._pointer + step) % n]
+            if member in candidates:
+                return member
+        return None
+
+    def advance_past(self, member: int) -> None:
+        """Move the pointer to the member right after ``member``."""
+        try:
+            index = self._index_of[member]
+        except KeyError:
+            raise ValueError(f"{member} is not a ring member") from None
+        self._pointer = (index + 1) % len(self._members)
+
+    def pick(self, candidates: Collection[int]) -> int | None:
+        """Pick the highest-priority candidate and advance the pointer.
+
+        This is one GRANT (or ACCEPT) decision: the chosen member loses its
+        priority until the ring wraps around to it again.
+        """
+        member = self.peek(candidates)
+        if member is not None:
+            self.advance_past(member)
+        return member
+
+    def ordered_candidates(self, candidates: Collection[int]) -> list[int]:
+        """Candidates sorted by current ring priority (highest first).
+
+        Dealing ports to this list round-robin is equivalent to calling
+        :meth:`pick` repeatedly while every candidate keeps requesting, but
+        costs O(ring size) instead of O(ports x ring size).
+        """
+        if not candidates:
+            return []
+        wanted = set(candidates)
+        n = len(self._members)
+        ordered = []
+        for step in range(n):
+            member = self._members[(self._pointer + step) % n]
+            if member in wanted:
+                ordered.append(member)
+        return ordered
+
+    def deal(self, candidates: Collection[int], count: int) -> list[int]:
+        """Make ``count`` consecutive picks over a fixed candidate set.
+
+        Used by GRANT to allocate all ports of a destination ToR in one go:
+        with r candidates and m ports each candidate receives floor(m/r) or
+        ceil(m/r) picks, starting from the ring pointer.  The pointer ends up
+        right after the last pick, exactly as ``count`` calls to :meth:`pick`
+        would leave it.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        ordered = self.ordered_candidates(candidates)
+        if not ordered or count == 0:
+            return []
+        picks = [ordered[i % len(ordered)] for i in range(count)]
+        self.advance_past(picks[-1])
+        return picks
+
+
+def build_rings(
+    member_sets: Iterable[Sequence[int]], rng: random.Random
+) -> list[RoundRobinRing]:
+    """Construct one randomly-initialized ring per member set."""
+    return [RoundRobinRing(members, rng=rng) for members in member_sets]

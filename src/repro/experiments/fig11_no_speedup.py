@@ -1,0 +1,28 @@
+"""Fig 11 — the Fig 9 comparison with the 2x speedup removed.
+
+Uplinks get the same bandwidth as the per-ToR host aggregate (1x).  Expected
+shape: the same qualitative ordering as Fig 9 — NegotiaToR exploits the
+constrained bandwidth better, and the baseline saturates earlier because
+relaying doubles its traffic volume against a smaller capacity.
+"""
+
+from __future__ import annotations
+
+from .common import ExperimentResult, ExperimentScale, current_scale
+from .fig9_main_results import build_result, sweep
+
+
+def run(scale: ExperimentScale | None = None) -> ExperimentResult:
+    """Regenerate Fig 11."""
+    scale = scale or current_scale()
+    data = sweep(scale, without_speedup=True)
+    return build_result(
+        scale,
+        data,
+        experiment="Fig 11",
+        title="99p mice FCT (ms) and goodput vs load, no speedup (1x uplinks)",
+    )
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,82 @@
+"""Fig 15 / Appendix A.2.1 — iteration versus speedup.
+
+The iterative variants run with *no* uplink speedup (ITER_I/III/V = 1/3/5
+iterations at 1x) against the standard non-iterative matching with the 2x
+speedup.  Expected shape: iteration consistently worsens FCT (each extra
+iteration adds three epochs of scheduling delay) and does not buy goodput —
+the 2x speedup dominates everywhere, which is the paper's argument for
+"no iteration".
+"""
+
+from __future__ import annotations
+
+from .common import (
+    ExperimentResult,
+    ExperimentScale,
+    current_scale,
+    fct_ms,
+    run_negotiator,
+    sim_config,
+    workload_for,
+)
+
+VARIANTS = (
+    ("Speedup 2x", "base", None, True),
+    ("ITER_I", "iterative", 1, False),
+    ("ITER_III", "iterative", 3, False),
+    ("ITER_V", "iterative", 5, False),
+)
+
+
+def run_point(
+    scale: ExperimentScale,
+    load: float,
+    scheduler_name: str,
+    iterations: int | None,
+    speedup: bool,
+):
+    """(FCT ms, goodput) for one variant at one load (parallel network)."""
+    config = sim_config(scale)
+    if not speedup:
+        config = config.without_speedup()
+    flows = workload_for(scale, load)
+    kwargs = {"iterations": iterations} if iterations is not None else {}
+    artifacts = run_negotiator(
+        scale, "parallel", flows,
+        config=config,
+        scheduler_name=scheduler_name,
+        scheduler_kwargs=kwargs or None,
+    )
+    summary = artifacts.summary
+    return fct_ms(summary), summary.goodput_normalized
+
+
+def run(scale: ExperimentScale | None = None, loads=None) -> ExperimentResult:
+    """Regenerate Fig 15."""
+    scale = scale or current_scale()
+    loads = loads if loads is not None else scale.loads
+    headers = ["variant"]
+    headers += [f"FCT@{int(l * 100)}%" for l in loads]
+    headers += [f"gput@{int(l * 100)}%" for l in loads]
+    result = ExperimentResult(
+        experiment="Fig 15",
+        title="iterative matching (1x) vs 2x speedup on the parallel network",
+        headers=headers,
+    )
+    for label, name, iterations, speedup in VARIANTS:
+        fcts, gputs = [], []
+        for load in loads:
+            fct, goodput = run_point(scale, load, name, iterations, speedup)
+            fcts.append(fct if fct is not None else "n/a")
+            gputs.append(goodput)
+        result.add_row(label, *fcts, *gputs)
+    result.notes.append(
+        "paper: iteration worsens FCT at all loads; goodput never beats the "
+        "2x speedup"
+    )
+    result.notes.append(f"scale={scale.name}")
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,85 @@
+"""Fig 7a — incast finish time vs incast degree.
+
+A set of ToRs synchronously sends one 1 KB flow each to the same destination.
+Expected shape: NegotiaToR's finish time is flat in the degree — every pair
+gets a piggyback slot every epoch, so the incast bypasses scheduling on both
+topologies identically — while the traffic-oblivious scheme grows with the
+degree (cells collide at intermediates and pay extra rotor cycles).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..sim.config import KB
+from ..workloads.incast import incast_finish_time_ns, incast_workload
+from .common import (
+    ExperimentResult,
+    ExperimentScale,
+    current_scale,
+    run_negotiator,
+    run_oblivious,
+)
+
+INJECT_NS = 10_000.0
+FLOW_BYTES = 1 * KB
+
+
+def finish_time_us(
+    scale: ExperimentScale, system: str, degree: int, seed: int = 7
+) -> float:
+    """Incast finish time in microseconds for one system."""
+    flows = incast_workload(
+        scale.num_tors,
+        degree,
+        dst=0,
+        flow_bytes=FLOW_BYTES,
+        at_ns=INJECT_NS,
+        rng=random.Random(seed),
+    )
+    max_ns = 50_000_000.0
+    if system == "oblivious":
+        artifacts = run_oblivious(
+            scale, "thinclos", flows, until_complete=True, max_ns=max_ns
+        )
+    else:
+        artifacts = run_negotiator(
+            scale, system, flows, until_complete=True, max_ns=max_ns
+        )
+    sim = artifacts.simulator
+    if not sim.tracker.all_complete:
+        raise RuntimeError(f"incast did not finish within {max_ns} ns")
+    return incast_finish_time_ns(sim.tracker.flows, INJECT_NS) / 1e3
+
+
+def run(scale: ExperimentScale | None = None) -> ExperimentResult:
+    """Regenerate Fig 7a."""
+    scale = scale or current_scale()
+    result = ExperimentResult(
+        experiment="Fig 7a",
+        title="incast finish time (us) vs degree, 1 KB flows",
+        headers=[
+            "degree",
+            "NegotiaToR parallel",
+            "NegotiaToR thin-clos",
+            "oblivious thin-clos",
+        ],
+    )
+    degrees = [d for d in scale.incast_degrees if d < scale.num_tors]
+    for degree in degrees:
+        result.add_row(
+            degree,
+            finish_time_us(scale, "parallel", degree),
+            finish_time_us(scale, "thinclos", degree),
+            finish_time_us(scale, "oblivious", degree),
+        )
+    result.notes.append(
+        "paper: NegotiaToR flat and identical on both topologies; "
+        "oblivious grows with degree"
+    )
+    result.notes.append(f"scale={scale.name}")
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

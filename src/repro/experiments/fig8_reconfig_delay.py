@@ -1,0 +1,74 @@
+"""Fig 8 — NegotiaToR under longer reconfiguration delays, 100% load.
+
+The guardband grows from 10 ns to 100 ns while the scheduled phase is
+stretched to hold the reconfiguration-overhead share constant (section
+3.6.4).  Expected shape: goodput stays high across the sweep; mice FCT grows
+roughly linearly with the (now much longer) epoch, since the scheduling
+delay is measured in epochs.
+"""
+
+from __future__ import annotations
+
+from ..sim.config import EpochConfig, epoch_config_for_reconfiguration_delay
+from .common import (
+    ExperimentResult,
+    ExperimentScale,
+    current_scale,
+    fct_ms,
+    make_topology,
+    run_negotiator,
+    sim_config,
+    workload_for,
+)
+
+RECONFIGURATION_DELAYS_NS = (10.0, 20.0, 50.0, 100.0)
+
+
+def run_point(
+    scale: ExperimentScale, topology_kind: str, guard_ns: float
+) -> tuple[float, float, float]:
+    """(99p mice FCT ms, normalized goodput, epoch us) at one guardband."""
+    predefined_slots = make_topology(scale, topology_kind).predefined_slots
+    epoch = epoch_config_for_reconfiguration_delay(
+        EpochConfig(), guard_ns, 100.0, predefined_slots
+    )
+    config = sim_config(scale, epoch=epoch)
+    flows = workload_for(scale, load=1.0)
+    artifacts = run_negotiator(scale, topology_kind, flows, config=config)
+    summary = artifacts.summary
+    sim = artifacts.simulator
+    return (
+        fct_ms(summary) if summary.mice_fct_p99_ns is not None else float("nan"),
+        summary.goodput_normalized,
+        sim.timing.epoch_ns / 1e3,
+    )
+
+
+def run(scale: ExperimentScale | None = None) -> ExperimentResult:
+    """Regenerate Fig 8 (both panels)."""
+    scale = scale or current_scale()
+    result = ExperimentResult(
+        experiment="Fig 8",
+        title="goodput and 99p mice FCT vs reconfiguration delay at 100% load",
+        headers=[
+            "guard (ns)",
+            "parallel FCT (ms)",
+            "parallel goodput",
+            "thin-clos FCT (ms)",
+            "thin-clos goodput",
+            "epoch (us)",
+        ],
+    )
+    for guard_ns in RECONFIGURATION_DELAYS_NS:
+        par_fct, par_gput, epoch_us = run_point(scale, "parallel", guard_ns)
+        thin_fct, thin_gput, _ = run_point(scale, "thinclos", guard_ns)
+        result.add_row(guard_ns, par_fct, par_gput, thin_fct, thin_gput, epoch_us)
+    result.notes.append(
+        "paper: goodput roughly flat; FCT grows with the stretched epoch"
+    )
+    result.notes.append(f"scale={scale.name}")
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

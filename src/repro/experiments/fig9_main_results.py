@@ -1,0 +1,121 @@
+"""Fig 9 — the main result: mice FCT and goodput across loads.
+
+NegotiaToR (both topologies, with and without priority queues) versus the
+traffic-oblivious baseline under the Hadoop workload, loads 10%..100%.
+Expected shape (section 4.3):
+
+* NegotiaToR's 99p mice FCT is one to two orders of magnitude below the
+  baseline at every load when PQ is on, and still far better at light loads
+  without PQ.
+* Goodput tracks the offered load for everyone at light loads; at heavy
+  loads relayed traffic saturates the baseline while NegotiaToR keeps
+  climbing (the paper's crossover).
+* Thin-clos is marginally below the parallel network, not qualitatively off.
+"""
+
+from __future__ import annotations
+
+from .common import (
+    ExperimentResult,
+    ExperimentScale,
+    current_scale,
+    fct_ms,
+    run_negotiator,
+    run_oblivious,
+    workload_for,
+)
+
+SYSTEMS = (
+    ("NT parallel", "parallel", True),
+    ("NT parallel w/o PQ", "parallel", False),
+    ("NT thin-clos", "thinclos", True),
+    ("NT thin-clos w/o PQ", "thinclos", False),
+    ("oblivious", "oblivious", True),
+    ("oblivious w/o PQ", "oblivious", False),
+)
+
+
+def sweep(
+    scale: ExperimentScale,
+    *,
+    without_speedup: bool = False,
+    trace: str = "hadoop",
+    loads=None,
+) -> dict[str, dict[float, tuple[float | None, float]]]:
+    """Run every system at every load; returns {system: {load: (fct_ms, goodput)}}.
+
+    ``without_speedup`` switches to the Fig 11 protocol (1x uplinks).
+    """
+    loads = loads if loads is not None else scale.loads
+    results: dict[str, dict[float, tuple[float | None, float]]] = {}
+    for label, kind, pq in SYSTEMS:
+        per_load = {}
+        for load in loads:
+            flows = workload_for(scale, load, trace=trace)
+            if kind == "oblivious":
+                config = _config(scale, pq, without_speedup)
+                artifacts = run_oblivious(
+                    scale, "thinclos", flows, config=config
+                )
+            else:
+                config = _config(scale, pq, without_speedup)
+                artifacts = run_negotiator(scale, kind, flows, config=config)
+            summary = artifacts.summary
+            per_load[load] = (fct_ms(summary), summary.goodput_normalized)
+        results[label] = per_load
+    return results
+
+
+def _config(scale, pq, without_speedup):
+    from .common import sim_config
+
+    config = sim_config(scale, priority_queue_enabled=pq)
+    if without_speedup:
+        config = config.without_speedup()
+    return config
+
+
+def build_result(
+    scale: ExperimentScale,
+    data,
+    *,
+    experiment: str = "Fig 9",
+    title: str = "99p mice FCT (ms) and normalized goodput vs load",
+    loads=None,
+) -> ExperimentResult:
+    """Render a sweep as one table with FCT and goodput per system."""
+    loads = loads if loads is not None else scale.loads
+    headers = ["system"]
+    for load in loads:
+        headers.append(f"FCT@{int(load * 100)}%")
+    for load in loads:
+        headers.append(f"gput@{int(load * 100)}%")
+    result = ExperimentResult(
+        experiment=experiment, title=title, headers=headers
+    )
+    for label, per_load in data.items():
+        row: list = [label]
+        for load in loads:
+            fct, _ = per_load[load]
+            row.append(fct if fct is not None else "n/a")
+        for load in loads:
+            _, goodput = per_load[load]
+            row.append(goodput)
+        result.rows.append(row)
+    result.series = data
+    result.notes.append(
+        "paper: NegotiaToR FCT 1-2 orders of magnitude below oblivious; "
+        "oblivious goodput saturates at heavy load"
+    )
+    result.notes.append(f"scale={scale.name}")
+    return result
+
+
+def run(scale: ExperimentScale | None = None) -> ExperimentResult:
+    """Regenerate Fig 9."""
+    scale = scale or current_scale()
+    return build_result(scale, sweep(scale))
+
+
+if __name__ == "__main__":
+    print(run().render())

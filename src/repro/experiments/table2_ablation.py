@@ -1,0 +1,97 @@
+"""Table 2 — scheduling-delay-bypass ablation at 100% load.
+
+The paper reports 99th-percentile / average mice-flow FCT in *epochs* for
+the four combinations of data piggybacking (PB) and priority queues (PQ) on
+both topologies.  Expected shape: each mechanism helps alone, their
+combination drives the average below the ~2-epoch scheduling delay (the
+paper reaches 6.0/1.6 epochs on the parallel network), and disabling both is
+one to two orders of magnitude worse.
+"""
+
+from __future__ import annotations
+
+from .common import (
+    ExperimentResult,
+    ExperimentScale,
+    current_scale,
+    make_topology,
+    run_negotiator,
+    sim_config,
+    workload_for,
+)
+from ..sim.config import EpochConfig, epoch_config_without_piggyback
+
+PAPER_REFERENCE = {
+    # (pb, pq) -> (parallel 99p/avg, thin-clos 99p/avg), in epochs
+    (False, False): ((732.4, 42.1), (1216.4, 75.0)),
+    (True, False): ((418.5, 19.9), (847.9, 45.3)),
+    (False, True): ((21.0, 5.7), (26.4, 5.7)),
+    (True, True): ((6.0, 1.6), (6.5, 1.6)),
+}
+
+
+def run_cell(
+    scale: ExperimentScale, topology_kind: str, pb: bool, pq: bool
+) -> tuple[float, float]:
+    """One ablation cell: (99p, mean) mice FCT in epochs at 100% load."""
+    epoch = EpochConfig()
+    if not pb:
+        predefined_slots = make_topology(scale, topology_kind).predefined_slots
+        epoch = epoch_config_without_piggyback(epoch, 100.0, predefined_slots)
+    config = sim_config(scale, epoch=epoch, priority_queue_enabled=pq)
+    flows = workload_for(scale, load=1.0)
+    artifacts = run_negotiator(
+        scale, topology_kind, flows, config=config
+    )
+    summary = artifacts.summary
+    if summary.mice_fct_p99_epochs is None:
+        raise RuntimeError("no completed mice flows — run longer")
+    return summary.mice_fct_p99_epochs, summary.mice_fct_mean_epochs
+
+
+def run(scale: ExperimentScale | None = None) -> ExperimentResult:
+    """Regenerate Table 2."""
+    scale = scale or current_scale()
+    result = ExperimentResult(
+        experiment="Table 2",
+        title="mice flow FCT in epochs (99p/avg) at 100% load, PB/PQ ablation",
+        headers=[
+            "config",
+            "parallel 99p",
+            "parallel avg",
+            "thin-clos 99p",
+            "thin-clos avg",
+            "paper parallel",
+            "paper thin-clos",
+        ],
+    )
+    labels = {
+        (False, False): "-",
+        (True, False): "PB",
+        (False, True): "PQ",
+        (True, True): "PB and PQ",
+    }
+    for key in [(False, False), (True, False), (False, True), (True, True)]:
+        pb, pq = key
+        par_p99, par_avg = run_cell(scale, "parallel", pb, pq)
+        thin_p99, thin_avg = run_cell(scale, "thinclos", pb, pq)
+        paper_par, paper_thin = PAPER_REFERENCE[key]
+        result.add_row(
+            labels[key],
+            par_p99,
+            par_avg,
+            thin_p99,
+            thin_avg,
+            f"{paper_par[0]}/{paper_par[1]}",
+            f"{paper_thin[0]}/{paper_thin[1]}",
+        )
+    result.notes.append(
+        "shape check: FCT drops with each mechanism; PB+PQ average is near "
+        "the ~2-epoch scheduling delay"
+    )
+    result.notes.append(f"scale={scale.name}")
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,77 @@
+"""Table 6 / Appendix A.2.5 — ProjecToR's scheduler on NegotiaToR's fabric.
+
+ProjecToR requests at per-port granularity with waiting-delay priorities.
+Expected shape: despite the extra complexity (delay logging, per-port
+bundles), it loses to NegotiaToR Matching in both FCT and goodput — pinning
+a request to a port before the negotiation forfeits the port flexibility
+that lets binary ToR-level requests fill every port.
+"""
+
+from __future__ import annotations
+
+from .common import (
+    ExperimentResult,
+    ExperimentScale,
+    current_scale,
+    fct_us,
+    run_negotiator,
+    workload_for,
+)
+
+PAPER_REFERENCE = {
+    0.10: ((15.3, 0.091), (16.3, 0.091)),
+    0.25: ((15.4, 0.226), (21.6, 0.226)),
+    0.50: ((15.6, 0.452), (40.8, 0.450)),
+    0.75: ((16.3, 0.675), (52.2, 0.661)),
+    1.00: ((22.0, 0.890), (54.4, 0.847)),
+}
+
+
+def run_point(scale: ExperimentScale, load: float, variant: str):
+    """(99p mice FCT us, goodput) for base or projector scheduling."""
+    flows = workload_for(scale, load)
+    artifacts = run_negotiator(scale, "parallel", flows, scheduler_name=variant)
+    summary = artifacts.summary
+    return fct_us(summary), summary.goodput_normalized
+
+
+def run(scale: ExperimentScale | None = None, loads=None) -> ExperimentResult:
+    """Regenerate Table 6."""
+    scale = scale or current_scale()
+    loads = loads if loads is not None else scale.loads
+    result = ExperimentResult(
+        experiment="Table 6",
+        title="ProjecToR-style scheduling: 99p mice FCT (us) / goodput",
+        headers=[
+            "load",
+            "base FCT",
+            "base gput",
+            "projector FCT",
+            "projector gput",
+            "paper base",
+            "paper projector",
+        ],
+    )
+    for load in loads:
+        base_fct, base_gput = run_point(scale, load, "base")
+        proj_fct, proj_gput = run_point(scale, load, "projector")
+        reference = PAPER_REFERENCE.get(round(load, 2))
+        result.add_row(
+            f"{load:.0%}",
+            base_fct if base_fct is not None else "n/a",
+            base_gput,
+            proj_fct if proj_fct is not None else "n/a",
+            proj_gput,
+            f"{reference[0][0]}/{reference[0][1]:.1%}" if reference else "-",
+            f"{reference[1][0]}/{reference[1][1]:.1%}" if reference else "-",
+        )
+    result.notes.append(
+        "paper: ProjecToR-style scheduling is worse in both FCT and goodput, "
+        "especially at heavy load"
+    )
+    result.notes.append(f"scale={scale.name}")
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,56 @@
+"""Simulation engines, queues, failures, and measurement instruments."""
+
+from .config import (
+    KB,
+    MICE_THRESHOLD_BYTES,
+    EpochConfig,
+    EpochTiming,
+    SimConfig,
+    epoch_config_for_reconfiguration_delay,
+    epoch_config_without_piggyback,
+    transmit_ns,
+)
+from .failures import (
+    Direction,
+    FailureEvent,
+    FailurePlan,
+    LinkFailureModel,
+    LinkRef,
+    random_failure_plan,
+)
+from .flows import Flow, FlowTracker
+from .metrics import BandwidthRecorder, MatchRatioRecorder, RunSummary
+from .buffers import ReceiverBuffer
+from .network import NegotiaToRSimulator
+from .observability import EpochStats, EpochStatsRecorder
+from .oblivious import ObliviousSimulator
+from .queues import PiasDestQueue, Segment
+
+__all__ = [
+    "BandwidthRecorder",
+    "Direction",
+    "EpochConfig",
+    "EpochTiming",
+    "FailureEvent",
+    "FailurePlan",
+    "Flow",
+    "FlowTracker",
+    "KB",
+    "LinkFailureModel",
+    "LinkRef",
+    "MICE_THRESHOLD_BYTES",
+    "MatchRatioRecorder",
+    "EpochStats",
+    "EpochStatsRecorder",
+    "NegotiaToRSimulator",
+    "ReceiverBuffer",
+    "ObliviousSimulator",
+    "PiasDestQueue",
+    "RunSummary",
+    "Segment",
+    "SimConfig",
+    "epoch_config_for_reconfiguration_delay",
+    "epoch_config_without_piggyback",
+    "random_failure_plan",
+    "transmit_ns",
+]

@@ -1,0 +1,64 @@
+"""Receiver-side buffering below the ToRs (section 3.6.5).
+
+NegotiaToR's optical fabric runs at a 2x speedup, so data for one host can
+arrive through several ports at once while the host-side links drain at the
+aggregate host bandwidth.  The paper's remedy: the destination ToR monitors
+its receive queue and only allows transmissions when buffer space suffices.
+
+:class:`ReceiverBuffer` is the leaky bucket behind that check — it fills
+with delivered optical bytes and drains continuously at the host-aggregate
+rate — and the engine composes :meth:`has_room` into the GRANT step's
+``rx_usable`` predicate when ``SimConfig.receiver_buffer_bytes`` is set, so
+a nearly-full destination simply stops granting until its hosts catch up.
+"""
+
+from __future__ import annotations
+
+
+class ReceiverBuffer:
+    """A leaky-bucket receive buffer drained at the host-aggregate rate."""
+
+    __slots__ = ("_capacity", "_drain_gbps", "_level", "_updated_ns")
+
+    def __init__(self, capacity_bytes: int, drain_gbps: float) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        if drain_gbps <= 0:
+            raise ValueError("drain rate must be positive")
+        self._capacity = capacity_bytes
+        self._drain_gbps = drain_gbps
+        self._level = 0.0
+        self._updated_ns = 0.0
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Maximum buffered bytes."""
+        return self._capacity
+
+    def occupancy(self, now_ns: float) -> float:
+        """Buffered bytes at ``now_ns`` after continuous host drain."""
+        self._advance(now_ns)
+        return self._level
+
+    def add(self, num_bytes: int, now_ns: float) -> None:
+        """Account for optical bytes landing at ``now_ns``.
+
+        The level may transiently exceed capacity (data already in flight
+        when the buffer filled); admission control happens at grant time,
+        not on the wire.
+        """
+        if num_bytes < 0:
+            raise ValueError("bytes must be non-negative")
+        self._advance(now_ns)
+        self._level += num_bytes
+
+    def has_room(self, num_bytes: int, now_ns: float) -> bool:
+        """Whether ``num_bytes`` more would still fit at ``now_ns``."""
+        self._advance(now_ns)
+        return self._level + num_bytes <= self._capacity
+
+    def _advance(self, now_ns: float) -> None:
+        if now_ns > self._updated_ns:
+            drained = (now_ns - self._updated_ns) * self._drain_gbps / 8.0
+            self._level = max(0.0, self._level - drained)
+            self._updated_ns = now_ns

@@ -1,0 +1,189 @@
+"""Link failure injection, detection, and recovery (section 3.6.1).
+
+NegotiaToR detects failures in-band: every predefined-phase slot carries at
+least a dummy message, so a receiver that consistently hears nothing on an RX
+port suspects an ingress failure, and a sender that repeatedly gets
+"nothing arrived" feedback for a TX port suspects an egress failure.  Detected
+failures are broadcast and the ports excluded from scheduling until repair.
+
+We model the *actual* state of each directed link (a ToR port's egress or
+ingress fiber) and a detection process that lags it by a configurable number
+of epochs — the time the dummy/feedback evidence needs to accumulate.  The
+paper's per-epoch evidence stream is deterministic (dummies flow every
+epoch), so the lag counter is an exact reduction of it.  Recovery detection
+is symmetric: once the fiber works again, evidence accumulates for the same
+number of epochs before the link rejoins the schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class Direction(Enum):
+    """Which fiber of a ToR port failed."""
+
+    EGRESS = "egress"
+    INGRESS = "ingress"
+
+
+@dataclass(frozen=True)
+class LinkRef:
+    """A directed ToR-to-AWGR fiber."""
+
+    tor: int
+    port: int
+    direction: Direction
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """A scheduled failure or repair."""
+
+    time_ns: float
+    link: LinkRef
+    fail: bool
+
+
+@dataclass
+class FailurePlan:
+    """A time-ordered script of failure and repair events."""
+
+    events: list[FailureEvent] = field(default_factory=list)
+
+    def add_failure(self, time_ns: float, link: LinkRef) -> None:
+        """Schedule a failure."""
+        self.events.append(FailureEvent(time_ns, link, fail=True))
+
+    def add_repair(self, time_ns: float, link: LinkRef) -> None:
+        """Schedule a repair."""
+        self.events.append(FailureEvent(time_ns, link, fail=False))
+
+    def sorted_events(self) -> list[FailureEvent]:
+        """Events in time order."""
+        return sorted(self.events, key=lambda e: e.time_ns)
+
+
+def random_failure_plan(
+    num_tors: int,
+    ports_per_tor: int,
+    failure_ratio: float,
+    fail_at_ns: float,
+    repair_at_ns: float | None,
+    rng,
+) -> tuple[FailurePlan, list[LinkRef]]:
+    """Fail a random fraction of all directed links, optionally repair them.
+
+    This is the Fig 10 protocol: ``failure_ratio`` of the 2 * N * S directed
+    fibers fail simultaneously and are later repaired together.  Returns the
+    plan and the failed links.
+    """
+    if not 0 <= failure_ratio <= 1:
+        raise ValueError("failure_ratio must be in [0, 1]")
+    links = [
+        LinkRef(tor, port, direction)
+        for tor in range(num_tors)
+        for port in range(ports_per_tor)
+        for direction in (Direction.EGRESS, Direction.INGRESS)
+    ]
+    count = round(failure_ratio * len(links))
+    failed = rng.sample(links, count)
+    plan = FailurePlan()
+    for link in failed:
+        plan.add_failure(fail_at_ns, link)
+        if repair_at_ns is not None:
+            plan.add_repair(repair_at_ns, link)
+    return plan, failed
+
+
+class LinkFailureModel:
+    """Actual link state plus the lagged detection process."""
+
+    def __init__(
+        self, num_tors: int, ports_per_tor: int, detect_epochs: int = 3
+    ) -> None:
+        if detect_epochs < 0:
+            raise ValueError("detect_epochs must be non-negative")
+        self._num_tors = num_tors
+        self._ports = ports_per_tor
+        self._detect_epochs = detect_epochs
+        self._failed: set[tuple[int, int, Direction]] = set()
+        self._detected: set[tuple[int, int, Direction]] = set()
+        self._evidence: dict[tuple[int, int, Direction], int] = {}
+
+    @property
+    def any_failed(self) -> bool:
+        """Whether any link is actually down."""
+        return bool(self._failed)
+
+    @property
+    def any_detected(self) -> bool:
+        """Whether any link is currently excluded from scheduling."""
+        return bool(self._detected)
+
+    # ------------------------------------------------------------------
+    # actual state
+    # ------------------------------------------------------------------
+
+    def apply(self, event: FailureEvent) -> None:
+        """Apply one failure/repair event."""
+        key = (event.link.tor, event.link.port, event.link.direction)
+        if event.fail:
+            self._failed.add(key)
+        else:
+            self._failed.discard(key)
+
+    def egress_ok(self, tor: int, port: int) -> bool:
+        """Whether the TX fiber of (tor, port) actually works."""
+        return (tor, port, Direction.EGRESS) not in self._failed
+
+    def ingress_ok(self, tor: int, port: int) -> bool:
+        """Whether the RX fiber of (tor, port) actually works."""
+        return (tor, port, Direction.INGRESS) not in self._failed
+
+    def transmission_ok(self, src: int, src_port: int, dst: int, dst_port: int) -> bool:
+        """Whether a one-hop transmission physically gets through."""
+        return self.egress_ok(src, src_port) and self.ingress_ok(dst, dst_port)
+
+    # ------------------------------------------------------------------
+    # detection
+    # ------------------------------------------------------------------
+
+    def tick_epoch(self) -> None:
+        """Advance detection by one epoch of dummy/feedback evidence.
+
+        A failed link accumulates one epoch of missing-bits evidence; a
+        repaired link accumulates one epoch of healthy evidence.  Crossing
+        ``detect_epochs`` flips the detected state (and resets the counter
+        for the opposite transition).
+        """
+        flips = []
+        for key in self._failed:
+            if key not in self._detected:
+                count = self._evidence.get(key, 0) + 1
+                if count >= self._detect_epochs:
+                    flips.append((key, True))
+                else:
+                    self._evidence[key] = count
+        for key in self._detected:
+            if key not in self._failed:
+                count = self._evidence.get(key, 0) + 1
+                if count >= self._detect_epochs:
+                    flips.append((key, False))
+                else:
+                    self._evidence[key] = count
+        for key, detected in flips:
+            self._evidence.pop(key, None)
+            if detected:
+                self._detected.add(key)
+            else:
+                self._detected.discard(key)
+
+    def detected_egress_ok(self, tor: int, port: int) -> bool:
+        """Scheduling predicate: TX fiber not currently excluded."""
+        return (tor, port, Direction.EGRESS) not in self._detected
+
+    def detected_ingress_ok(self, tor: int, port: int) -> bool:
+        """Scheduling predicate: RX fiber not currently excluded."""
+        return (tor, port, Direction.INGRESS) not in self._detected

@@ -1,0 +1,181 @@
+"""Flow records and completion/goodput accounting.
+
+The paper measures the network from the ToRs' perspective: a flow starts when
+it is enqueued at its source ToR and completes when its last byte reaches the
+destination ToR (section 4.1).  ``FlowTracker`` is the single sink for both
+FCT statistics and delivered-byte (goodput) accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .config import MICE_THRESHOLD_BYTES
+
+
+@dataclass
+class Flow:
+    """One application flow between a source and a destination ToR."""
+
+    fid: int
+    src: int
+    dst: int
+    size_bytes: int
+    arrival_ns: float
+    tag: str = ""
+    remaining_bytes: int = field(init=False)
+    completed_ns: float | None = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("flow size must be positive")
+        if self.src == self.dst:
+            raise ValueError("flow source and destination must differ")
+        self.remaining_bytes = self.size_bytes
+
+    @property
+    def completed(self) -> bool:
+        """Whether every byte has reached the destination ToR."""
+        return self.completed_ns is not None
+
+    @property
+    def fct_ns(self) -> float:
+        """Flow completion time; raises if the flow is still in flight."""
+        if self.completed_ns is None:
+            raise ValueError(f"flow {self.fid} has not completed")
+        return self.completed_ns - self.arrival_ns
+
+    def is_mice(self, threshold_bytes: int = MICE_THRESHOLD_BYTES) -> bool:
+        """Whether this is a latency-sensitive mice flow (< 10 KB by default)."""
+        return self.size_bytes < threshold_bytes
+
+
+class FlowTracker:
+    """Registers flows and accounts for byte deliveries at destinations."""
+
+    def __init__(self, num_tors: int) -> None:
+        self._num_tors = num_tors
+        self._flows: list[Flow] = []
+        self._delivered_total = 0
+        self._delivered_per_dst = [0] * num_tors
+
+    def register(self, flow: Flow) -> Flow:
+        """Start tracking a flow (called on arrival at the source ToR)."""
+        self._flows.append(flow)
+        return flow
+
+    def register_all(self, flows) -> None:
+        """Start tracking a batch of flows."""
+        for flow in flows:
+            self.register(flow)
+
+    def deliver(self, flow: Flow, num_bytes: int, time_ns: float) -> None:
+        """Record ``num_bytes`` of ``flow`` arriving at its destination.
+
+        Marks the flow complete when its last byte lands.  Deliveries are
+        first-copy payload bytes only — relayed bytes in the oblivious
+        baseline are counted once, at the final destination.
+        """
+        if num_bytes <= 0:
+            raise ValueError("delivered bytes must be positive")
+        if num_bytes > flow.remaining_bytes:
+            raise ValueError(
+                f"flow {flow.fid}: delivering {num_bytes} bytes but only "
+                f"{flow.remaining_bytes} remain"
+            )
+        flow.remaining_bytes -= num_bytes
+        self._delivered_total += num_bytes
+        self._delivered_per_dst[flow.dst] += num_bytes
+        if flow.remaining_bytes == 0:
+            flow.completed_ns = time_ns
+
+    # ------------------------------------------------------------------
+    # flow views
+    # ------------------------------------------------------------------
+
+    @property
+    def flows(self) -> list[Flow]:
+        """All registered flows."""
+        return self._flows
+
+    @property
+    def completed_flows(self) -> list[Flow]:
+        """Flows whose last byte has been delivered."""
+        return [f for f in self._flows if f.completed]
+
+    def flows_with_tag(self, tag: str) -> list[Flow]:
+        """Flows carrying a workload tag (e.g. 'incast' in mixed workloads)."""
+        return [f for f in self._flows if f.tag == tag]
+
+    def mice_flows(
+        self, threshold_bytes: int = MICE_THRESHOLD_BYTES, tag: str | None = None
+    ) -> list[Flow]:
+        """Completed mice flows, optionally restricted to one tag."""
+        return [
+            f
+            for f in self._flows
+            if f.completed
+            and f.is_mice(threshold_bytes)
+            and (tag is None or f.tag == tag)
+        ]
+
+    @property
+    def all_complete(self) -> bool:
+        """Whether every registered flow has completed."""
+        return all(f.completed for f in self._flows)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def delivered_bytes(self) -> int:
+        """Total first-copy payload bytes delivered to destinations."""
+        return self._delivered_total
+
+    def delivered_bytes_at(self, dst: int) -> int:
+        """First-copy payload bytes delivered to one destination ToR."""
+        return self._delivered_per_dst[dst]
+
+    def goodput_gbps(self, duration_ns: float) -> float:
+        """Network-wide average goodput over ``duration_ns``."""
+        if duration_ns <= 0:
+            raise ValueError("duration must be positive")
+        return self._delivered_total * 8.0 / duration_ns
+
+    def goodput_normalized(
+        self, duration_ns: float, host_aggregate_gbps: float
+    ) -> float:
+        """Average per-ToR goodput normalized to the host aggregate rate.
+
+        This is the paper's goodput metric: delivered bytes / duration,
+        averaged over ToRs, divided by 400 Gbps.
+        """
+        return self.goodput_gbps(duration_ns) / (
+            self._num_tors * host_aggregate_gbps
+        )
+
+    @staticmethod
+    def fct_percentile_ns(flows: list[Flow], percentile: float) -> float:
+        """FCT percentile over completed flows (raises when empty)."""
+        if not flows:
+            raise ValueError("no completed flows to take a percentile of")
+        return float(np.percentile([f.fct_ns for f in flows], percentile))
+
+    @staticmethod
+    def fct_mean_ns(flows: list[Flow]) -> float:
+        """Mean FCT over completed flows (raises when empty)."""
+        if not flows:
+            raise ValueError("no completed flows to average")
+        return float(np.mean([f.fct_ns for f in flows]))
+
+    @staticmethod
+    def fct_cdf(flows: list[Flow]) -> tuple[np.ndarray, np.ndarray]:
+        """Empirical FCT CDF: (sorted FCTs in ns, cumulative fractions)."""
+        if not flows:
+            raise ValueError("no completed flows for a CDF")
+        values = np.sort(np.array([f.fct_ns for f in flows]))
+        fractions = np.arange(1, len(values) + 1) / len(values)
+        return values, fractions

@@ -1,0 +1,141 @@
+"""Measurement instruments: match ratio, bandwidth traces, run summaries.
+
+These recorders reproduce the paper's observables beyond plain FCT/goodput:
+the per-epoch match ratio of Fig 14 (accepts / grants, converging to
+1 - (1 - 1/n)^n), and the receiver-bandwidth time series of Figs 17-19.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class MatchRatioRecorder:
+    """Per-epoch ratio of accepted grants to issued grants (Fig 14 / A.1)."""
+
+    def __init__(self) -> None:
+        self._epochs: list[int] = []
+        self._grants: list[int] = []
+        self._accepts: list[int] = []
+
+    def record(self, epoch: int, grants: int, accepts: int) -> None:
+        """Record one epoch's grant and accept counts."""
+        if accepts > grants:
+            raise ValueError("cannot accept more grants than were issued")
+        self._epochs.append(epoch)
+        self._grants.append(grants)
+        self._accepts.append(accepts)
+
+    @property
+    def epochs(self) -> list[int]:
+        """Epoch indices with at least one recorded sample."""
+        return self._epochs
+
+    def ratios(self) -> np.ndarray:
+        """Per-epoch match ratios (NaN for epochs with no grants)."""
+        grants = np.array(self._grants, dtype=float)
+        accepts = np.array(self._accepts, dtype=float)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(grants > 0, accepts / np.maximum(grants, 1), np.nan)
+
+    def mean_ratio(self) -> float:
+        """Match ratio aggregated over all epochs with grants."""
+        total_grants = sum(self._grants)
+        if total_grants == 0:
+            raise ValueError("no grants recorded")
+        return sum(self._accepts) / total_grants
+
+
+class BandwidthRecorder:
+    """Delivered-byte time series, binned, keyed by an arbitrary label.
+
+    Keys are caller-defined, e.g. ``("rx", dst)`` for a destination's received
+    goodput, ``("relay", dst)`` for relayed bytes transiting an intermediate
+    (Fig 18's light-grey dots), or ``("pair", src, dst)`` for Fig 19.
+    """
+
+    def __init__(self, bin_ns: float) -> None:
+        if bin_ns <= 0:
+            raise ValueError("bin width must be positive")
+        self._bin_ns = bin_ns
+        self._bins: dict[tuple, dict[int, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+
+    @property
+    def bin_ns(self) -> float:
+        """Width of one time bin."""
+        return self._bin_ns
+
+    def record(self, key: tuple, num_bytes: int, time_ns: float) -> None:
+        """Attribute ``num_bytes`` delivered at ``time_ns`` to ``key``."""
+        if num_bytes < 0:
+            raise ValueError("bytes must be non-negative")
+        self._bins[key][int(time_ns // self._bin_ns)] += num_bytes
+
+    def keys(self) -> list[tuple]:
+        """All keys with recorded traffic."""
+        return list(self._bins)
+
+    def series_gbps(
+        self, key: tuple, until_ns: float | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(bin start times ns, bandwidth Gbps) for one key.
+
+        Bins with no traffic appear as zeros so the on-off epoch structure of
+        Fig 19 is visible.  ``until_ns`` extends/clips the series end.
+        """
+        bins = self._bins.get(key, {})
+        if not bins and until_ns is None:
+            return np.array([]), np.array([])
+        last = max(bins) if bins else 0
+        if until_ns is not None:
+            last = max(last, int(until_ns // self._bin_ns) - 1)
+        times = np.arange(last + 1) * self._bin_ns
+        values = np.array(
+            [bins.get(i, 0) * 8.0 / self._bin_ns for i in range(last + 1)]
+        )
+        return times, values
+
+    def total_bytes(self, key: tuple) -> int:
+        """All bytes recorded under one key."""
+        return sum(self._bins.get(key, {}).values())
+
+    def window_bytes(self, key: tuple, start_ns: float, end_ns: float) -> int:
+        """Bytes recorded under ``key`` in bins fully inside [start, end)."""
+        first = int(np.ceil(start_ns / self._bin_ns))
+        last = int(end_ns // self._bin_ns)
+        bins = self._bins.get(key, {})
+        return sum(count for index, count in bins.items() if first <= index < last)
+
+
+@dataclass
+class RunSummary:
+    """Headline numbers of one simulation run, as the paper reports them."""
+
+    duration_ns: float
+    epoch_ns: float | None
+    num_flows: int
+    num_completed: int
+    goodput_normalized: float
+    goodput_gbps: float
+    mice_fct_p99_ns: float | None
+    mice_fct_mean_ns: float | None
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def mice_fct_p99_epochs(self) -> float | None:
+        """99th-percentile mice FCT expressed in epochs (Table 2's unit)."""
+        if self.mice_fct_p99_ns is None or not self.epoch_ns:
+            return None
+        return self.mice_fct_p99_ns / self.epoch_ns
+
+    @property
+    def mice_fct_mean_epochs(self) -> float | None:
+        """Average mice FCT expressed in epochs (Table 2's unit)."""
+        if self.mice_fct_mean_ns is None or not self.epoch_ns:
+            return None
+        return self.mice_fct_mean_ns / self.epoch_ns

@@ -1,0 +1,506 @@
+"""The NegotiaToR network simulator (sections 3.3 and 3.4).
+
+An epoch-driven engine: every epoch it
+
+1. applies scheduled failure/repair events and advances failure detection,
+2. injects flow arrivals into per-destination PIAS queues,
+3. computes this epoch's REQUESTs from queue occupancy (binary demand with
+   the 3-piggyback-packet threshold of section 3.4.1),
+4. delivers scheduling messages across the predefined phase — a message is
+   lost when the (slot, port) link its pair rides this epoch is down — and
+   advances the 3-epoch GRANT/ACCEPT pipeline,
+5. serves one piggybacked packet per ToR pair in the predefined phase (the
+   scheduling-delay bypass of section 3.4.1), and
+6. drains per-destination queues over the scheduled phase according to the
+   accepted matching, one packet per (port, timeslot).
+
+All transmissions are one-hop; conflict-freedom is guaranteed by the matching
+(validated in tests) and the predefined-phase permutation schedule.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable
+
+from ..core.matching import Match, NegotiaToRMatcher
+from ..core.pipeline import PipelinedScheduler
+from ..topology.base import FlatTopology
+from .buffers import ReceiverBuffer
+from .config import EpochTiming, SimConfig
+from .failures import FailurePlan, LinkFailureModel
+from .flows import Flow, FlowTracker
+from .metrics import BandwidthRecorder, MatchRatioRecorder, RunSummary
+from .observability import EpochStats, EpochStatsRecorder
+from .queues import PiasDestQueue
+
+
+class NegotiaToRSimulator:
+    """Simulates a NegotiaToR fabric over a finite set of flows."""
+
+    def __init__(
+        self,
+        config: SimConfig,
+        topology: FlatTopology,
+        flows: Iterable[Flow],
+        scheduler: PipelinedScheduler | None = None,
+        failure_model: LinkFailureModel | None = None,
+        failure_plan: FailurePlan | None = None,
+        match_recorder: MatchRatioRecorder | None = None,
+        bandwidth_recorder: BandwidthRecorder | None = None,
+        record_pair_bandwidth: bool = False,
+    ) -> None:
+        if topology.num_tors != config.num_tors:
+            raise ValueError("topology and config disagree on num_tors")
+        if topology.ports_per_tor != config.ports_per_tor:
+            raise ValueError("topology and config disagree on ports_per_tor")
+        self.config = config
+        self.topology = topology
+        self.timing = EpochTiming.derive(
+            config.epoch, config.uplink_gbps, topology.predefined_slots
+        )
+        self._rng = random.Random(config.seed)
+        if scheduler is None:
+            scheduler = PipelinedScheduler(
+                NegotiaToRMatcher(topology, self._rng)
+            )
+        self.scheduler = scheduler
+        self.failures = failure_model or LinkFailureModel(
+            config.num_tors, config.ports_per_tor
+        )
+        self._failure_events = (
+            failure_plan.sorted_events() if failure_plan is not None else []
+        )
+        self._next_failure_event = 0
+        self.match_recorder = match_recorder
+        self.bandwidth = bandwidth_recorder
+        self._record_pairs = record_pair_bandwidth
+
+        self.tracker = FlowTracker(config.num_tors)
+        self._pending_flows = sorted(flows, key=lambda f: f.arrival_ns)
+        self.tracker.register_all(self._pending_flows)
+        self._next_flow = 0
+
+        n = config.num_tors
+        self._queues: list[list[PiasDestQueue | None]] = [
+            [
+                PiasDestQueue(
+                    config.pias_thresholds, config.priority_queue_enabled
+                )
+                if dst != src
+                else None
+                for dst in range(n)
+            ]
+            for src in range(n)
+        ]
+        self._active_pairs: set[tuple[int, int]] = set()
+        if config.receiver_buffer_bytes is not None:
+            # Section 3.6.5: destinations stop granting when their host-side
+            # receive buffer is nearly full.
+            self._rx_buffers = [
+                ReceiverBuffer(
+                    config.receiver_buffer_bytes, config.host_aggregate_gbps
+                )
+                for _ in range(n)
+            ]
+        else:
+            self._rx_buffers = None
+        self._stats: EpochStatsRecorder | None = None
+        self._phase_bytes = [0, 0]  # piggybacked, scheduled (per epoch)
+        self._epoch = 0
+
+    # ------------------------------------------------------------------
+    # public accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Index of the next epoch to simulate."""
+        return self._epoch
+
+    @property
+    def now_ns(self) -> float:
+        """Start time of the next epoch."""
+        return self._epoch * self.timing.epoch_ns
+
+    def attach_stats_recorder(self, recorder: EpochStatsRecorder) -> None:
+        """Record per-epoch scheduler statistics into ``recorder``."""
+        self._stats = recorder
+
+    def queue(self, src: int, dst: int) -> PiasDestQueue:
+        """The per-destination queue of an ordered pair (for inspection)."""
+        q = self._queues[src][dst]
+        if q is None:
+            raise ValueError("no queue from a ToR to itself")
+        return q
+
+    @property
+    def total_queued_bytes(self) -> int:
+        """Bytes currently waiting in all per-destination queues."""
+        return sum(
+            self._queues[src][dst].pending_bytes for src, dst in self._active_pairs
+        )
+
+    # ------------------------------------------------------------------
+    # run loops
+    # ------------------------------------------------------------------
+
+    def run(self, duration_ns: float) -> None:
+        """Simulate whole epochs until ``duration_ns`` is covered."""
+        if duration_ns <= 0:
+            raise ValueError("duration must be positive")
+        while self.now_ns < duration_ns:
+            self.step_epoch()
+
+    def run_until_complete(self, max_ns: float) -> bool:
+        """Simulate until every registered flow completes (or ``max_ns``).
+
+        Returns True when all flows completed.
+        """
+        while not self.tracker.all_complete:
+            if self.now_ns >= max_ns:
+                return False
+            self.step_epoch()
+        return True
+
+    # ------------------------------------------------------------------
+    # one epoch
+    # ------------------------------------------------------------------
+
+    def step_epoch(self) -> list[Match]:
+        """Simulate one full epoch; returns the matching it used."""
+        epoch = self._epoch
+        start_ns = self.now_ns
+        timing = self.timing
+
+        self._apply_failure_events(start_ns)
+        self.failures.tick_epoch()
+
+        # Arrivals before the epoch are visible to the REQUEST decision.
+        self._inject_arrivals(start_ns)
+        fresh_requests = self._compute_requests(start_ns)
+        delivered_requests = self._deliver_requests(fresh_requests, epoch)
+
+        matches, grants_answered, accepts = self.scheduler.advance(
+            delivered_requests,
+            deliver_grants=lambda grants: self._deliver_grants(grants, epoch),
+            rx_usable=self._rx_usable(start_ns),
+            tx_usable=self.failures.detected_egress_ok,
+        )
+        if self.match_recorder is not None and grants_answered > 0:
+            self.match_recorder.record(epoch, grants_answered, accepts)
+
+        # Arrivals inside the epoch become eligible at their arrival time.
+        self._inject_arrivals(start_ns + timing.epoch_ns)
+
+        self._phase_bytes = [0, 0]
+        if timing.piggyback_enabled:
+            self._run_predefined_phase(epoch, start_ns)
+        relay_assignments = self._plan_relay(epoch, start_ns, matches)
+        self._run_scheduled_phase(matches, start_ns)
+        if relay_assignments:
+            self._run_relay_transmissions(relay_assignments, matches, start_ns)
+
+        if self._stats is not None:
+            self._stats.record(
+                EpochStats(
+                    epoch=epoch,
+                    active_pairs=len(self._active_pairs),
+                    requests_sent=sum(
+                        len(dsts) for dsts in fresh_requests.values()
+                    ),
+                    matches=len(matches),
+                    matched_pairs=len({(m.src, m.dst) for m in matches}),
+                    queued_bytes=self.total_queued_bytes,
+                    piggybacked_bytes=self._phase_bytes[0],
+                    scheduled_bytes=self._phase_bytes[1],
+                )
+            )
+        self._epoch += 1
+        return matches
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _apply_failure_events(self, now_ns: float) -> None:
+        events = self._failure_events
+        while (
+            self._next_failure_event < len(events)
+            and events[self._next_failure_event].time_ns <= now_ns
+        ):
+            self.failures.apply(events[self._next_failure_event])
+            self._next_failure_event += 1
+
+    def _inject_arrivals(self, before_ns: float) -> None:
+        # Inclusive bound: a flow arriving exactly at an epoch boundary is
+        # visible to that epoch's REQUEST decision.
+        flows = self._pending_flows
+        while (
+            self._next_flow < len(flows)
+            and flows[self._next_flow].arrival_ns <= before_ns
+        ):
+            flow = flows[self._next_flow]
+            self._queues[flow.src][flow.dst].enqueue_flow(flow)
+            self._active_pairs.add((flow.src, flow.dst))
+            self._next_flow += 1
+
+    def _compute_requests(self, now_ns: float) -> dict[int, dict[int, object]]:
+        """REQUEST step: binary demand above the piggyback threshold."""
+        threshold = self.config.epoch.request_threshold_bytes
+        scheduler = self.scheduler
+        requests: dict[int, dict[int, object]] = {}
+        for src, dst in self._active_pairs:
+            queue = self._queues[src][dst]
+            if queue.pending_bytes > threshold:
+                payload = scheduler.request_payload(src, dst, queue, now_ns)
+                requests.setdefault(src, {})[dst] = payload
+        return requests
+
+    def _deliver_requests(
+        self, requests_by_src: dict[int, dict[int, object]], epoch: int
+    ) -> dict[int, dict[int, object]]:
+        """Route REQUESTs through this epoch's predefined phase.
+
+        A request from src to dst rides the (slot, port) link of their
+        predefined meeting; it is lost when that link is actually down.
+        """
+        delivered: dict[int, dict[int, object]] = {}
+        failures = self.failures
+        check = failures.any_failed
+        topology = self.topology
+        for src, dsts in requests_by_src.items():
+            for dst, payload in dsts.items():
+                if check:
+                    _slot, port = topology.predefined_assignment(src, dst, epoch)
+                    if not failures.transmission_ok(src, port, dst, port):
+                        continue
+                delivered.setdefault(dst, {})[src] = payload
+        return delivered
+
+    def _deliver_grants(
+        self, grants_by_src: dict[int, list[tuple[int, int]]], epoch: int
+    ) -> dict[int, list[tuple[int, int]]]:
+        """Route GRANTs (dst -> src messages) through the predefined phase."""
+        if not self.failures.any_failed:
+            return grants_by_src
+        delivered: dict[int, list[tuple[int, int]]] = {}
+        failures = self.failures
+        topology = self.topology
+        for src, grants in grants_by_src.items():
+            kept = []
+            for dst, port in grants:
+                _slot, msg_port = topology.predefined_assignment(dst, src, epoch)
+                if failures.transmission_ok(dst, msg_port, src, msg_port):
+                    kept.append((dst, port))
+            if kept:
+                delivered[src] = kept
+        return delivered
+
+    def _run_predefined_phase(self, epoch: int, start_ns: float) -> None:
+        """Serve one piggybacked packet per pair with pending data."""
+        timing = self.timing
+        payload = timing.piggyback_payload_bytes
+        propagation = self.config.propagation_ns
+        failures = self.failures
+        check = failures.any_failed
+        topology = self.topology
+        tracker = self.tracker
+        emptied = []
+        for src, dst in self._active_pairs:
+            slot, port = topology.predefined_assignment(src, dst, epoch)
+            if check and not failures.transmission_ok(src, port, dst, port):
+                continue
+            queue = self._queues[src][dst]
+            slot_start = start_ns + timing.predefined_slot_start(slot)
+            served = queue.drain_single_packet(payload, slot_start)
+            if served is None:
+                continue
+            flow, num_bytes = served
+            deliver_ns = (
+                start_ns + timing.predefined_slot_end(slot) + propagation
+            )
+            tracker.deliver(flow, num_bytes, deliver_ns)
+            self._phase_bytes[0] += num_bytes
+            self._record_bandwidth(src, dst, num_bytes, deliver_ns)
+            if queue.is_empty:
+                emptied.append((src, dst))
+        for pair in emptied:
+            self._active_pairs.discard(pair)
+
+    def _run_scheduled_phase(self, matches: list[Match], start_ns: float) -> None:
+        """Drain queues along the accepted matching, one packet per slot."""
+        timing = self.timing
+        payload = timing.data_payload_bytes
+        propagation = self.config.propagation_ns
+        failures = self.failures
+        check = failures.any_failed
+        tracker = self.tracker
+        scheduler = self.scheduler
+
+        # A pair may be matched on several ports (parallel network): its
+        # queue is drained over the union of the ports' slots, filling all
+        # ports of a timeslot before moving to the next (in-order delivery,
+        # section 3.6.5).
+        ports_by_pair: dict[tuple[int, int], list[int]] = {}
+        for match in matches:
+            ports_by_pair.setdefault((match.src, match.dst), []).append(match.port)
+
+        slot_ns = timing.scheduled_slot_ns
+        phase_start = start_ns + timing.predefined_ns
+        for (src, dst), ports in ports_by_pair.items():
+            if check:
+                ports = [
+                    p for p in ports if failures.transmission_ok(src, p, dst, p)
+                ]
+                if not ports:
+                    continue
+            queue = self._queues[src][dst]
+            if queue.is_empty:
+                continue
+            lanes = len(ports)
+            sent = 0
+
+            def deliver(flow: Flow, num_bytes: int, last_virtual_slot: int) -> None:
+                nonlocal sent
+                sent += num_bytes
+                slot_index = last_virtual_slot // lanes
+                deliver_ns = phase_start + (slot_index + 1) * slot_ns + propagation
+                tracker.deliver(flow, num_bytes, deliver_ns)
+                self._record_bandwidth(src, dst, num_bytes, deliver_ns)
+
+            queue.drain_slots(
+                num_slots=timing.scheduled_slots * lanes,
+                payload_bytes=payload,
+                slot_start_ns=lambda v: phase_start + (v // lanes) * slot_ns,
+                deliver=deliver,
+            )
+            if sent:
+                scheduler.observe_sent(src, dst, sent)
+                self._phase_bytes[1] += sent
+            if queue.is_empty:
+                self._active_pairs.discard((src, dst))
+
+    def _rx_usable(self, now_ns: float):
+        """GRANT-side admission: detected failures plus buffer headroom."""
+        detected_ok = self.failures.detected_ingress_ok
+        buffers = self._rx_buffers
+        if buffers is None:
+            return detected_ok
+        phase_bytes = self.timing.scheduled_slots * self.timing.data_payload_bytes
+
+        def usable(tor: int, port: int) -> bool:
+            return detected_ok(tor, port) and buffers[tor].has_room(
+                phase_bytes, now_ns
+            )
+
+        return usable
+
+    # ------------------------------------------------------------------
+    # selective relay extension points (appendix A.2.2)
+    # ------------------------------------------------------------------
+
+    def _plan_relay(self, epoch: int, start_ns: float, matches: list[Match]):
+        """Hook for the traffic-aware selective relay; the base engine never
+        relays (all data is one-hop, section 3.5)."""
+        return []
+
+    def _run_relay_transmissions(
+        self, assignments, matches: list[Match], start_ns: float
+    ) -> None:
+        """Execute planned first-hop relay transmissions on leftover links.
+
+        An assignment is ``(src, port, intermediate, dst, max_bytes)``: the
+        source forwards lowest-band data for ``dst`` to ``intermediate``
+        through an otherwise idle port pair.  Assignments are dropped when
+        the port pair turns out to be occupied by the accepted matching —
+        direct traffic always has priority (appendix A.2.2, step 3).
+        """
+        timing = self.timing
+        payload = timing.data_payload_bytes
+        propagation = self.config.propagation_ns
+        phase_start = start_ns + timing.predefined_ns
+        slot_ns = timing.scheduled_slot_ns
+        busy_tx = {(m.src, m.port) for m in matches}
+        busy_rx = {(m.dst, m.port) for m in matches}
+        failures = self.failures
+        check = failures.any_failed
+        lowest_band = self.config.num_priority_bands - 1
+
+        for src, port, intermediate, dst, max_bytes in assignments:
+            if (src, port) in busy_tx or (intermediate, port) in busy_rx:
+                continue
+            if check and not failures.transmission_ok(
+                src, port, intermediate, port
+            ):
+                continue
+            busy_tx.add((src, port))
+            busy_rx.add((intermediate, port))
+            queue = self._queues[src][dst]
+            relay_queue = self._queues[intermediate][dst]
+            slots = min(
+                timing.scheduled_slots,
+                max(1, max_bytes // payload),
+            )
+            moved = 0
+
+            def hand_over(flow: Flow, num_bytes: int, last_slot: int) -> None:
+                nonlocal moved
+                moved += num_bytes
+                arrival_ns = (
+                    phase_start + (last_slot + 1) * slot_ns + propagation
+                )
+                relay_queue.enqueue_bytes(
+                    flow, num_bytes, band=lowest_band, eligible_ns=arrival_ns
+                )
+                if self.bandwidth is not None:
+                    self.bandwidth.record(
+                        ("relay", intermediate), num_bytes, arrival_ns
+                    )
+
+            queue.drain_band_slots(
+                band=lowest_band,
+                num_slots=slots,
+                payload_bytes=payload,
+                slot_start_ns=lambda v: phase_start + v * slot_ns,
+                deliver=hand_over,
+            )
+            if moved:
+                self._active_pairs.add((intermediate, dst))
+                if queue.is_empty:
+                    self._active_pairs.discard((src, dst))
+
+    def _record_bandwidth(
+        self, src: int, dst: int, num_bytes: int, time_ns: float
+    ) -> None:
+        if self._rx_buffers is not None:
+            self._rx_buffers[dst].add(num_bytes, time_ns)
+        recorder = self.bandwidth
+        if recorder is None:
+            return
+        recorder.record(("rx", dst), num_bytes, time_ns)
+        if self._record_pairs:
+            recorder.record(("pair", src, dst), num_bytes, time_ns)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def summary(self, duration_ns: float | None = None) -> RunSummary:
+        """Headline metrics over ``duration_ns`` (default: simulated time)."""
+        duration = duration_ns if duration_ns is not None else self.now_ns
+        mice = self.tracker.mice_flows(self.config.mice_threshold_bytes)
+        return RunSummary(
+            duration_ns=duration,
+            epoch_ns=self.timing.epoch_ns,
+            num_flows=len(self.tracker.flows),
+            num_completed=len(self.tracker.completed_flows),
+            goodput_normalized=self.tracker.goodput_normalized(
+                duration, self.config.host_aggregate_gbps
+            ),
+            goodput_gbps=self.tracker.goodput_gbps(duration),
+            mice_fct_p99_ns=(
+                FlowTracker.fct_percentile_ns(mice, 99) if mice else None
+            ),
+            mice_fct_mean_ns=(FlowTracker.fct_mean_ns(mice) if mice else None),
+        )

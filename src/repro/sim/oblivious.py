@@ -1,0 +1,296 @@
+"""The traffic-oblivious baseline: round-robin rotor + Valiant load balancing.
+
+This is the paper's state-of-the-art comparison point, implemented after
+Sirius (Ballani et al., SIGCOMM'20) on the same simulator substrate
+(section 4.1):
+
+* The fabric reconfigures **every** timeslot following the same predefined
+  round-robin schedule NegotiaToR uses in its predefined phase, so all ToR
+  pairs connect once per rotation cycle regardless of traffic.
+* Traffic adapts to the network via **VLB**: every cell of a fresh flow is
+  assigned a uniformly random intermediate ToR when it arrives and staged in
+  a per-intermediate queue; it leaves when the rotor connects the source to
+  that intermediate, and completes its second hop when the intermediate's
+  rotor reaches the final destination.  A cell whose random intermediate
+  *is* its destination has a zero-length second hop.  The random assignment
+  is what uniforms the traffic to all-to-all — and also what makes incasts
+  collide at intermediates (Fig 7a's growth with degree).
+* Relay (second-hop) cells have strict priority over fresh cells —
+  intermediate buffers stay bounded, the usual rotor-network discipline.
+* PIAS priorities apply at sources only: the multi-level feedback queue
+  cannot classify relayed data at intermediates (section 4.1), which is
+  exactly why elephants block mice mid-path and mice FCT suffers.
+
+Every slot carries one cell per port.  A slot is ``guard + tx(data packet)``
+long — the rotor pays a guardband on *every* slot, versus NegotiaToR's
+predefined phase only.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Iterable
+
+from ..topology.base import FlatTopology
+from .config import SimConfig, transmit_ns
+from .flows import Flow, FlowTracker
+from .metrics import BandwidthRecorder, RunSummary
+from .queues import PiasDestQueue
+
+
+class ObliviousSimulator:
+    """Slot-driven rotor + VLB simulator over a finite set of flows."""
+
+    def __init__(
+        self,
+        config: SimConfig,
+        topology: FlatTopology,
+        flows: Iterable[Flow],
+        bandwidth_recorder: BandwidthRecorder | None = None,
+    ) -> None:
+        if topology.num_tors != config.num_tors:
+            raise ValueError("topology and config disagree on num_tors")
+        if topology.ports_per_tor != config.ports_per_tor:
+            raise ValueError("topology and config disagree on ports_per_tor")
+        self.config = config
+        self.topology = topology
+        self._rng = random.Random(config.seed + 0x0B11)
+
+        packet_bytes = (
+            config.epoch.data_header_bytes + config.epoch.data_payload_bytes
+        )
+        self.slot_ns = config.epoch.guard_ns + transmit_ns(
+            packet_bytes, config.uplink_gbps
+        )
+        self.payload_bytes = config.epoch.data_payload_bytes
+        self.cycle_slots = topology.predefined_slots
+
+        self.tracker = FlowTracker(config.num_tors)
+        self._pending_flows = sorted(flows, key=lambda f: f.arrival_ns)
+        self.tracker.register_all(self._pending_flows)
+        self._next_flow = 0
+
+        n = config.num_tors
+        # Per (source, intermediate) VLB stage queues with PIAS bands: a
+        # cell waits here until the rotor offers its assigned intermediate.
+        self._stage: list[dict[int, PiasDestQueue]] = [{} for _ in range(n)]
+        self._stage_pending = [0] * n
+        # Per (intermediate, final destination) relay queues, single band.
+        self._relay: list[dict[int, PiasDestQueue]] = [{} for _ in range(n)]
+        self._relay_pending = [0] * n
+        self.bandwidth = bandwidth_recorder
+        self._slot = 0
+
+        if config.priority_queue_enabled:
+            self._band_limits = tuple(config.pias_thresholds)
+        else:
+            self._band_limits = ()
+
+    # ------------------------------------------------------------------
+    # public accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def now_ns(self) -> float:
+        """Start time of the next slot."""
+        return self._slot * self.slot_ns
+
+    @property
+    def total_queued_bytes(self) -> int:
+        """Bytes staged at sources plus bytes in flight at intermediates."""
+        return sum(self._stage_pending) + sum(self._relay_pending)
+
+    def relay_bytes_at(self, tor: int) -> int:
+        """Bytes currently buffered at one intermediate ToR."""
+        return self._relay_pending[tor]
+
+    def staged_bytes_at(self, tor: int) -> int:
+        """Fresh bytes currently staged at one source ToR."""
+        return self._stage_pending[tor]
+
+    # ------------------------------------------------------------------
+    # run loops
+    # ------------------------------------------------------------------
+
+    def run(self, duration_ns: float) -> None:
+        """Simulate slots until ``duration_ns`` is covered."""
+        if duration_ns <= 0:
+            raise ValueError("duration must be positive")
+        while self.now_ns < duration_ns:
+            self.step_slot()
+
+    def run_until_complete(self, max_ns: float) -> bool:
+        """Simulate until every flow completes (or ``max_ns``)."""
+        while not self.tracker.all_complete:
+            if self.now_ns >= max_ns:
+                return False
+            self.step_slot()
+        return True
+
+    # ------------------------------------------------------------------
+    # one slot
+    # ------------------------------------------------------------------
+
+    def step_slot(self) -> None:
+        """Simulate one rotor timeslot across all ToRs and ports."""
+        slot = self._slot
+        start_ns = self.now_ns
+        self._inject_arrivals(start_ns)
+
+        topology = self.topology
+        cycle_slot = slot % self.cycle_slots
+        cycle = slot // self.cycle_slots
+        deliver_ns = start_ns + self.slot_ns + self.config.propagation_ns
+        payload = self.payload_bytes
+
+        for tor in range(self.config.num_tors):
+            for port in range(self.config.ports_per_tor):
+                peer = topology.predefined_peer(tor, port, cycle_slot, cycle)
+                if peer is None:
+                    continue
+                if self._send_relay(tor, peer, payload, start_ns, deliver_ns):
+                    continue
+                self._send_staged(tor, peer, payload, start_ns, deliver_ns)
+        self._slot += 1
+
+    # ------------------------------------------------------------------
+    # VLB spreading
+    # ------------------------------------------------------------------
+
+    def _inject_arrivals(self, before_ns: float) -> None:
+        flows = self._pending_flows
+        while (
+            self._next_flow < len(flows)
+            and flows[self._next_flow].arrival_ns <= before_ns
+        ):
+            self._spread_flow(flows[self._next_flow])
+            self._next_flow += 1
+
+    def _band_chunks(self, size_bytes: int):
+        """Split a flow's bytes into (band, bytes) per the PIAS thresholds."""
+        chunks = []
+        offset = 0
+        for band, limit in enumerate(self._band_limits):
+            span = min(size_bytes, limit) - offset
+            if span > 0:
+                chunks.append((band, span))
+                offset += span
+            if offset >= size_bytes:
+                break
+        tail = size_bytes - offset
+        if tail > 0:
+            chunks.append((len(self._band_limits), tail))
+        return chunks
+
+    def _spread_flow(self, flow: Flow) -> None:
+        """Assign the flow's cells to uniformly random intermediates.
+
+        Each payload-sized cell draws an intermediate; consecutive cells of
+        one band are sprayed without replacement (round-robin-like), and a
+        band bigger than one cell per intermediate is split evenly across
+        all of them.
+        """
+        n = self.config.num_tors
+        src = flow.src
+        others = [t for t in range(n) if t != src]
+        payload = self.payload_bytes
+        for band, nbytes in self._band_chunks(flow.size_bytes):
+            cells = math.ceil(nbytes / payload)
+            if cells >= len(others):
+                base = nbytes // len(others)
+                remainder = nbytes - base * len(others)
+                for index, intermediate in enumerate(others):
+                    size = base + (1 if index < remainder else 0)
+                    if size > 0:
+                        self._stage_bytes(src, intermediate, flow, size, band)
+            else:
+                picks = self._rng.sample(others, cells)
+                remaining = nbytes
+                for intermediate in picks:
+                    size = min(payload, remaining)
+                    self._stage_bytes(src, intermediate, flow, size, band)
+                    remaining -= size
+        self._stage_pending[src] += flow.size_bytes
+
+    def _stage_bytes(self, src, intermediate, flow, size, band):
+        queue = self._stage[src].get(intermediate)
+        if queue is None:
+            queue = PiasDestQueue(
+                self._band_limits, enabled=bool(self._band_limits)
+            )
+            self._stage[src][intermediate] = queue
+        queue.enqueue_bytes(flow, size, band=band, eligible_ns=flow.arrival_ns)
+
+    # ------------------------------------------------------------------
+    # per-slot transmissions
+    # ------------------------------------------------------------------
+
+    def _send_relay(
+        self, tor: int, peer: int, payload: int, now_ns: float, deliver_ns: float
+    ) -> bool:
+        """Second hop: forward buffered relay bytes destined to ``peer``."""
+        queue = self._relay[tor].get(peer)
+        if queue is None:
+            return False
+        band = queue.head_band(now_ns)
+        if band is None:
+            return False
+        flow, num_bytes = queue.pop_bytes(band, payload)
+        self._relay_pending[tor] -= num_bytes
+        self.tracker.deliver(flow, num_bytes, deliver_ns)
+        if self.bandwidth is not None:
+            self.bandwidth.record(("rx", peer), num_bytes, deliver_ns)
+        return True
+
+    def _send_staged(
+        self, tor: int, peer: int, payload: int, now_ns: float, deliver_ns: float
+    ) -> bool:
+        """First hop: send a staged cell whose assigned intermediate is ``peer``."""
+        queue = self._stage[tor].get(peer)
+        if queue is None:
+            return False
+        band = queue.head_band(now_ns)
+        if band is None:
+            return False
+        flow, num_bytes = queue.pop_bytes(band, payload)
+        self._stage_pending[tor] -= num_bytes
+        if flow.dst == peer:
+            # The random intermediate is the destination: zero-length
+            # second hop, the cell is delivered.
+            self.tracker.deliver(flow, num_bytes, deliver_ns)
+            if self.bandwidth is not None:
+                self.bandwidth.record(("rx", peer), num_bytes, deliver_ns)
+            return True
+        relay_queue = self._relay[peer].get(flow.dst)
+        if relay_queue is None:
+            relay_queue = PiasDestQueue(thresholds=(), enabled=False)
+            self._relay[peer][flow.dst] = relay_queue
+        relay_queue.enqueue_bytes(flow, num_bytes, band=0, eligible_ns=deliver_ns)
+        self._relay_pending[peer] += num_bytes
+        if self.bandwidth is not None:
+            self.bandwidth.record(("relay", peer), num_bytes, deliver_ns)
+        return True
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def summary(self, duration_ns: float | None = None) -> RunSummary:
+        """Headline metrics over ``duration_ns`` (default: simulated time)."""
+        duration = duration_ns if duration_ns is not None else self.now_ns
+        mice = self.tracker.mice_flows(self.config.mice_threshold_bytes)
+        return RunSummary(
+            duration_ns=duration,
+            epoch_ns=None,
+            num_flows=len(self.tracker.flows),
+            num_completed=len(self.tracker.completed_flows),
+            goodput_normalized=self.tracker.goodput_normalized(
+                duration, self.config.host_aggregate_gbps
+            ),
+            goodput_gbps=self.tracker.goodput_gbps(duration),
+            mice_fct_p99_ns=(
+                FlowTracker.fct_percentile_ns(mice, 99) if mice else None
+            ),
+            mice_fct_mean_ns=(FlowTracker.fct_mean_ns(mice) if mice else None),
+        )

@@ -1,0 +1,84 @@
+"""Per-epoch observability for the NegotiaToR engine.
+
+:class:`EpochStatsRecorder` snapshots scheduler-level state every epoch —
+active pairs, requests sent, matched ports, queue backlog, piggybacked and
+scheduled bytes — producing the time series one needs to debug a scheduling
+pathology or to reason about ramp-up/steady-state behaviour at a glance.
+
+Attach via :meth:`NegotiaToRSimulator.attach_stats_recorder` (zero cost when
+absent; one pass over the matching and counters when present).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class EpochStats:
+    """One epoch's scheduler-level snapshot."""
+
+    epoch: int
+    active_pairs: int
+    requests_sent: int
+    matches: int
+    matched_pairs: int
+    queued_bytes: int
+    piggybacked_bytes: int = 0
+    scheduled_bytes: int = 0
+
+    @property
+    def port_utilization(self) -> float | None:
+        """Matched ports over active pairs (None when nothing is active)."""
+        if self.active_pairs == 0:
+            return None
+        return self.matches / self.active_pairs
+
+
+@dataclass
+class EpochStatsRecorder:
+    """Collects :class:`EpochStats` over a run."""
+
+    stats: list[EpochStats] = field(default_factory=list)
+
+    def record(self, entry: EpochStats) -> None:
+        """Append one epoch's snapshot."""
+        self.stats.append(entry)
+
+    def __len__(self) -> int:
+        return len(self.stats)
+
+    def series(self, attribute: str) -> np.ndarray:
+        """One attribute across epochs as an array."""
+        if not self.stats:
+            return np.array([])
+        return np.array([getattr(entry, attribute) for entry in self.stats])
+
+    def steady_state_mean(
+        self, attribute: str, warmup_epochs: int = 10
+    ) -> float:
+        """Mean of an attribute after a warm-up prefix."""
+        values = self.series(attribute)[warmup_epochs:]
+        if len(values) == 0:
+            raise ValueError("not enough epochs after warm-up")
+        return float(np.mean(values))
+
+    def summary(self) -> dict[str, float]:
+        """Headline means over the recorded epochs."""
+        if not self.stats:
+            raise ValueError("no epochs recorded")
+        return {
+            "epochs": float(len(self.stats)),
+            "mean_active_pairs": float(np.mean(self.series("active_pairs"))),
+            "mean_requests": float(np.mean(self.series("requests_sent"))),
+            "mean_matches": float(np.mean(self.series("matches"))),
+            "mean_queued_bytes": float(np.mean(self.series("queued_bytes"))),
+            "total_piggybacked_bytes": float(
+                np.sum(self.series("piggybacked_bytes"))
+            ),
+            "total_scheduled_bytes": float(
+                np.sum(self.series("scheduled_bytes"))
+            ),
+        }

@@ -1,0 +1,17 @@
+"""Flat AWGR topologies: the parallel network and thin-clos (Fig 1)."""
+
+from .awgr import AWGR, OpticalPath
+from .base import FlatTopology
+from .parallel import ParallelNetwork
+from .thinclos import ThinClos
+from .validation import TopologyContractError, validate_topology
+
+__all__ = [
+    "AWGR",
+    "FlatTopology",
+    "OpticalPath",
+    "ParallelNetwork",
+    "ThinClos",
+    "TopologyContractError",
+    "validate_topology",
+]

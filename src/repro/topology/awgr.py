@@ -1,0 +1,69 @@
+"""Arrayed waveguide grating router (AWGR) wavelength-routing model.
+
+An AWGR is a fully passive NxN optical device: light entering input port ``a``
+on wavelength ``w`` exits output port ``(a + w) mod N``.  Because routing is a
+pure function of (input, wavelength) there is no switching state — the sender
+selects the path by tuning its laser, which is why AWGR fabrics suit
+distributed scheduling (section 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class AWGR:
+    """A cyclic NxN wavelength router."""
+
+    __slots__ = ("_num_ports",)
+
+    def __init__(self, num_ports: int) -> None:
+        if num_ports < 1:
+            raise ValueError("AWGR needs at least one port")
+        self._num_ports = num_ports
+
+    @property
+    def num_ports(self) -> int:
+        """Number of input (and output) ports."""
+        return self._num_ports
+
+    def output_for(self, input_port: int, wavelength: int) -> int:
+        """Output port reached from ``input_port`` on ``wavelength``."""
+        self._check_port(input_port)
+        self._check_wavelength(wavelength)
+        return (input_port + wavelength) % self._num_ports
+
+    def wavelength_for(self, input_port: int, output_port: int) -> int:
+        """Wavelength a sender on ``input_port`` tunes to reach ``output_port``."""
+        self._check_port(input_port)
+        self._check_port(output_port)
+        return (output_port - input_port) % self._num_ports
+
+    def _check_port(self, port: int) -> None:
+        if not 0 <= port < self._num_ports:
+            raise ValueError(
+                f"port {port} out of range for {self._num_ports}-port AWGR"
+            )
+
+    def _check_wavelength(self, wavelength: int) -> None:
+        if not 0 <= wavelength < self._num_ports:
+            raise ValueError(
+                f"wavelength {wavelength} out of range for "
+                f"{self._num_ports}-port AWGR"
+            )
+
+
+@dataclass(frozen=True)
+class OpticalPath:
+    """A concrete one-hop lightpath through the fabric.
+
+    Identifies the AWGR, its input/output ports, and the wavelength the
+    source's tunable laser selects.  Used to validate conflict-freedom (two
+    simultaneous transmissions must never share an AWGR input or output) and
+    to reason about which physical fiber a connection rides.
+    """
+
+    awgr_id: int
+    input_port: int
+    wavelength: int
+    output_port: int

@@ -1,0 +1,106 @@
+"""The parallel network topology (Fig 1a): S high-port-count AWGRs.
+
+Each ToR contributes its port ``k`` to AWGR ``k``, so every AWGR is an NxN
+device interconnecting all N ToRs.  Any port can therefore reach any other
+ToR — the source just tunes its wavelength — which is why a destination runs
+a single shared GRANT ring across its ports (Fig 3b).
+
+Predefined phase
+----------------
+One all-to-all round needs ceil((N-1)/S) timeslots.  We enumerate the N-1
+non-zero "offsets" (dst - src) mod N in (slot, port) order: in slot ``t``,
+port ``k`` of every ToR transmits to offset ``1 + rot(t*S + k)`` where ``rot``
+is an epoch-dependent rotation modulo N-1.  Because every ToR applies the same
+offset in a given (slot, port), the connection pattern is a permutation —
+conflict-free — and the rotation makes a given ToR pair ride different
+physical (port, wavelength) links in different epochs, the paper's
+fault-tolerance trick (section 3.6.1).  When slots*S exceeds N-1 the trailing
+(slot, port) combinations are idle.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .awgr import AWGR, OpticalPath
+from .base import FlatTopology
+
+
+class ParallelNetwork(FlatTopology):
+    """Flat topology of ``ports_per_tor`` AWGRs with ``num_tors`` ports each."""
+
+    def __init__(
+        self, num_tors: int, ports_per_tor: int, rotate_per_epoch: bool = True
+    ) -> None:
+        super().__init__(num_tors, ports_per_tor)
+        self._rotate = rotate_per_epoch
+        self._slots = math.ceil((num_tors - 1) / ports_per_tor)
+        self._awgr = AWGR(num_tors)
+        self._offsets = num_tors - 1
+
+    @property
+    def name(self) -> str:
+        return "parallel"
+
+    @property
+    def predefined_slots(self) -> int:
+        return self._slots
+
+    @property
+    def num_awgrs(self) -> int:
+        return self._ports
+
+    @property
+    def awgr_ports(self) -> int:
+        return self._num_tors
+
+    @property
+    def rotates_per_epoch(self) -> bool:
+        """Whether the predefined round-robin rule rotates across epochs."""
+        return self._rotate
+
+    def _rotation(self, epoch: int) -> int:
+        return epoch % self._offsets if self._rotate else 0
+
+    def predefined_peer(
+        self, tor: int, port: int, slot: int, epoch: int = 0
+    ) -> int | None:
+        self.check_port(port)
+        if not 0 <= slot < self._slots:
+            raise ValueError(f"slot {slot} out of range")
+        index = slot * self._ports + port
+        if index >= self._offsets:
+            return None
+        offset = 1 + (index + self._rotation(epoch)) % self._offsets
+        return (tor + offset) % self._num_tors
+
+    def predefined_assignment(
+        self, src: int, dst: int, epoch: int = 0
+    ) -> tuple[int, int]:
+        self.check_pair(src, dst)
+        offset = (dst - src) % self._num_tors
+        index = (offset - 1 - self._rotation(epoch)) % self._offsets
+        return index // self._ports, index % self._ports
+
+    def data_port(self, src: int, dst: int) -> int | None:
+        self.check_pair(src, dst)
+        return None
+
+    def reachable_dsts(self, tor: int, port: int) -> tuple[int, ...]:
+        self.check_port(port)
+        return tuple(t for t in range(self._num_tors) if t != tor)
+
+    def reachable_srcs(self, tor: int, port: int) -> tuple[int, ...]:
+        self.check_port(port)
+        return tuple(t for t in range(self._num_tors) if t != tor)
+
+    def optical_path(self, src: int, dst: int, port: int) -> OpticalPath:
+        self.check_pair(src, dst)
+        self.check_port(port)
+        wavelength = self._awgr.wavelength_for(src, dst)
+        return OpticalPath(
+            awgr_id=port,
+            input_port=src,
+            wavelength=wavelength,
+            output_port=dst,
+        )

@@ -1,0 +1,42 @@
+"""Workload generation: trace-driven Poisson traffic, incasts, all-to-all."""
+
+from .distributions import EmpiricalCDF, FixedSize
+from .generators import (
+    merge_workloads,
+    network_arrival_rate_per_ns,
+    poisson_workload,
+    single_pair_stream,
+    uniform_pair,
+)
+from .incast import (
+    BACKGROUND_TAG,
+    INCAST_TAG,
+    all_to_all_workload,
+    incast_finish_time_ns,
+    incast_workload,
+    mixed_incast_workload,
+)
+from . import trace_io
+from .traces import TRACES, by_name, google, hadoop, websearch
+
+__all__ = [
+    "BACKGROUND_TAG",
+    "EmpiricalCDF",
+    "FixedSize",
+    "INCAST_TAG",
+    "TRACES",
+    "all_to_all_workload",
+    "by_name",
+    "google",
+    "hadoop",
+    "incast_finish_time_ns",
+    "incast_workload",
+    "merge_workloads",
+    "mixed_incast_workload",
+    "network_arrival_rate_per_ns",
+    "poisson_workload",
+    "single_pair_stream",
+    "trace_io",
+    "uniform_pair",
+    "websearch",
+]

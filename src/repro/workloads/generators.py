@@ -1,0 +1,141 @@
+"""Flow arrival generators and the paper's load model (section 4.1).
+
+The network load is defined as ``L = F / (R * N * tau)`` where ``F`` is the
+mean flow size, ``R`` the per-ToR host-aggregate bandwidth, ``N`` the number
+of ToRs, and ``tau`` the network-wide mean flow inter-arrival time.  Flows
+arrive as a Poisson process with sources and destinations chosen uniformly at
+random.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections.abc import Iterator
+
+from ..sim.flows import Flow
+
+
+def network_arrival_rate_per_ns(
+    load: float, mean_flow_bytes: float, num_tors: int, host_aggregate_gbps: float
+) -> float:
+    """Network-wide Poisson flow arrival rate (flows per ns) for a load.
+
+    Inverting the load model: ``1/tau = L * R * N / F`` with F in bits.
+    Gbps conveniently equals bits-per-ns, so no unit juggling is needed.
+    """
+    if load <= 0:
+        raise ValueError("load must be positive")
+    if mean_flow_bytes <= 0:
+        raise ValueError("mean flow size must be positive")
+    return load * host_aggregate_gbps * num_tors / (mean_flow_bytes * 8.0)
+
+
+def uniform_pair(num_tors: int, rng: random.Random) -> tuple[int, int]:
+    """A uniformly random ordered pair of distinct ToRs."""
+    src = rng.randrange(num_tors)
+    dst = rng.randrange(num_tors - 1)
+    if dst >= src:
+        dst += 1
+    return src, dst
+
+
+def poisson_workload(
+    size_dist,
+    load: float,
+    num_tors: int,
+    host_aggregate_gbps: float,
+    duration_ns: float,
+    rng: random.Random,
+    tag: str = "",
+    fids: Iterator[int] | None = None,
+) -> list[Flow]:
+    """Poisson arrivals over ``duration_ns`` at a target network load.
+
+    ``size_dist`` is anything with ``sample(rng)`` and ``mean()`` —
+    an :class:`~repro.workloads.distributions.EmpiricalCDF` or ``FixedSize``.
+    """
+    if duration_ns <= 0:
+        raise ValueError("duration must be positive")
+    rate = network_arrival_rate_per_ns(
+        load, size_dist.mean(), num_tors, host_aggregate_gbps
+    )
+    if fids is None:
+        fids = itertools.count()
+    flows = []
+    t = rng.expovariate(rate)
+    while t < duration_ns:
+        src, dst = uniform_pair(num_tors, rng)
+        flows.append(
+            Flow(
+                fid=next(fids),
+                src=src,
+                dst=dst,
+                size_bytes=size_dist.sample(rng),
+                arrival_ns=t,
+                tag=tag,
+            )
+        )
+        t += rng.expovariate(rate)
+    return flows
+
+
+def single_pair_stream(
+    src: int,
+    dst: int,
+    total_bytes: int,
+    start_ns: float = 0.0,
+    chunk_bytes: int | None = None,
+    fids: Iterator[int] | None = None,
+    tag: str = "stream",
+) -> list[Flow]:
+    """A continuous byte stream between one ToR pair (Fig 19's workload).
+
+    The stream is one large flow by default; pass ``chunk_bytes`` to split it
+    into back-to-back flows arriving together.
+    """
+    if total_bytes <= 0:
+        raise ValueError("stream must carry bytes")
+    if fids is None:
+        fids = itertools.count()
+    if chunk_bytes is None:
+        return [
+            Flow(
+                fid=next(fids),
+                src=src,
+                dst=dst,
+                size_bytes=total_bytes,
+                arrival_ns=start_ns,
+                tag=tag,
+            )
+        ]
+    flows = []
+    remaining = total_bytes
+    while remaining > 0:
+        size = min(chunk_bytes, remaining)
+        flows.append(
+            Flow(
+                fid=next(fids),
+                src=src,
+                dst=dst,
+                size_bytes=size,
+                arrival_ns=start_ns,
+                tag=tag,
+            )
+        )
+        remaining -= size
+    return flows
+
+
+def merge_workloads(*workloads: list[Flow]) -> list[Flow]:
+    """Merge several workloads into one arrival-ordered flow list.
+
+    Flow ids must already be unique across the inputs (share one ``fids``
+    counter between generators to guarantee that).
+    """
+    merged = [flow for workload in workloads for flow in workload]
+    fids = [flow.fid for flow in merged]
+    if len(set(fids)) != len(fids):
+        raise ValueError("flow ids collide across merged workloads")
+    merged.sort(key=lambda f: f.arrival_ns)
+    return merged

@@ -1,0 +1,153 @@
+"""Incast, all-to-all, and mixed workloads (sections 4.2 and 4.4).
+
+* **Incast** — ``degree`` source ToRs synchronously send one small flow to
+  the same destination (Fig 7a: 1 KB flows, degrees 1..50).
+* **All-to-all** — every ToR synchronously sends an equal-sized flow to every
+  other ToR (Fig 7b: flow sizes 1..500 KB).
+* **Mixed** — Poisson background traffic plus randomly injected incasts that
+  consume a target fraction of per-ToR downlink bandwidth (Fig 13a: degree
+  20, 1 KB flows, 2% of bandwidth).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections.abc import Iterator
+
+from ..sim.config import KB
+from ..sim.flows import Flow
+from .generators import poisson_workload
+
+INCAST_TAG = "incast"
+BACKGROUND_TAG = "background"
+
+
+def incast_workload(
+    num_tors: int,
+    degree: int,
+    dst: int,
+    flow_bytes: int = 1 * KB,
+    at_ns: float = 0.0,
+    rng: random.Random | None = None,
+    fids: Iterator[int] | None = None,
+) -> list[Flow]:
+    """One incast: ``degree`` distinct sources hit ``dst`` simultaneously."""
+    if not 1 <= degree <= num_tors - 1:
+        raise ValueError(
+            f"incast degree must be in [1, {num_tors - 1}], got {degree}"
+        )
+    if not 0 <= dst < num_tors:
+        raise ValueError("destination out of range")
+    candidates = [t for t in range(num_tors) if t != dst]
+    if rng is None:
+        sources = candidates[:degree]
+    else:
+        sources = rng.sample(candidates, degree)
+    if fids is None:
+        fids = itertools.count()
+    return [
+        Flow(
+            fid=next(fids),
+            src=src,
+            dst=dst,
+            size_bytes=flow_bytes,
+            arrival_ns=at_ns,
+            tag=INCAST_TAG,
+        )
+        for src in sources
+    ]
+
+
+def all_to_all_workload(
+    num_tors: int,
+    flow_bytes: int,
+    at_ns: float = 0.0,
+    fids: Iterator[int] | None = None,
+) -> list[Flow]:
+    """Every ToR sends one equal-sized flow to every other ToR at once."""
+    if fids is None:
+        fids = itertools.count()
+    return [
+        Flow(
+            fid=next(fids),
+            src=src,
+            dst=dst,
+            size_bytes=flow_bytes,
+            arrival_ns=at_ns,
+            tag="all-to-all",
+        )
+        for src in range(num_tors)
+        for dst in range(num_tors)
+        if src != dst
+    ]
+
+
+def mixed_incast_workload(
+    size_dist,
+    load: float,
+    num_tors: int,
+    host_aggregate_gbps: float,
+    duration_ns: float,
+    rng: random.Random,
+    incast_degree: int = 20,
+    incast_flow_bytes: int = 1 * KB,
+    incast_bandwidth_fraction: float = 0.02,
+) -> list[Flow]:
+    """Poisson background traffic with incasts mixed in (Fig 13a).
+
+    Incast events form their own Poisson process whose rate is set so all
+    incast bytes add up to ``incast_bandwidth_fraction`` of the network's
+    aggregate downlink bandwidth.  Background flows carry the tag
+    ``"background"`` and incast flows ``"incast"`` so their metrics separate.
+
+    The paper's default degree is 20; on fabrics too small to host it the
+    degree is clamped to ``num_tors - 1``.
+    """
+    if not 0 < incast_bandwidth_fraction < 1:
+        raise ValueError("incast bandwidth fraction must be in (0, 1)")
+    incast_degree = min(incast_degree, num_tors - 1)
+    fids = itertools.count()
+    background = poisson_workload(
+        size_dist,
+        load,
+        num_tors,
+        host_aggregate_gbps,
+        duration_ns,
+        rng,
+        tag=BACKGROUND_TAG,
+        fids=fids,
+    )
+    incast_bits = incast_degree * incast_flow_bytes * 8.0
+    event_rate = (
+        incast_bandwidth_fraction * host_aggregate_gbps * num_tors / incast_bits
+    )
+    incasts: list[Flow] = []
+    t = rng.expovariate(event_rate)
+    while t < duration_ns:
+        dst = rng.randrange(num_tors)
+        incasts.extend(
+            incast_workload(
+                num_tors,
+                incast_degree,
+                dst,
+                flow_bytes=incast_flow_bytes,
+                at_ns=t,
+                rng=rng,
+                fids=fids,
+            )
+        )
+        t += rng.expovariate(event_rate)
+    merged = background + incasts
+    merged.sort(key=lambda f: f.arrival_ns)
+    return merged
+
+
+def incast_finish_time_ns(flows: list[Flow], at_ns: float) -> float:
+    """Completion time of the last incast flow, relative to injection."""
+    incast_flows = [f for f in flows if f.tag == INCAST_TAG]
+    if not incast_flows:
+        raise ValueError("no incast flows in the workload")
+    if not all(f.completed for f in incast_flows):
+        raise ValueError("incast has not finished")
+    return max(f.completed_ns for f in incast_flows) - at_ns

@@ -1,0 +1,98 @@
+"""Published DCN flow-size traces used in the paper's evaluation (section 4).
+
+The paper generates workloads from three published distributions.  We encode
+piecewise log-linear CDFs reproducing each trace's headline statistics:
+
+* **Hadoop** (Meta/Facebook Hadoop clusters, Roy et al., SIGCOMM'15 — the
+  paper's default): highly tailed; 60% of flows are smaller than 1 KB while
+  more than 80% of the bytes come from flows larger than 100 KB.
+* **Web search** (DCTCP, Alizadeh et al., SIGCOMM'10): heavier — more than
+  80% of flows exceed 10 KB.
+* **Google** (aggregated datacenter RPC traffic, Homa's W1 / Sivaram memo):
+  lighter — more than 80% of flows are below 1 KB.
+
+The anchor tables are approximations read off the published CDFs; tests
+verify the headline statistics above rather than exact anchor values.
+"""
+
+from __future__ import annotations
+
+from .distributions import EmpiricalCDF
+
+KB = 1000
+MB = 1000 * KB
+
+
+def hadoop() -> EmpiricalCDF:
+    """Meta Hadoop trace (paper's default workload)."""
+    return EmpiricalCDF(
+        [
+            (80, 0.0),
+            (150, 0.10),
+            (300, 0.30),
+            (600, 0.50),
+            (1 * KB, 0.60),
+            (3 * KB, 0.70),
+            (10 * KB, 0.80),
+            (100 * KB, 0.90),
+            (1 * MB, 0.97),
+            (10 * MB, 1.0),
+        ],
+        name="hadoop",
+    )
+
+
+def websearch() -> EmpiricalCDF:
+    """DCTCP web-search trace (Fig 13b)."""
+    return EmpiricalCDF(
+        [
+            (5 * KB, 0.0),
+            (10 * KB, 0.19),
+            (13 * KB, 0.30),
+            (19 * KB, 0.40),
+            (33 * KB, 0.53),
+            (53 * KB, 0.60),
+            (133 * KB, 0.70),
+            (667 * KB, 0.80),
+            (1333 * KB, 0.90),
+            (3333 * KB, 0.95),
+            (6667 * KB, 0.98),
+            (20 * MB, 1.0),
+        ],
+        name="websearch",
+    )
+
+
+def google() -> EmpiricalCDF:
+    """Aggregated Google datacenter traffic (Fig 13c)."""
+    return EmpiricalCDF(
+        [
+            (30, 0.0),
+            (100, 0.40),
+            (300, 0.60),
+            (600, 0.75),
+            (1 * KB, 0.85),
+            (4 * KB, 0.92),
+            (10 * KB, 0.95),
+            (100 * KB, 0.99),
+            (1 * MB, 1.0),
+        ],
+        name="google",
+    )
+
+
+TRACES = {
+    "hadoop": hadoop,
+    "websearch": websearch,
+    "google": google,
+}
+
+
+def by_name(name: str) -> EmpiricalCDF:
+    """Look up a trace by name."""
+    try:
+        return TRACES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown trace {name!r}; choose from {sorted(TRACES)}"
+        ) from None

@@ -1,0 +1,68 @@
+"""Shared fixtures: tiny fabrics that keep the test suite fast.
+
+The paper's scale is 128 ToRs x 8 ports; tests run the same code on 8-16 ToR
+fabrics (all structural invariants are scale-free) and keep the 2x uplink
+speedup by shrinking the host aggregate bandwidth accordingly.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import ParallelNetwork, SimConfig, ThinClos
+
+
+def tiny_config(num_tors: int = 8, ports: int = 2, **overrides) -> SimConfig:
+    """A small SimConfig preserving the paper's 2x uplink speedup."""
+    defaults = dict(
+        num_tors=num_tors,
+        ports_per_tor=ports,
+        uplink_gbps=100.0,
+        host_aggregate_gbps=ports * 100.0 / 2.0,
+    )
+    defaults.update(overrides)
+    return SimConfig(**defaults)
+
+
+@pytest.fixture
+def config8x2() -> SimConfig:
+    """8 ToRs x 2 ports, 2x speedup."""
+    return tiny_config(8, 2)
+
+
+@pytest.fixture
+def config16x4() -> SimConfig:
+    """16 ToRs x 4 ports, 2x speedup."""
+    return tiny_config(16, 4)
+
+
+@pytest.fixture
+def parallel8x2() -> ParallelNetwork:
+    """Parallel network matching config8x2."""
+    return ParallelNetwork(8, 2)
+
+
+@pytest.fixture
+def thinclos8x2() -> ThinClos:
+    """Thin-clos matching config8x2 (8 = 2 ports x 4-port AWGRs)."""
+    return ThinClos(8, 2, 4)
+
+
+@pytest.fixture
+def parallel16x4() -> ParallelNetwork:
+    """Parallel network matching config16x4."""
+    return ParallelNetwork(16, 4)
+
+
+@pytest.fixture
+def thinclos16x4() -> ThinClos:
+    """Thin-clos matching config16x4 (16 = 4 ports x 4-port AWGRs)."""
+    return ThinClos(16, 4, 4)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG."""
+    return random.Random(0xC0FFEE)

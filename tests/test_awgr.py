@@ -1,0 +1,59 @@
+"""Tests for the AWGR wavelength-routing substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.awgr import AWGR, OpticalPath
+
+
+class TestRouting:
+    def test_wavelength_zero_goes_straight(self):
+        awgr = AWGR(8)
+        for port in range(8):
+            assert awgr.output_for(port, 0) == port
+
+    def test_cyclic_shift(self):
+        awgr = AWGR(8)
+        assert awgr.output_for(6, 3) == 1
+
+    def test_wavelength_for_inverts_output_for(self):
+        awgr = AWGR(16)
+        for inp in range(16):
+            for out in range(16):
+                wl = awgr.wavelength_for(inp, out)
+                assert awgr.output_for(inp, wl) == out
+
+    @given(ports=st.integers(1, 64), inp=st.integers(0, 63), wl=st.integers(0, 63))
+    @settings(max_examples=100)
+    def test_routing_is_a_bijection_per_wavelength(self, ports, inp, wl):
+        """Fixing the wavelength, input -> output is a permutation."""
+        inp %= ports
+        wl %= ports
+        awgr = AWGR(ports)
+        outputs = {awgr.output_for(i, wl) for i in range(ports)}
+        assert outputs == set(range(ports))
+        assert awgr.output_for(inp, wl) == (inp + wl) % ports
+
+    def test_port_range_checked(self):
+        awgr = AWGR(4)
+        with pytest.raises(ValueError):
+            awgr.output_for(4, 0)
+        with pytest.raises(ValueError):
+            awgr.wavelength_for(0, 4)
+
+    def test_wavelength_range_checked(self):
+        with pytest.raises(ValueError):
+            AWGR(4).output_for(0, 4)
+
+    def test_rejects_zero_ports(self):
+        with pytest.raises(ValueError):
+            AWGR(0)
+
+
+class TestOpticalPath:
+    def test_is_immutable_record(self):
+        path = OpticalPath(awgr_id=1, input_port=2, wavelength=3, output_port=5)
+        assert path.awgr_id == 1
+        with pytest.raises(AttributeError):
+            path.awgr_id = 9

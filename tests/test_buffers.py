@@ -1,0 +1,114 @@
+"""Tests for receiver-side buffering below the ToRs (section 3.6.5)."""
+
+import pytest
+
+from repro import (
+    Flow,
+    NegotiaToRSimulator,
+    ParallelNetwork,
+    SimConfig,
+    all_to_all_workload,
+)
+from repro.sim.buffers import ReceiverBuffer
+
+
+class TestLeakyBucket:
+    def test_starts_empty(self):
+        buffer = ReceiverBuffer(1000, drain_gbps=8.0)
+        assert buffer.occupancy(0.0) == 0.0
+        assert buffer.has_room(1000, 0.0)
+
+    def test_fills_and_drains(self):
+        buffer = ReceiverBuffer(10_000, drain_gbps=8.0)  # 1 B/ns drain
+        buffer.add(5000, now_ns=0.0)
+        assert buffer.occupancy(0.0) == 5000
+        assert buffer.occupancy(2000.0) == 3000
+        assert buffer.occupancy(10_000.0) == 0.0
+
+    def test_room_accounts_for_drain(self):
+        buffer = ReceiverBuffer(1000, drain_gbps=8.0)
+        buffer.add(1000, now_ns=0.0)
+        assert not buffer.has_room(1, 0.0)
+        assert buffer.has_room(500, 500.0)
+
+    def test_time_never_goes_backwards(self):
+        buffer = ReceiverBuffer(1000, drain_gbps=8.0)
+        buffer.add(800, now_ns=100.0)
+        # A query with an older timestamp must not refill the bucket.
+        assert buffer.occupancy(50.0) == 800
+
+    def test_transient_overfill_allowed(self):
+        """In-flight data may land after the buffer filled."""
+        buffer = ReceiverBuffer(1000, drain_gbps=8.0)
+        buffer.add(900, now_ns=0.0)
+        buffer.add(900, now_ns=0.0)
+        assert buffer.occupancy(0.0) == 1800
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReceiverBuffer(0, 8.0)
+        with pytest.raises(ValueError):
+            ReceiverBuffer(100, 0.0)
+        buffer = ReceiverBuffer(100, 8.0)
+        with pytest.raises(ValueError):
+            buffer.add(-1, 0.0)
+
+
+class TestEngineIntegration:
+    N, S = 8, 2
+
+    def config(self, buffer_bytes):
+        return SimConfig(
+            num_tors=self.N,
+            ports_per_tor=self.S,
+            uplink_gbps=100.0,
+            host_aggregate_gbps=100.0,
+            receiver_buffer_bytes=buffer_bytes,
+        )
+
+    def test_rejects_non_positive_buffer(self):
+        with pytest.raises(ValueError):
+            self.config(0)
+
+    def test_full_buffer_stops_grants(self):
+        """Under a sustained 2x overload of one destination, admission
+        control throttles grants so the receive rate tracks the host drain
+        rate instead of the optical rate."""
+
+        def rx_rate(buffer_bytes):
+            config = self.config(buffer_bytes)
+            flows = [
+                Flow(fid=i, src=src, dst=0, size_bytes=2_000_000, arrival_ns=0.0)
+                for i, src in enumerate((1, 2, 3, 4))
+            ]
+            sim = NegotiaToRSimulator(
+                config, ParallelNetwork(self.N, self.S), flows
+            )
+            sim.run(400_000)
+            return sim.tracker.delivered_bytes * 8.0 / 400_000  # Gbps
+
+        unbounded = rx_rate(None)
+        bounded = rx_rate(50_000)
+        # Without buffering the destination receives at up to 2x host rate.
+        assert unbounded > 130.0
+        # With a small buffer, grants throttle near the 100 Gbps drain rate.
+        assert bounded < 125.0
+        assert bounded < unbounded
+
+    def test_buffered_run_still_conserves_bytes(self):
+        config = self.config(100_000)
+        flows = all_to_all_workload(self.N, flow_bytes=100_000)
+        sim = NegotiaToRSimulator(config, ParallelNetwork(self.N, self.S), flows)
+        sim.run(500_000)
+        injected = sum(f.size_bytes for f in flows)
+        left = sum(f.remaining_bytes for f in flows)
+        assert sim.tracker.delivered_bytes + left == injected
+
+    def test_piggyback_path_not_gated(self):
+        """Admission control gates grants, not the predefined phase —
+        mice keep their bypass."""
+        config = self.config(1)  # absurdly small buffer
+        flow = Flow(fid=0, src=0, dst=1, size_bytes=500, arrival_ns=0.0)
+        sim = NegotiaToRSimulator(config, ParallelNetwork(self.N, self.S), [flow])
+        sim.step_epoch()
+        assert flow.completed

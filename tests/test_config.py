@@ -1,0 +1,199 @@
+"""Tests for the epoch timing model (sections 3.6.4 and 4.1)."""
+
+import dataclasses
+
+import pytest
+
+from repro.sim.config import (
+    EpochConfig,
+    EpochTiming,
+    SimConfig,
+    epoch_config_for_reconfiguration_delay,
+    epoch_config_without_piggyback,
+    transmit_ns,
+)
+
+
+class TestTransmit:
+    def test_100gbps_625_bytes_takes_50ns(self):
+        assert transmit_ns(625, 100.0) == pytest.approx(50.0)
+
+    def test_100gbps_1125_bytes_takes_90ns(self):
+        assert transmit_ns(1125, 100.0) == pytest.approx(90.0)
+
+    def test_halving_the_rate_doubles_the_time(self):
+        assert transmit_ns(1000, 50.0) == pytest.approx(2 * transmit_ns(1000, 100.0))
+
+    def test_rejects_non_positive_rate(self):
+        with pytest.raises(ValueError):
+            transmit_ns(100, 0.0)
+
+
+class TestEpochConfig:
+    def test_defaults_match_paper_section_4_1(self):
+        epoch = EpochConfig()
+        assert epoch.guard_ns == 10.0
+        assert epoch.scheduling_message_bytes == 30
+        assert epoch.piggyback_payload_bytes == 595
+        assert epoch.data_header_bytes == 10
+        assert epoch.data_payload_bytes == 1115
+        assert epoch.scheduled_slots == 30
+
+    def test_request_threshold_is_three_piggyback_packets(self):
+        assert EpochConfig().request_threshold_bytes == 3 * 595
+
+    def test_request_threshold_zero_without_piggyback(self):
+        epoch = dataclasses.replace(EpochConfig(), piggyback_enabled=False)
+        assert epoch.request_threshold_bytes == 0
+
+    def test_rejects_negative_guard(self):
+        with pytest.raises(ValueError):
+            EpochConfig(guard_ns=-1.0)
+
+    def test_rejects_zero_scheduled_slots(self):
+        with pytest.raises(ValueError):
+            EpochConfig(scheduled_slots=0)
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ValueError):
+            EpochConfig(request_threshold_packets=-1)
+
+
+class TestEpochTiming:
+    """The paper's 128x8 fabric needs 16 predefined slots on both topologies."""
+
+    def paper_timing(self) -> EpochTiming:
+        return EpochTiming.derive(EpochConfig(), 100.0, predefined_slots=16)
+
+    def test_predefined_slot_is_60ns(self):
+        assert self.paper_timing().predefined_slot_ns == pytest.approx(60.0)
+
+    def test_scheduled_slot_is_90ns(self):
+        assert self.paper_timing().scheduled_slot_ns == pytest.approx(90.0)
+
+    def test_epoch_is_3_66_us(self):
+        assert self.paper_timing().epoch_ns == pytest.approx(3660.0)
+
+    def test_guard_fraction_is_4_37_percent(self):
+        assert self.paper_timing().guard_fraction == pytest.approx(0.0437, abs=5e-4)
+
+    def test_predefined_phase_is_0_96_us(self):
+        assert self.paper_timing().predefined_ns == pytest.approx(960.0)
+
+    def test_scheduled_phase_is_2_7_us(self):
+        assert self.paper_timing().scheduled_ns == pytest.approx(2700.0)
+
+    def test_slot_starts_are_evenly_spaced(self):
+        timing = self.paper_timing()
+        assert timing.predefined_slot_start(0) == 0.0
+        assert timing.predefined_slot_start(3) == pytest.approx(180.0)
+        assert timing.scheduled_slot_start(0) == pytest.approx(960.0)
+        assert timing.scheduled_slot_start(2) == pytest.approx(960.0 + 180.0)
+
+    def test_slot_ends_follow_starts(self):
+        timing = self.paper_timing()
+        assert timing.predefined_slot_end(0) == pytest.approx(60.0)
+        assert timing.scheduled_slot_end(0) == pytest.approx(1050.0)
+
+    def test_half_rate_stretches_slots(self):
+        timing = EpochTiming.derive(EpochConfig(), 50.0, predefined_slots=16)
+        assert timing.predefined_slot_ns == pytest.approx(110.0)
+        assert timing.scheduled_slot_ns == pytest.approx(180.0)
+
+    def test_rejects_non_positive_predefined_slots(self):
+        with pytest.raises(ValueError):
+            EpochTiming.derive(EpochConfig(), 100.0, predefined_slots=0)
+
+    def test_piggyback_disabled_shrinks_predefined_slot(self):
+        epoch = dataclasses.replace(EpochConfig(), piggyback_enabled=False)
+        timing = EpochTiming.derive(epoch, 100.0, predefined_slots=16)
+        # guard + tx(30 B) = 10 + 2.4 ns
+        assert timing.predefined_slot_ns == pytest.approx(12.4)
+        assert timing.piggyback_payload_bytes == 0
+
+
+class TestWithoutPiggyback:
+    """Table 2 protocol: remove piggybacking, keep the epoch length."""
+
+    def test_epoch_length_is_preserved(self):
+        base = EpochConfig()
+        stripped = epoch_config_without_piggyback(base, 100.0, 16)
+        reference = EpochTiming.derive(base, 100.0, 16)
+        modified = EpochTiming.derive(stripped, 100.0, 16)
+        assert not stripped.piggyback_enabled
+        # Slot count is integral, so equality holds within one slot.
+        assert abs(modified.epoch_ns - reference.epoch_ns) <= 90.0
+
+    def test_scheduled_phase_grows(self):
+        stripped = epoch_config_without_piggyback(EpochConfig(), 100.0, 16)
+        assert stripped.scheduled_slots > EpochConfig().scheduled_slots
+
+    def test_request_threshold_drops_to_zero(self):
+        stripped = epoch_config_without_piggyback(EpochConfig(), 100.0, 16)
+        assert stripped.request_threshold_bytes == 0
+
+
+class TestReconfigurationDelayScaling:
+    """Fig 8 protocol: larger guardbands keep their epoch share."""
+
+    @pytest.mark.parametrize("guard_ns", [20.0, 50.0, 100.0])
+    def test_guard_fraction_is_preserved(self, guard_ns):
+        base = EpochConfig()
+        scaled = epoch_config_for_reconfiguration_delay(base, guard_ns, 100.0, 16)
+        reference = EpochTiming.derive(base, 100.0, 16)
+        timing = EpochTiming.derive(scaled, 100.0, 16)
+        assert scaled.guard_ns == guard_ns
+        assert timing.guard_fraction == pytest.approx(
+            reference.guard_fraction, rel=0.05
+        )
+
+    def test_identity_at_default_guard(self):
+        scaled = epoch_config_for_reconfiguration_delay(
+            EpochConfig(), 10.0, 100.0, 16
+        )
+        assert scaled.scheduled_slots == EpochConfig().scheduled_slots
+
+    def test_longer_guard_means_longer_epoch(self):
+        scaled = epoch_config_for_reconfiguration_delay(
+            EpochConfig(), 100.0, 100.0, 16
+        )
+        timing = EpochTiming.derive(scaled, 100.0, 16)
+        assert timing.epoch_ns > 10 * 3660.0 * 0.9
+
+    def test_rejects_non_positive_guard(self):
+        with pytest.raises(ValueError):
+            epoch_config_for_reconfiguration_delay(EpochConfig(), 0.0, 100.0, 16)
+
+
+class TestSimConfig:
+    def test_paper_defaults(self):
+        config = SimConfig()
+        assert config.num_tors == 128
+        assert config.ports_per_tor == 8
+        assert config.speedup == pytest.approx(2.0)
+        assert config.num_priority_bands == 3
+
+    def test_without_speedup_equalizes_rates(self):
+        config = SimConfig().without_speedup()
+        assert config.speedup == pytest.approx(1.0)
+        assert config.uplink_gbps == pytest.approx(50.0)
+
+    def test_priority_queue_disabled_gives_single_band(self):
+        config = SimConfig(priority_queue_enabled=False)
+        assert config.num_priority_bands == 1
+
+    def test_rejects_single_tor(self):
+        with pytest.raises(ValueError):
+            SimConfig(num_tors=1)
+
+    def test_rejects_zero_ports(self):
+        with pytest.raises(ValueError):
+            SimConfig(ports_per_tor=0)
+
+    def test_rejects_unsorted_pias_thresholds(self):
+        with pytest.raises(ValueError):
+            SimConfig(pias_thresholds=(10000, 1000))
+
+    def test_rejects_negative_propagation(self):
+        with pytest.raises(ValueError):
+            SimConfig(propagation_ns=-1.0)

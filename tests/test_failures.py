@@ -1,0 +1,132 @@
+"""Tests for link failure injection, detection, and recovery (section 3.6.1)."""
+
+import random
+
+import pytest
+
+from repro.sim.failures import (
+    Direction,
+    FailureEvent,
+    FailurePlan,
+    LinkFailureModel,
+    LinkRef,
+    random_failure_plan,
+)
+
+
+def egress(tor, port):
+    return LinkRef(tor, port, Direction.EGRESS)
+
+
+def ingress(tor, port):
+    return LinkRef(tor, port, Direction.INGRESS)
+
+
+class TestActualState:
+    def test_fresh_model_is_healthy(self):
+        model = LinkFailureModel(8, 2)
+        assert model.egress_ok(0, 0)
+        assert model.ingress_ok(7, 1)
+        assert not model.any_failed
+
+    def test_fail_and_repair_egress(self):
+        model = LinkFailureModel(8, 2)
+        model.apply(FailureEvent(0.0, egress(3, 1), fail=True))
+        assert not model.egress_ok(3, 1)
+        assert model.ingress_ok(3, 1)  # other direction unaffected
+        model.apply(FailureEvent(1.0, egress(3, 1), fail=False))
+        assert model.egress_ok(3, 1)
+
+    def test_transmission_needs_both_fibers(self):
+        model = LinkFailureModel(8, 2)
+        assert model.transmission_ok(0, 1, 5, 1)
+        model.apply(FailureEvent(0.0, egress(0, 1), fail=True))
+        assert not model.transmission_ok(0, 1, 5, 1)
+        model.apply(FailureEvent(0.0, egress(0, 1), fail=False))
+        model.apply(FailureEvent(0.0, ingress(5, 1), fail=True))
+        assert not model.transmission_ok(0, 1, 5, 1)
+
+
+class TestDetection:
+    def test_detection_lags_by_detect_epochs(self):
+        model = LinkFailureModel(8, 2, detect_epochs=3)
+        model.apply(FailureEvent(0.0, egress(1, 0), fail=True))
+        assert model.detected_egress_ok(1, 0)
+        model.tick_epoch()
+        model.tick_epoch()
+        assert model.detected_egress_ok(1, 0)  # evidence still accumulating
+        model.tick_epoch()
+        assert not model.detected_egress_ok(1, 0)
+        assert model.any_detected
+
+    def test_recovery_detection_is_symmetric(self):
+        model = LinkFailureModel(8, 2, detect_epochs=2)
+        model.apply(FailureEvent(0.0, ingress(2, 1), fail=True))
+        model.tick_epoch()
+        model.tick_epoch()
+        assert not model.detected_ingress_ok(2, 1)
+        model.apply(FailureEvent(5.0, ingress(2, 1), fail=False))
+        model.tick_epoch()
+        assert not model.detected_ingress_ok(2, 1)  # still excluded
+        model.tick_epoch()
+        assert model.detected_ingress_ok(2, 1)
+
+    def test_flapping_link_resets_evidence(self):
+        model = LinkFailureModel(8, 2, detect_epochs=3)
+        link = egress(0, 0)
+        model.apply(FailureEvent(0.0, link, fail=True))
+        model.tick_epoch()
+        model.tick_epoch()
+        model.apply(FailureEvent(1.0, link, fail=False))
+        for _ in range(5):
+            model.tick_epoch()
+        assert model.detected_egress_ok(0, 0)
+
+    def test_immediate_detection_with_zero_lag(self):
+        model = LinkFailureModel(8, 2, detect_epochs=0)
+        model.apply(FailureEvent(0.0, egress(0, 0), fail=True))
+        model.tick_epoch()
+        assert not model.detected_egress_ok(0, 0)
+
+    def test_rejects_negative_detect_epochs(self):
+        with pytest.raises(ValueError):
+            LinkFailureModel(8, 2, detect_epochs=-1)
+
+
+class TestFailurePlan:
+    def test_events_sorted_by_time(self):
+        plan = FailurePlan()
+        plan.add_repair(50.0, egress(0, 0))
+        plan.add_failure(10.0, egress(0, 0))
+        events = plan.sorted_events()
+        assert [e.time_ns for e in events] == [10.0, 50.0]
+        assert events[0].fail and not events[1].fail
+
+    def test_random_plan_counts(self):
+        plan, failed = random_failure_plan(
+            8, 2, failure_ratio=0.25, fail_at_ns=100.0, repair_at_ns=200.0,
+            rng=random.Random(0),
+        )
+        # 8 ToRs x 2 ports x 2 directions = 32 links; 25% = 8 links.
+        assert len(failed) == 8
+        assert len(plan.events) == 16  # fail + repair per link
+        assert len(set(failed)) == 8
+
+    def test_random_plan_without_repair(self):
+        plan, failed = random_failure_plan(
+            8, 2, failure_ratio=0.5, fail_at_ns=0.0, repair_at_ns=None,
+            rng=random.Random(1),
+        )
+        assert all(e.fail for e in plan.events)
+        assert len(failed) == 16
+
+    def test_rejects_bad_ratio(self):
+        with pytest.raises(ValueError):
+            random_failure_plan(8, 2, 1.5, 0.0, None, random.Random(0))
+
+    def test_zero_ratio_fails_nothing(self):
+        plan, failed = random_failure_plan(
+            8, 2, 0.0, 0.0, None, random.Random(0)
+        )
+        assert failed == []
+        assert plan.events == []

@@ -1,0 +1,154 @@
+"""End-to-end fault tolerance tests (section 3.6.1, Fig 10 / Fig 19)."""
+
+import random
+
+import pytest
+
+from repro import (
+    BandwidthRecorder,
+    Direction,
+    FailurePlan,
+    LinkFailureModel,
+    LinkRef,
+    NegotiaToRSimulator,
+    ParallelNetwork,
+    SimConfig,
+    all_to_all_workload,
+    random_failure_plan,
+    single_pair_stream,
+)
+
+N, S = 16, 4
+EPOCH_NS = 4 * 60 + 30 * 90  # 16x4 parallel: ceil(15/4) = 4 predefined slots
+
+
+def config(**overrides):
+    defaults = dict(
+        num_tors=N, ports_per_tor=S, uplink_gbps=100.0,
+        host_aggregate_gbps=S * 100.0 / 2.0,
+    )
+    defaults.update(overrides)
+    return SimConfig(**defaults)
+
+
+def make_sim(flows, plan=None, detect_epochs=3, **kwargs):
+    cfg = config()
+    model = LinkFailureModel(N, S, detect_epochs=detect_epochs)
+    return NegotiaToRSimulator(
+        cfg, ParallelNetwork(N, S), flows,
+        failure_model=model, failure_plan=plan, **kwargs
+    )
+
+
+class TestMessageLoss:
+    def test_failed_link_suspends_some_epochs(self):
+        """Fig 19: scheduling-message loss zeroes whole epochs, but the
+        rotating round-robin rule lets the pair use other links."""
+        stream = single_pair_stream(0, 1, total_bytes=50_000_000)
+        plan = FailurePlan()
+        plan.add_failure(0.0, LinkRef(0, 0, Direction.EGRESS))
+        recorder = BandwidthRecorder(bin_ns=EPOCH_NS)
+        # Detection lag is huge so the run shows pre-detection behaviour.
+        sim = make_sim(
+            stream, plan=plan, detect_epochs=10_000,
+            bandwidth_recorder=recorder, record_pair_bandwidth=True,
+        )
+        sim.run(150 * EPOCH_NS)
+        _, gbps = recorder.series_gbps(("pair", 0, 1), until_ns=150 * EPOCH_NS)
+        active = [v > 0 for v in gbps[5:]]
+        # Transmission proceeds in most epochs but is suspended in some
+        # (whenever the pair's control messages ride the broken port).
+        assert any(active)
+        assert not all(active)
+
+    def test_healthy_run_has_no_suspended_epochs(self):
+        stream = single_pair_stream(0, 1, total_bytes=50_000_000)
+        recorder = BandwidthRecorder(bin_ns=EPOCH_NS)
+        sim = make_sim(
+            stream, bandwidth_recorder=recorder, record_pair_bandwidth=True
+        )
+        sim.run(100 * EPOCH_NS)
+        _, gbps = recorder.series_gbps(("pair", 0, 1))
+        assert all(v > 0 for v in gbps[5:])
+
+
+class TestDetectionAndExclusion:
+    def test_detected_ports_are_excluded_from_matching(self):
+        """After detection, no match uses the dead egress port."""
+        stream = single_pair_stream(0, 1, total_bytes=50_000_000)
+        plan = FailurePlan()
+        plan.add_failure(0.0, LinkRef(0, 2, Direction.EGRESS))
+        sim = make_sim(stream, plan=plan, detect_epochs=2)
+        for _ in range(10):
+            sim.step_epoch()
+        matches = sim.step_epoch()
+        assert all(
+            not (m.src == 0 and m.port == 2) for m in matches
+        )
+
+    def test_repaired_port_rejoins_matching(self):
+        stream = single_pair_stream(0, 1, total_bytes=200_000_000)
+        plan = FailurePlan()
+        plan.add_failure(0.0, LinkRef(0, 2, Direction.EGRESS))
+        plan.add_repair(30 * EPOCH_NS, LinkRef(0, 2, Direction.EGRESS))
+        sim = make_sim(stream, plan=plan, detect_epochs=2)
+        used_after_repair = False
+        for epoch in range(80):
+            matches = sim.step_epoch()
+            if epoch > 40 and any(m.src == 0 and m.port == 2 for m in matches):
+                used_after_repair = True
+        assert used_after_repair
+
+
+class TestBandwidthUnderFailures:
+    @pytest.mark.parametrize("ratio", [0.05, 0.2])
+    def test_failures_reduce_bandwidth_then_recovery_restores(self, ratio):
+        """Fig 10's protocol in miniature: fail a fraction of links mid-run,
+        repair them, compare windowed delivered bytes."""
+        duration = 360 * EPOCH_NS
+        fail_at = 120 * EPOCH_NS
+        repair_at = 240 * EPOCH_NS
+        # A saturating all-to-all backlog pins the delivered rate at fabric
+        # capacity from the first epochs, so the windows are stationary and
+        # the failure dip is not masked by ramp-up.
+        flows = all_to_all_workload(N, flow_bytes=10_000_000)
+        plan, failed = random_failure_plan(
+            N, S, ratio, fail_at, repair_at, random.Random(4)
+        )
+        recorder = BandwidthRecorder(bin_ns=EPOCH_NS)
+        sim = make_sim(flows, plan=plan, detect_epochs=3,
+                       bandwidth_recorder=recorder)
+        sim.run(duration)
+
+        def window(start, end):
+            return sum(
+                recorder.window_bytes(("rx", dst), start, end)
+                for dst in range(N)
+            )
+
+        margin = 20 * EPOCH_NS
+        pre = window(margin, fail_at)
+        during = window(fail_at + margin, repair_at)
+        post = window(repair_at + margin, duration - margin)
+        assert during < pre
+        # Recovery restores most of the pre-failure bandwidth.
+        pre_rate = pre / (fail_at - margin)
+        post_rate = post / (duration - margin - (repair_at + margin))
+        assert post_rate > 0.85 * pre_rate
+
+    def test_zero_failures_leave_bandwidth_flat(self):
+        duration = 200 * EPOCH_NS
+        flows = all_to_all_workload(N, flow_bytes=10_000_000)
+        recorder = BandwidthRecorder(bin_ns=EPOCH_NS)
+        sim = make_sim(flows, bandwidth_recorder=recorder)
+        sim.run(duration)
+
+        def window(start, end):
+            return sum(
+                recorder.window_bytes(("rx", dst), start, end)
+                for dst in range(N)
+            )
+
+        first = window(40 * EPOCH_NS, 120 * EPOCH_NS)
+        second = window(120 * EPOCH_NS, 200 * EPOCH_NS)
+        assert second == pytest.approx(first, rel=0.15)

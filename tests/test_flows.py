@@ -1,0 +1,146 @@
+"""Tests for flow records and FCT/goodput accounting (section 4.1)."""
+
+import pytest
+
+from repro.sim.flows import Flow, FlowTracker
+
+
+def make_flow(fid=0, src=0, dst=1, size=1000, arrival=0.0, tag=""):
+    return Flow(fid=fid, src=src, dst=dst, size_bytes=size, arrival_ns=arrival, tag=tag)
+
+
+class TestFlow:
+    def test_initial_state(self):
+        flow = make_flow(size=5000)
+        assert flow.remaining_bytes == 5000
+        assert not flow.completed
+
+    def test_fct_requires_completion(self):
+        with pytest.raises(ValueError):
+            make_flow().fct_ns
+
+    def test_mice_classification(self):
+        assert make_flow(size=9999).is_mice()
+        assert not make_flow(size=10000).is_mice()
+        assert make_flow(size=400).is_mice(threshold_bytes=500)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            make_flow(size=0)
+
+    def test_rejects_self_flow(self):
+        with pytest.raises(ValueError):
+            make_flow(src=2, dst=2)
+
+
+class TestDelivery:
+    def test_partial_delivery_keeps_flow_open(self):
+        tracker = FlowTracker(4)
+        flow = tracker.register(make_flow(size=1000))
+        tracker.deliver(flow, 400, 100.0)
+        assert flow.remaining_bytes == 600
+        assert not flow.completed
+
+    def test_final_delivery_completes(self):
+        tracker = FlowTracker(4)
+        flow = tracker.register(make_flow(size=1000, arrival=50.0))
+        tracker.deliver(flow, 1000, 300.0)
+        assert flow.completed
+        assert flow.fct_ns == pytest.approx(250.0)
+
+    def test_over_delivery_rejected(self):
+        tracker = FlowTracker(4)
+        flow = tracker.register(make_flow(size=100))
+        with pytest.raises(ValueError):
+            tracker.deliver(flow, 101, 1.0)
+
+    def test_zero_delivery_rejected(self):
+        tracker = FlowTracker(4)
+        flow = tracker.register(make_flow())
+        with pytest.raises(ValueError):
+            tracker.deliver(flow, 0, 1.0)
+
+    def test_per_destination_accounting(self):
+        tracker = FlowTracker(4)
+        a = tracker.register(make_flow(fid=0, dst=1, size=300))
+        b = tracker.register(make_flow(fid=1, dst=2, size=200))
+        tracker.deliver(a, 300, 1.0)
+        tracker.deliver(b, 200, 1.0)
+        assert tracker.delivered_bytes_at(1) == 300
+        assert tracker.delivered_bytes_at(2) == 200
+        assert tracker.delivered_bytes == 500
+
+
+class TestViews:
+    def test_tag_filtering(self):
+        tracker = FlowTracker(4)
+        tracker.register(make_flow(fid=0, tag="incast"))
+        tracker.register(make_flow(fid=1, tag="background"))
+        assert [f.fid for f in tracker.flows_with_tag("incast")] == [0]
+
+    def test_mice_flows_only_completed(self):
+        tracker = FlowTracker(4)
+        done = tracker.register(make_flow(fid=0, size=500))
+        tracker.register(make_flow(fid=1, size=500))
+        tracker.deliver(done, 500, 10.0)
+        assert [f.fid for f in tracker.mice_flows()] == [0]
+
+    def test_mice_flows_tag_and_threshold(self):
+        tracker = FlowTracker(4)
+        flow = tracker.register(make_flow(fid=0, size=500, tag="incast"))
+        tracker.deliver(flow, 500, 10.0)
+        assert tracker.mice_flows(tag="incast") == [flow]
+        assert tracker.mice_flows(tag="background") == []
+        assert tracker.mice_flows(threshold_bytes=100) == []
+
+    def test_all_complete(self):
+        tracker = FlowTracker(4)
+        flow = tracker.register(make_flow(size=100))
+        assert not tracker.all_complete
+        tracker.deliver(flow, 100, 1.0)
+        assert tracker.all_complete
+
+
+class TestStatistics:
+    def test_goodput_math(self):
+        tracker = FlowTracker(2)
+        flow = tracker.register(make_flow(size=125_000_000))  # 1 Gbit
+        tracker.deliver(flow, 125_000_000, 1.0)
+        # 1 Gbit over 1 ms = 1000 Gbps network-wide.
+        assert tracker.goodput_gbps(1_000_000) == pytest.approx(1000.0)
+        # Normalized to 2 ToRs x 400 Gbps.
+        assert tracker.goodput_normalized(1_000_000, 400.0) == pytest.approx(1.25)
+
+    def test_goodput_requires_positive_duration(self):
+        with pytest.raises(ValueError):
+            FlowTracker(2).goodput_gbps(0.0)
+
+    def test_percentile_and_mean(self):
+        tracker = FlowTracker(4)
+        flows = []
+        for i, fct in enumerate([100.0, 200.0, 300.0, 400.0]):
+            flow = tracker.register(make_flow(fid=i, size=10))
+            tracker.deliver(flow, 10, fct)
+            flows.append(flow)
+        assert FlowTracker.fct_mean_ns(flows) == pytest.approx(250.0)
+        assert FlowTracker.fct_percentile_ns(flows, 50) == pytest.approx(250.0)
+        assert FlowTracker.fct_percentile_ns(flows, 100) == pytest.approx(400.0)
+
+    def test_empty_stats_raise(self):
+        with pytest.raises(ValueError):
+            FlowTracker.fct_mean_ns([])
+        with pytest.raises(ValueError):
+            FlowTracker.fct_percentile_ns([], 99)
+        with pytest.raises(ValueError):
+            FlowTracker.fct_cdf([])
+
+    def test_cdf_shape(self):
+        tracker = FlowTracker(4)
+        flows = []
+        for i, fct in enumerate([300.0, 100.0, 200.0]):
+            flow = tracker.register(make_flow(fid=i, size=10))
+            tracker.deliver(flow, 10, fct)
+            flows.append(flow)
+        values, fractions = FlowTracker.fct_cdf(flows)
+        assert list(values) == [100.0, 200.0, 300.0]
+        assert list(fractions) == pytest.approx([1 / 3, 2 / 3, 1.0])

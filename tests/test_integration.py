@@ -1,0 +1,149 @@
+"""Cross-system integration tests: the paper's headline comparisons in small.
+
+These check the *shape* of the paper's results on tiny fabrics:
+
+* NegotiaToR's mice FCT is far below the traffic-oblivious baseline under
+  load (Fig 9a's one-to-two orders of magnitude).
+* NegotiaToR sustains higher goodput than the baseline at heavy load while
+  the baseline's relayed traffic competes for receiver bandwidth (Fig 9b).
+* Incast finish time is flat in the incast degree for NegotiaToR (Fig 7a).
+* Both topologies behave comparably under identical parameters (section 4.3).
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    NegotiaToRSimulator,
+    ObliviousSimulator,
+    ParallelNetwork,
+    SimConfig,
+    ThinClos,
+    incast_finish_time_ns,
+    incast_workload,
+    poisson_workload,
+)
+from repro.workloads.traces import hadoop
+
+N, S, W = 16, 4, 4
+HOST_GBPS = S * 100.0 / 2.0  # keep the paper's 2x speedup
+
+
+def config(**overrides):
+    defaults = dict(
+        num_tors=N, ports_per_tor=S, uplink_gbps=100.0,
+        host_aggregate_gbps=HOST_GBPS,
+    )
+    defaults.update(overrides)
+    return SimConfig(**defaults)
+
+
+def workload(load, duration, seed):
+    return poisson_workload(
+        hadoop(), load, N, HOST_GBPS, duration, random.Random(seed)
+    )
+
+
+DURATION = 1_500_000  # 1.5 ms
+
+
+@pytest.fixture(scope="module")
+def heavy_load_runs():
+    """One heavy-load run of each system, shared across assertions."""
+    runs = {}
+    cfg = config()
+    flows = workload(1.0, DURATION, seed=11)
+    sim = NegotiaToRSimulator(cfg, ParallelNetwork(N, S), flows)
+    sim.run(DURATION)
+    runs["nt_parallel"] = sim.summary()
+
+    flows = workload(1.0, DURATION, seed=11)
+    sim = NegotiaToRSimulator(cfg, ThinClos(N, S, W), flows)
+    sim.run(DURATION)
+    runs["nt_thinclos"] = sim.summary()
+
+    flows = workload(1.0, DURATION, seed=11)
+    sim = ObliviousSimulator(cfg, ThinClos(N, S, W), flows)
+    sim.run(DURATION)
+    runs["oblivious"] = sim.summary()
+    return runs
+
+
+class TestMainResultShape:
+    def test_negotiator_mice_fct_is_an_order_of_magnitude_better(
+        self, heavy_load_runs
+    ):
+        nt = heavy_load_runs["nt_parallel"].mice_fct_p99_ns
+        ob = heavy_load_runs["oblivious"].mice_fct_p99_ns
+        assert ob > 10 * nt
+
+    def test_negotiator_goodput_beats_baseline_at_heavy_load(
+        self, heavy_load_runs
+    ):
+        assert (
+            heavy_load_runs["nt_parallel"].goodput_normalized
+            > heavy_load_runs["oblivious"].goodput_normalized
+        )
+
+    def test_topologies_perform_comparably(self, heavy_load_runs):
+        """Thin-clos is marginally below parallel, not qualitatively off."""
+        parallel = heavy_load_runs["nt_parallel"].goodput_normalized
+        thinclos = heavy_load_runs["nt_thinclos"].goodput_normalized
+        assert thinclos <= parallel + 0.02
+        assert thinclos > 0.5 * parallel
+
+    def test_negotiator_average_mice_fct_is_about_two_epochs(
+        self, heavy_load_runs
+    ):
+        """The scheduling-delay bypass keeps mean mice FCT near 2 epochs
+        (the paper's Table 2 reports 1.6)."""
+        for key in ("nt_parallel", "nt_thinclos"):
+            mean_epochs = heavy_load_runs[key].mice_fct_mean_epochs
+            assert 1.0 <= mean_epochs <= 3.5
+
+    def test_goodput_is_substantial_at_full_load(self, heavy_load_runs):
+        assert heavy_load_runs["nt_parallel"].goodput_normalized > 0.7
+
+
+class TestIncastShape:
+    def run_incast(self, system, degree):
+        cfg = config()
+        flows = incast_workload(
+            N, degree, dst=0, at_ns=10_000.0, rng=random.Random(degree)
+        )
+        if system == "negotiator":
+            sim = NegotiaToRSimulator(cfg, ParallelNetwork(N, S), flows)
+        else:
+            sim = ObliviousSimulator(cfg, ThinClos(N, S, W), flows)
+        assert sim.run_until_complete(max_ns=10_000_000)
+        return incast_finish_time_ns(sim.tracker.flows, 10_000.0)
+
+    def test_negotiator_finish_time_is_flat_in_degree(self):
+        low = self.run_incast("negotiator", 2)
+        high = self.run_incast("negotiator", 15)
+        assert high <= low * 1.5
+
+    def test_negotiator_finish_time_is_about_two_epochs(self):
+        finish = self.run_incast("negotiator", 10)
+        epoch_ns = 4 * 60 + 30 * 90
+        assert finish < 4 * epoch_ns
+
+
+class TestLightLoadBehaviour:
+    def test_goodput_tracks_offered_load_when_light(self):
+        cfg = config()
+        flows = workload(0.25, DURATION, seed=21)
+        sim = NegotiaToRSimulator(cfg, ParallelNetwork(N, S), flows)
+        sim.run(DURATION)
+        goodput = sim.summary().goodput_normalized
+        assert goodput == pytest.approx(0.25, abs=0.08)
+
+    def test_baseline_also_fine_when_light(self):
+        """At light load the oblivious design has empty links to relay over
+        — its goodput is close to NegotiaToR's (Fig 9b's left side)."""
+        cfg = config()
+        flows = workload(0.25, DURATION, seed=21)
+        sim = ObliviousSimulator(cfg, ThinClos(N, S, W), flows)
+        sim.run(DURATION)
+        assert sim.summary().goodput_normalized == pytest.approx(0.25, abs=0.08)

@@ -1,0 +1,125 @@
+"""Tests for the measurement instruments (Fig 14 / Figs 17-19 observables)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim.metrics import BandwidthRecorder, MatchRatioRecorder, RunSummary
+
+
+class TestMatchRatioRecorder:
+    def test_ratios_per_epoch(self):
+        rec = MatchRatioRecorder()
+        rec.record(0, grants=10, accepts=6)
+        rec.record(1, grants=8, accepts=8)
+        assert list(rec.ratios()) == pytest.approx([0.6, 1.0])
+        assert rec.epochs == [0, 1]
+
+    def test_mean_ratio_weights_by_grants(self):
+        rec = MatchRatioRecorder()
+        rec.record(0, grants=10, accepts=5)
+        rec.record(1, grants=30, accepts=30)
+        assert rec.mean_ratio() == pytest.approx(35 / 40)
+
+    def test_zero_grant_epoch_is_nan(self):
+        rec = MatchRatioRecorder()
+        rec.record(0, grants=0, accepts=0)
+        assert math.isnan(rec.ratios()[0])
+
+    def test_rejects_more_accepts_than_grants(self):
+        with pytest.raises(ValueError):
+            MatchRatioRecorder().record(0, grants=1, accepts=2)
+
+    def test_mean_requires_grants(self):
+        with pytest.raises(ValueError):
+            MatchRatioRecorder().mean_ratio()
+
+
+class TestBandwidthRecorder:
+    def test_series_bins_bytes_into_gbps(self):
+        rec = BandwidthRecorder(bin_ns=100.0)
+        rec.record(("rx", 1), 1250, 50.0)  # 1250 B in a 100 ns bin = 100 Gbps
+        times, gbps = rec.series_gbps(("rx", 1))
+        assert list(times) == [0.0]
+        assert gbps[0] == pytest.approx(100.0)
+
+    def test_zero_bins_are_explicit(self):
+        """The on-off epoch shape of Fig 19 needs explicit zero bins."""
+        rec = BandwidthRecorder(bin_ns=100.0)
+        rec.record(("pair", 0, 1), 100, 20.0)
+        rec.record(("pair", 0, 1), 100, 320.0)
+        _times, gbps = rec.series_gbps(("pair", 0, 1))
+        assert len(gbps) == 4
+        assert gbps[1] == 0.0 and gbps[2] == 0.0
+
+    def test_until_extends_series(self):
+        rec = BandwidthRecorder(bin_ns=100.0)
+        rec.record(("rx", 0), 10, 0.0)
+        times, gbps = rec.series_gbps(("rx", 0), until_ns=500.0)
+        assert len(times) == 5
+        assert all(v == 0.0 for v in gbps[1:])
+
+    def test_empty_key(self):
+        rec = BandwidthRecorder(bin_ns=10.0)
+        times, gbps = rec.series_gbps(("nothing",))
+        assert len(times) == 0 and len(gbps) == 0
+
+    def test_window_bytes_uses_full_bins(self):
+        rec = BandwidthRecorder(bin_ns=100.0)
+        rec.record(("rx", 0), 10, 50.0)    # bin 0
+        rec.record(("rx", 0), 20, 150.0)   # bin 1
+        rec.record(("rx", 0), 40, 250.0)   # bin 2
+        assert rec.window_bytes(("rx", 0), 100.0, 300.0) == 60
+        assert rec.window_bytes(("rx", 0), 0.0, 300.0) == 70
+        assert rec.window_bytes(("rx", 0), 150.0, 300.0) == 40  # bin 1 partial
+
+    def test_total_bytes(self):
+        rec = BandwidthRecorder(bin_ns=10.0)
+        rec.record(("a",), 5, 0.0)
+        rec.record(("a",), 7, 100.0)
+        assert rec.total_bytes(("a",)) == 12
+        assert rec.total_bytes(("b",)) == 0
+
+    def test_keys_listing(self):
+        rec = BandwidthRecorder(bin_ns=10.0)
+        rec.record(("a",), 5, 0.0)
+        rec.record(("relay", 3), 5, 0.0)
+        assert set(rec.keys()) == {("a",), ("relay", 3)}
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            BandwidthRecorder(bin_ns=0.0)
+        rec = BandwidthRecorder(bin_ns=10.0)
+        with pytest.raises(ValueError):
+            rec.record(("a",), -1, 0.0)
+
+
+class TestRunSummary:
+    def test_epoch_conversions(self):
+        summary = RunSummary(
+            duration_ns=1000.0,
+            epoch_ns=100.0,
+            num_flows=5,
+            num_completed=5,
+            goodput_normalized=0.5,
+            goodput_gbps=10.0,
+            mice_fct_p99_ns=600.0,
+            mice_fct_mean_ns=160.0,
+        )
+        assert summary.mice_fct_p99_epochs == pytest.approx(6.0)
+        assert summary.mice_fct_mean_epochs == pytest.approx(1.6)
+
+    def test_conversions_handle_missing_values(self):
+        summary = RunSummary(
+            duration_ns=1000.0,
+            epoch_ns=None,
+            num_flows=0,
+            num_completed=0,
+            goodput_normalized=0.0,
+            goodput_gbps=0.0,
+            mice_fct_p99_ns=None,
+            mice_fct_mean_ns=None,
+        )
+        assert summary.mice_fct_p99_epochs is None
+        assert summary.mice_fct_mean_epochs is None

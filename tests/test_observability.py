@@ -1,0 +1,103 @@
+"""Tests for the per-epoch stats recorder."""
+
+import pytest
+
+from repro import (
+    Flow,
+    NegotiaToRSimulator,
+    ParallelNetwork,
+    SimConfig,
+    all_to_all_workload,
+)
+from repro.sim.observability import EpochStats, EpochStatsRecorder
+
+
+def make_sim(flows):
+    config = SimConfig(
+        num_tors=8, ports_per_tor=2, uplink_gbps=100.0, host_aggregate_gbps=100.0
+    )
+    return NegotiaToRSimulator(config, ParallelNetwork(8, 2), flows)
+
+
+class TestRecorder:
+    def test_series_and_len(self):
+        recorder = EpochStatsRecorder()
+        for epoch in range(3):
+            recorder.record(
+                EpochStats(
+                    epoch=epoch, active_pairs=epoch, requests_sent=1,
+                    matches=2, matched_pairs=2, queued_bytes=100,
+                )
+            )
+        assert len(recorder) == 3
+        assert list(recorder.series("active_pairs")) == [0, 1, 2]
+
+    def test_steady_state_mean_skips_warmup(self):
+        recorder = EpochStatsRecorder()
+        for epoch, value in enumerate([100, 100, 10, 10]):
+            recorder.record(
+                EpochStats(
+                    epoch=epoch, active_pairs=value, requests_sent=0,
+                    matches=0, matched_pairs=0, queued_bytes=0,
+                )
+            )
+        assert recorder.steady_state_mean("active_pairs", warmup_epochs=2) == 10
+
+    def test_steady_state_requires_epochs(self):
+        with pytest.raises(ValueError):
+            EpochStatsRecorder().steady_state_mean("matches")
+
+    def test_summary_requires_epochs(self):
+        with pytest.raises(ValueError):
+            EpochStatsRecorder().summary()
+
+    def test_port_utilization(self):
+        entry = EpochStats(
+            epoch=0, active_pairs=4, requests_sent=4, matches=2,
+            matched_pairs=2, queued_bytes=0,
+        )
+        assert entry.port_utilization == pytest.approx(0.5)
+        idle = EpochStats(
+            epoch=0, active_pairs=0, requests_sent=0, matches=0,
+            matched_pairs=0, queued_bytes=0,
+        )
+        assert idle.port_utilization is None
+
+
+class TestEngineIntegration:
+    def test_engine_populates_recorder(self):
+        recorder = EpochStatsRecorder()
+        sim = make_sim(all_to_all_workload(8, flow_bytes=50_000))
+        sim.attach_stats_recorder(recorder)
+        for _ in range(10):
+            sim.step_epoch()
+        assert len(recorder) == 10
+        # From epoch 2 the pipeline produces matches for the backlog.
+        assert recorder.series("matches")[3] > 0
+        assert recorder.series("requests_sent")[0] > 0
+        summary = recorder.summary()
+        assert summary["epochs"] == 10
+        assert summary["total_scheduled_bytes"] > 0
+        assert summary["total_piggybacked_bytes"] > 0
+
+    def test_byte_split_matches_tracker(self):
+        recorder = EpochStatsRecorder()
+        flow = Flow(fid=0, src=0, dst=1, size_bytes=100_000, arrival_ns=-1.0)
+        sim = make_sim([flow])
+        sim.attach_stats_recorder(recorder)
+        sim.run_until_complete(max_ns=10_000_000)
+        recorded = recorder.summary()
+        total = (
+            recorded["total_piggybacked_bytes"]
+            + recorded["total_scheduled_bytes"]
+        )
+        assert total == sim.tracker.delivered_bytes
+
+    def test_queue_drain_visible_in_series(self):
+        recorder = EpochStatsRecorder()
+        sim = make_sim(all_to_all_workload(8, flow_bytes=20_000))
+        sim.attach_stats_recorder(recorder)
+        sim.run_until_complete(max_ns=10_000_000)
+        queued = recorder.series("queued_bytes")
+        assert queued[0] > 0
+        assert queued[-1] == 0

@@ -1,0 +1,151 @@
+"""Tests for the round-robin GRANT/ACCEPT rings (section 3.2.1)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rings import RoundRobinRing, build_rings
+
+
+class TestConstruction:
+    def test_members_preserved_in_order(self):
+        ring = RoundRobinRing([3, 1, 4, 1 + 4])
+        assert ring.members == (3, 1, 4, 5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RoundRobinRing([])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            RoundRobinRing([1, 2, 1])
+
+    def test_start_pointer(self):
+        ring = RoundRobinRing([10, 20, 30], start=2)
+        assert ring.pointer == 2
+
+    def test_rejects_out_of_range_start(self):
+        with pytest.raises(ValueError):
+            RoundRobinRing([10, 20], start=2)
+
+    def test_random_init_is_seed_deterministic(self):
+        a = RoundRobinRing(list(range(16)), rng=random.Random(7))
+        b = RoundRobinRing(list(range(16)), rng=random.Random(7))
+        assert a.pointer == b.pointer
+
+    def test_build_rings_one_per_member_set(self):
+        rings = build_rings([[1, 2], [3, 4, 5]], random.Random(0))
+        assert [r.members for r in rings] == [(1, 2), (3, 4, 5)]
+
+
+class TestPick:
+    def test_picks_pointer_member_first(self):
+        ring = RoundRobinRing([0, 1, 2, 3], start=1)
+        assert ring.pick({0, 1, 2, 3}) == 1
+
+    def test_pointer_advances_past_pick(self):
+        ring = RoundRobinRing([0, 1, 2, 3], start=1)
+        ring.pick({0, 1, 2, 3})
+        assert ring.pointer == 2
+
+    def test_skips_non_candidates_clockwise(self):
+        ring = RoundRobinRing([0, 1, 2, 3], start=1)
+        assert ring.pick({0, 3}) == 3
+
+    def test_wraps_around(self):
+        ring = RoundRobinRing([0, 1, 2, 3], start=3)
+        assert ring.pick({1}) == 1
+        assert ring.pointer == 2
+
+    def test_none_when_no_candidates(self):
+        ring = RoundRobinRing([0, 1, 2], start=0)
+        assert ring.pick(set()) is None
+        assert ring.pointer == 0
+
+    def test_none_when_candidates_not_members(self):
+        ring = RoundRobinRing([0, 1, 2], start=0)
+        assert ring.pick({99}) is None
+
+    def test_least_recently_granted_has_priority(self):
+        """Picking the same candidate set cycles fairly through it."""
+        ring = RoundRobinRing([0, 1, 2, 3], start=0)
+        picks = [ring.pick({0, 2}) for _ in range(4)]
+        assert picks == [0, 2, 0, 2]
+
+    def test_peek_does_not_advance(self):
+        ring = RoundRobinRing([0, 1, 2], start=0)
+        assert ring.peek({1, 2}) == 1
+        assert ring.pointer == 0
+
+    def test_advance_past_unknown_member_raises(self):
+        ring = RoundRobinRing([0, 1, 2])
+        with pytest.raises(ValueError):
+            ring.advance_past(42)
+
+
+class TestDeal:
+    def test_splits_ports_evenly(self):
+        ring = RoundRobinRing([0, 1, 2, 3], start=0)
+        assert ring.deal({0, 1}, 4) == [0, 1, 0, 1]
+
+    def test_pointer_ends_after_last_pick(self):
+        ring = RoundRobinRing([0, 1, 2, 3], start=0)
+        ring.deal({0, 1}, 3)  # picks 0, 1, 0
+        assert ring.pointer == 1
+
+    def test_empty_candidates_deal_nothing(self):
+        ring = RoundRobinRing([0, 1, 2], start=1)
+        assert ring.deal(set(), 3) == []
+        assert ring.pointer == 1
+
+    def test_zero_count_deals_nothing(self):
+        ring = RoundRobinRing([0, 1, 2], start=1)
+        assert ring.deal({0, 1, 2}, 0) == []
+
+    def test_rejects_negative_count(self):
+        ring = RoundRobinRing([0, 1, 2])
+        with pytest.raises(ValueError):
+            ring.deal({0}, -1)
+
+    def test_ordered_candidates_respects_pointer(self):
+        ring = RoundRobinRing([0, 1, 2, 3], start=2)
+        assert ring.ordered_candidates({0, 1, 3}) == [3, 0, 1]
+
+    @given(
+        size=st.integers(2, 12),
+        start=st.integers(0, 11),
+        candidate_bits=st.integers(1, 2**12 - 1),
+        count=st.integers(1, 24),
+    )
+    @settings(max_examples=200)
+    def test_deal_equals_repeated_picks(self, size, start, candidate_bits, count):
+        """deal() is an O(n + m) shortcut for m pick() calls — prove it."""
+        start %= size
+        members = list(range(size))
+        candidates = {i for i in members if candidate_bits & (1 << i)}
+        fast = RoundRobinRing(members, start=start)
+        slow = RoundRobinRing(members, start=start)
+        dealt = fast.deal(candidates, count)
+        picked = [slow.pick(candidates) for _ in range(count)]
+        picked = [p for p in picked if p is not None]
+        assert dealt == picked
+        if dealt:
+            assert fast.pointer == slow.pointer
+
+
+class TestNoStarvation:
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=50)
+    def test_persistent_candidate_is_served_within_one_rotation(self, seed):
+        """A member that keeps requesting is picked within len(ring) picks."""
+        rng = random.Random(seed)
+        members = list(range(8))
+        ring = RoundRobinRing(members, rng=rng)
+        victim = rng.choice(members)
+        for attempt in range(len(members)):
+            candidates = set(rng.sample(members, rng.randint(1, 8))) | {victim}
+            if ring.pick(candidates) == victim:
+                return
+        pytest.fail("victim starved for a full rotation")

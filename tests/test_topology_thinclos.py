@@ -1,0 +1,152 @@
+"""Tests for the thin-clos topology (Fig 1b)."""
+
+import pytest
+
+from repro.topology.thinclos import ThinClos
+
+SHAPES = [(8, 2, 4), (16, 4, 4), (128, 8, 16)]
+
+
+def shape_ids(shape):
+    return f"{shape[0]}={shape[1]}x{shape[2]}"
+
+
+class TestStructure:
+    def test_paper_scale_uses_64_16port_awgrs(self):
+        topo = ThinClos(128, 8, 16)
+        assert topo.num_awgrs == 64
+        assert topo.awgr_ports == 16
+        assert topo.predefined_slots == 16
+        assert topo.num_groups == 8
+
+    def test_rejects_unbalanced_shape(self):
+        with pytest.raises(ValueError):
+            ThinClos(12, 4, 4)  # 12 != 4 * 4
+
+    def test_rejects_single_port_awgr(self):
+        with pytest.raises(ValueError):
+            ThinClos(4, 4, 1)
+
+    def test_group_arithmetic(self):
+        topo = ThinClos(16, 4, 4)
+        assert topo.group(0) == 0
+        assert topo.group(7) == 1
+        assert topo.index_in_group(7) == 3
+        assert topo.tor_at(1, 3) == 7
+
+
+class TestReachability:
+    def test_each_port_reaches_one_group(self):
+        topo = ThinClos(16, 4, 4)
+        # ToR 0 (group 0) port 1 reaches group 1 = ToRs 4..7.
+        assert topo.reachable_dsts(0, 1) == (4, 5, 6, 7)
+
+    def test_port_zero_reaches_own_group_except_self(self):
+        topo = ThinClos(16, 4, 4)
+        assert topo.reachable_dsts(5, 0) == (4, 6, 7)
+
+    def test_reachable_srcs_mirror_dsts(self):
+        topo = ThinClos(16, 4, 4)
+        for tor in range(16):
+            for port in range(4):
+                for src in topo.reachable_srcs(tor, port):
+                    assert tor in topo.reachable_dsts(src, port)
+
+    def test_all_ports_together_reach_everyone(self):
+        topo = ThinClos(16, 4, 4)
+        for tor in range(16):
+            union = set()
+            for port in range(4):
+                union.update(topo.reachable_dsts(tor, port))
+            assert union == set(range(16)) - {tor}
+
+    def test_data_port_is_group_difference(self):
+        topo = ThinClos(16, 4, 4)
+        assert topo.data_port(1, 6) == 1  # group 0 -> group 1
+        assert topo.data_port(6, 1) == 3  # group 1 -> group 0 (wraps)
+        assert topo.data_port(4, 6) == 0  # intra-group
+
+    def test_single_path_property(self):
+        """An ordered pair is connected by exactly one port-to-port path."""
+        topo = ThinClos(16, 4, 4)
+        for src in range(16):
+            for dst in range(16):
+                if src == dst:
+                    continue
+                port = topo.data_port(src, dst)
+                assert dst in topo.reachable_dsts(src, port)
+                for other in range(4):
+                    if other != port:
+                        assert dst not in topo.reachable_dsts(src, other)
+
+
+@pytest.mark.parametrize("shape", SHAPES, ids=shape_ids)
+class TestPredefinedSchedule:
+    def test_every_ordered_pair_meets_exactly_once(self, shape):
+        n, s, w = shape
+        topo = ThinClos(n, s, w)
+        seen = set()
+        for tor in range(n):
+            for port in range(s):
+                for slot in range(topo.predefined_slots):
+                    peer = topo.predefined_peer(tor, port, slot)
+                    if peer is not None:
+                        assert peer != tor
+                        assert (tor, peer) not in seen
+                        seen.add((tor, peer))
+        assert len(seen) == n * (n - 1)
+
+    def test_per_slot_connections_are_conflict_free(self, shape):
+        n, s, w = shape
+        topo = ThinClos(n, s, w)
+        for slot in range(topo.predefined_slots):
+            for port in range(s):
+                peers = [
+                    topo.predefined_peer(tor, port, slot) for tor in range(n)
+                ]
+                real = [p for p in peers if p is not None]
+                assert len(real) == len(set(real))
+
+    def test_assignment_inverts_peer(self, shape):
+        n, s, w = shape
+        topo = ThinClos(n, s, w)
+        for src in range(n):
+            for dst in range(n):
+                if src == dst:
+                    continue
+                slot, port = topo.predefined_assignment(src, dst)
+                assert topo.predefined_peer(src, port, slot) == dst
+
+    def test_assignment_port_matches_data_port(self, shape):
+        """Control and data for a pair ride the same port in thin-clos."""
+        n, s, w = shape
+        topo = ThinClos(n, s, w)
+        for src in range(0, n, max(1, n // 8)):
+            for dst in range(n):
+                if src == dst:
+                    continue
+                _slot, port = topo.predefined_assignment(src, dst)
+                assert port == topo.data_port(src, dst)
+
+
+class TestOpticalPaths:
+    def test_path_identifies_group_awgr(self):
+        topo = ThinClos(16, 4, 4)
+        path = topo.optical_path(1, 6, port=1)  # group 0 -> group 1 AWGR
+        assert path.awgr_id == 0 * 4 + 1
+        assert path.input_port == 1  # index of ToR 1 in group 0
+        assert path.output_port == 2  # index of ToR 6 in group 1
+
+    def test_wrong_port_rejected(self):
+        topo = ThinClos(16, 4, 4)
+        with pytest.raises(ValueError):
+            topo.optical_path(1, 6, port=2)
+
+    def test_awgr_ids_are_dense_and_distinct(self):
+        topo = ThinClos(16, 4, 4)
+        ids = set()
+        for src in range(16):
+            for dst in range(16):
+                if src != dst:
+                    ids.add(topo.optical_path(src, dst, topo.data_port(src, dst)).awgr_id)
+        assert ids == set(range(topo.num_awgrs))

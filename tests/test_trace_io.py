@@ -1,0 +1,93 @@
+"""Tests for workload serialization (bring-your-own-trace support)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.flows import Flow
+from repro.workloads import trace_io
+from repro.workloads.generators import poisson_workload
+from repro.workloads.traces import hadoop
+
+
+def make_flows():
+    return [
+        Flow(fid=0, src=0, dst=1, size_bytes=500, arrival_ns=10.5, tag="a"),
+        Flow(fid=1, src=2, dst=3, size_bytes=10_000, arrival_ns=5.0),
+    ]
+
+
+class TestRoundTrip:
+    def test_dumps_loads_roundtrip(self):
+        original = make_flows()
+        restored = trace_io.loads(trace_io.dumps(original))
+        assert len(restored) == 2
+        # Sorted by arrival on load.
+        assert [f.fid for f in restored] == [1, 0]
+        loaded = {f.fid: f for f in restored}
+        for flow in original:
+            twin = loaded[flow.fid]
+            assert (twin.src, twin.dst) == (flow.src, flow.dst)
+            assert twin.size_bytes == flow.size_bytes
+            assert twin.arrival_ns == flow.arrival_ns
+            assert twin.tag == flow.tag
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "workload.csv"
+        trace_io.save(make_flows(), path)
+        assert len(trace_io.load(path)) == 2
+
+    def test_generated_workload_roundtrips_exactly(self):
+        flows = poisson_workload(
+            hadoop(), 0.5, 8, 400.0, 50_000, random.Random(3)
+        )
+        restored = trace_io.loads(trace_io.dumps(flows))
+        assert [(f.fid, f.src, f.dst, f.size_bytes, f.arrival_ns)
+                for f in restored] == [
+            (f.fid, f.src, f.dst, f.size_bytes, f.arrival_ns) for f in flows
+        ]
+
+    @given(
+        arrivals=st.lists(
+            st.floats(0, 1e9, allow_nan=False), min_size=1, max_size=20
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_float_arrivals_roundtrip_bit_exact(self, arrivals):
+        flows = [
+            Flow(fid=i, src=0, dst=1, size_bytes=100, arrival_ns=t)
+            for i, t in enumerate(arrivals)
+        ]
+        restored = trace_io.loads(trace_io.dumps(flows))
+        assert sorted(f.arrival_ns for f in restored) == sorted(arrivals)
+
+
+class TestValidation:
+    def test_empty_file_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            trace_io.loads("")
+
+    def test_wrong_header_rejected(self):
+        with pytest.raises(ValueError, match="header"):
+            trace_io.loads("a,b,c\n1,2,3\n")
+
+    def test_short_row_rejected(self):
+        text = ",".join(trace_io.HEADER) + "\n1,2,3\n"
+        with pytest.raises(ValueError, match="fields"):
+            trace_io.loads(text)
+
+    def test_duplicate_fids_rejected(self):
+        text = (
+            ",".join(trace_io.HEADER)
+            + "\n0,0,1,100,0.0,\n0,1,2,100,1.0,\n"
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            trace_io.loads(text)
+
+    def test_fabric_validation(self):
+        flows = [Flow(fid=0, src=0, dst=9, size_bytes=10, arrival_ns=0.0)]
+        with pytest.raises(ValueError, match="destination"):
+            trace_io.validate_for_fabric(flows, num_tors=4)
+        trace_io.validate_for_fabric(flows, num_tors=16)
