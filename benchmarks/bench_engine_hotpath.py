@@ -1,0 +1,84 @@
+"""Bench: the engine hot-path scenarios behind BENCH_engine.json.
+
+Two modes, selected by ``BENCH_HOTPATH_SCALE``:
+
+* ``smoke`` (default) — tiny epoch budgets on the 16-ToR fabric, just
+  enough to prove the scenarios build and run.  This is what CI executes.
+* ``full`` — the frozen scenario x fabric matrix of :mod:`repro.perf`,
+  compared against the baseline recorded in ``BENCH_engine.json``.  The
+  acceptance floors (>= 2x on the sparse trace, >= 1.3x on dense
+  all-to-all at 64 ToRs) are asserted here.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_engine_hotpath.py -q``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro import perf
+
+SCALE = os.environ.get("BENCH_HOTPATH_SCALE", "smoke")
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+SMOKE_EPOCHS = {"alltoall": 40, "incast": 200, "sparse": 4000}
+
+
+@pytest.mark.parametrize("scenario", sorted(perf.SCENARIOS))
+def test_smoke(benchmark, scenario):
+    """Each scenario runs, simulates the requested epochs, and moves bytes."""
+    if SCALE != "smoke":
+        pytest.skip("full mode runs test_full_matrix instead")
+    result = benchmark.pedantic(
+        perf.run_scenario,
+        args=(scenario, 16, 4),
+        kwargs={"epochs": SMOKE_EPOCHS[scenario]},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.epochs == SMOKE_EPOCHS[scenario]
+    assert result.delivered_bytes > 0
+    assert result.stepped_epochs + result.fast_forwarded_epochs == result.epochs
+
+
+def test_fast_forward_skips_idle_epochs(benchmark):
+    """The sparse trace is mostly idle; fast-forward must skip the tails."""
+    if SCALE != "smoke":
+        pytest.skip("full mode runs test_full_matrix instead")
+    result = benchmark.pedantic(
+        perf.run_scenario,
+        args=("sparse", 16, 4),
+        kwargs={"epochs": 4000},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.fast_forwarded_epochs > result.stepped_epochs
+
+
+@pytest.mark.parametrize("scenario,num_tors,ports", [
+    (name, tors, ports)
+    for name in sorted(perf.SCENARIOS)
+    for tors, ports in perf.FABRICS
+])
+def test_full_matrix(benchmark, scenario, num_tors, ports):
+    """Full-budget runs compared against the recorded baseline."""
+    if SCALE != "full":
+        pytest.skip("set BENCH_HOTPATH_SCALE=full for the baseline comparison")
+    bench = perf.BenchFile.load(str(BENCH_FILE))
+    result = benchmark.pedantic(
+        perf.run_scenario, args=(scenario, num_tors, ports), rounds=1, iterations=1
+    )
+    baseline = bench.baseline_eps(result.key)
+    assert baseline, f"no baseline recorded for {result.key}"
+    speedup = result.epochs_per_sec / baseline
+    # Acceptance floors of the hot-path overhaul; other cells must at least
+    # not regress below the pre-overhaul engine.
+    if scenario == "sparse":
+        assert speedup >= 2.0, f"{result.key}: {speedup:.2f}x < 2x"
+    elif scenario == "alltoall" and num_tors == 64:
+        assert speedup >= 1.3, f"{result.key}: {speedup:.2f}x < 1.3x"
+    else:
+        assert speedup >= 1.0, f"{result.key}: {speedup:.2f}x regressed"

@@ -1,9 +1,28 @@
-"""Setup shim: metadata lives in pyproject.toml.
+"""Package metadata for the NegotiaToR (SIGCOMM 2024) reproduction.
 
-Keeping a setup.py (and no [build-system] table) lets pip fall back to the
-legacy, non-isolated build path, so `pip install -e .` works offline.
+Kept as a plain setup.py (no [build-system] table) so pip falls back to the
+legacy, non-isolated build path and `pip install -e .` works offline.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="negotiator-repro",
+    version="0.2.0",
+    description=(
+        "Reproduction of 'NegotiaToR: Towards A Simple Yet Effective "
+        "On-demand Reconfigurable Datacenter Network'"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    extras_require={
+        # The tier-1 suite needs only pytest + hypothesis; the benchmark
+        # harness (benchmarks/bench_*.py, incl. the engine hot-path suite)
+        # additionally needs pytest-benchmark.
+        "test": ["pytest", "hypothesis"],
+        "bench": ["pytest", "pytest-benchmark"],
+    },
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

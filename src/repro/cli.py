@@ -7,6 +7,9 @@ Commands:
   print the rendered results.
 * ``report`` — run a set of experiments and emit a markdown report
   (the generator behind EXPERIMENTS.md).
+* ``simulate`` — one-off simulation with headline metrics.
+* ``bench`` — the engine hot-path benchmark suite behind BENCH_engine.json
+  (DESIGN.md section 8).
 
 Examples::
 
@@ -14,6 +17,8 @@ Examples::
     python -m repro run fig9 --scale tiny
     python -m repro run table2 fig14 efficiency
     python -m repro report --scale small --output report.md
+    python -m repro bench --scenario sparse --fabric 64x8
+    python -m repro bench --check 0.5   # fail if any scenario regressed 2x
 """
 
 from __future__ import annotations
@@ -84,6 +89,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-pq", action="store_true", help="disable PIAS priority queues"
     )
     simulate.add_argument("--seed", type=int, default=None)
+
+    bench = sub.add_parser(
+        "bench", help="run the engine hot-path benchmark suite"
+    )
+    bench.add_argument(
+        "--scenario",
+        action="append",
+        dest="scenarios",
+        metavar="SCENARIO",
+        default=None,
+        help="scenario to run (repeatable; default: all)",
+    )
+    bench.add_argument(
+        "--fabric",
+        action="append",
+        dest="fabrics",
+        metavar="TORSxPORTS",
+        default=None,
+        help="fabric to run, e.g. 64x8 (repeatable; default: 16x4 64x8 128x8)",
+    )
+    bench.add_argument(
+        "--no-fast-forward",
+        action="store_true",
+        help="disable idle-epoch fast-forward for this run",
+    )
+    bench.add_argument(
+        "--bench-file",
+        default="BENCH_engine.json",
+        help="tracked baseline file (default: BENCH_engine.json)",
+    )
+    bench.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="record this run as the baseline in the bench file",
+    )
+    bench.add_argument(
+        "--record",
+        action="store_true",
+        help="record this run as 'current' (and its vs-baseline speedup)",
+    )
+    bench.add_argument(
+        "--check",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="exit non-zero if any scenario runs slower than RATIO x baseline",
+    )
     return parser
 
 
@@ -201,6 +253,83 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from . import perf
+
+    fabrics = None
+    if args.fabrics:
+        fabrics = []
+        for spec in args.fabrics:
+            try:
+                tors, ports = (int(part) for part in spec.lower().split("x"))
+            except ValueError:
+                print(f"bad fabric spec {spec!r} (expected TORSxPORTS)",
+                      file=sys.stderr)
+                return 2
+            fabrics.append((tors, ports))
+    unknown = [s for s in (args.scenarios or []) if s not in perf.SCENARIOS]
+    if unknown:
+        print(
+            f"unknown scenario(s): {', '.join(unknown)} "
+            f"(choose from {', '.join(sorted(perf.SCENARIOS))})",
+            file=sys.stderr,
+        )
+        return 2
+
+    bench = perf.BenchFile.load(args.bench_file)
+    results = perf.run_suite(
+        args.scenarios, fabrics, fast_forward=not args.no_fast_forward
+    )
+    print(perf.format_results(results, bench))
+    # Snapshot before any recording so --check compares against the
+    # baseline that existed when the run started, not one this invocation
+    # just overwrote.
+    baseline_before = {r.key: bench.baseline_eps(r.key) for r in results}
+
+    dirty = False
+    for result in results:
+        if args.update_baseline:
+            bench.record_baseline(result)
+            dirty = True
+        if args.record:
+            bench.record_current(result)
+            dirty = True
+    if dirty:
+        bench.write()
+        print(f"wrote {args.bench_file}")
+
+    if args.check is not None:
+        failed = []
+        compared = 0
+        for result in results:
+            base = baseline_before[result.key]
+            if not base:
+                print(
+                    f"warning: no baseline for {result.key}; not checked",
+                    file=sys.stderr,
+                )
+                continue
+            compared += 1
+            if result.epochs_per_sec < args.check * base:
+                failed.append(
+                    f"{result.key}: {result.epochs_per_sec:.0f} epochs/s "
+                    f"< {args.check:g} x baseline {base:.0f}"
+                )
+        if failed:
+            print("perf regression:", file=sys.stderr)
+            for line in failed:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        if compared == 0:
+            print(
+                "perf check: no comparable baselines found "
+                f"in {args.bench_file}",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
@@ -212,6 +341,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_report(args.experiments, args.scale, args.output)
     if args.command == "simulate":
         return cmd_simulate(args)
+    if args.command == "bench":
+        return cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

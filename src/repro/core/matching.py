@@ -27,7 +27,7 @@ failures naturally translate into missing requests or grants.
 from __future__ import annotations
 
 import random
-from collections.abc import Callable, Mapping
+from collections.abc import Callable, Collection, Mapping
 from dataclasses import dataclass, field
 
 from ..topology.base import FlatTopology
@@ -41,7 +41,20 @@ def _all_ports_usable(tor: int, port: int) -> bool:
     return True
 
 
-@dataclass(frozen=True)
+def _normalize_predicate(predicate: PortPredicate | None) -> PortPredicate | None:
+    """Map the all-usable sentinel to None so hot paths can skip it.
+
+    ``None`` means "every port is usable": the GRANT/ACCEPT hot paths treat
+    it as permission to skip per-(tor, port) predicate calls and candidate
+    filtering entirely, which is the common case (no detected failures, no
+    receiver-buffer pressure).
+    """
+    if predicate is _all_ports_usable:
+        return None
+    return predicate
+
+
+@dataclass(frozen=True, slots=True)
 class Match:
     """A scheduled one-hop connection: src transmits to dst on port ``port``."""
 
@@ -102,6 +115,10 @@ class NegotiaToRMatcher:
             ]
             for tor in range(self._num_tors)
         ]
+        self._all_ports = tuple(range(self._ports))
+        # Per-port ACCEPT scratch buckets, reused across sources and epochs
+        # so the hot path allocates no per-destination containers.
+        self._accept_buckets: list[list[int]] = [[] for _ in range(self._ports)]
 
     @property
     def topology(self) -> FlatTopology:
@@ -120,30 +137,37 @@ class NegotiaToRMatcher:
     def grant_step(
         self,
         requests_by_dst: Mapping[int, Mapping[int, object]],
-        rx_usable: PortPredicate = _all_ports_usable,
-        tx_usable: PortPredicate = _all_ports_usable,
+        rx_usable: PortPredicate | None = None,
+        tx_usable: PortPredicate | None = None,
     ) -> tuple[dict[int, list[tuple[int, int]]], int]:
         """Allocate every destination's RX ports to its received requests.
 
         ``requests_by_dst[dst]`` maps requesting sources to request payloads
         (ignored here — requests are binary; variants interpret them).
         ``rx_usable`` and ``tx_usable`` exclude ports with *detected* link
-        failures on the receive and transmit side respectively.
+        failures on the receive and transmit side respectively; ``None``
+        (the common, failure-free case) means every port is usable and lets
+        the GRANT step skip all per-port predicate calls.
 
         Returns (grants routed to each source as ``src -> [(dst, port), ...]``,
         total number of grants issued).
         """
+        rx_usable = _normalize_predicate(rx_usable)
+        tx_usable = _normalize_predicate(tx_usable)
         grants_by_src: dict[int, list[tuple[int, int]]] = {}
         num_grants = 0
+        grant = (
+            self._grant_parallel if self._shared_grant_ring else self._grant_thinclos
+        )
         for dst, requests in requests_by_dst.items():
             if not requests:
                 continue
-            if self._shared_grant_ring:
-                assigned = self._grant_parallel(dst, requests, rx_usable, tx_usable)
-            else:
-                assigned = self._grant_thinclos(dst, requests, rx_usable, tx_usable)
-            for port, src in assigned:
-                grants_by_src.setdefault(src, []).append((dst, port))
+            for port, src in grant(dst, requests, rx_usable, tx_usable):
+                entry = grants_by_src.get(src)
+                if entry is None:
+                    grants_by_src[src] = [(dst, port)]
+                else:
+                    entry.append((dst, port))
                 num_grants += 1
         return grants_by_src, num_grants
 
@@ -151,18 +175,26 @@ class NegotiaToRMatcher:
         self,
         dst: int,
         requests: Mapping[int, object],
-        rx_usable: PortPredicate,
-        tx_usable: PortPredicate,
+        rx_usable: PortPredicate | None,
+        tx_usable: PortPredicate | None,
     ) -> list[tuple[int, int]]:
         ring = self._grant_rings[dst]
-        ports = [p for p in range(self._ports) if rx_usable(dst, p)]
-        candidates = {src for src in requests if src != dst}
-        if not ports or not candidates:
-            return []
-        constrained = any(
+        if rx_usable is None:
+            ports: Collection[int] = self._all_ports
+        else:
+            ports = [p for p in range(self._ports) if rx_usable(dst, p)]
+            if not ports:
+                return []
+        # The engine never routes a ToR's request to itself; only filter the
+        # self-request out when a direct run_epoch() caller included one.
+        candidates: Collection[int] = requests
+        if dst in requests:
+            candidates = [src for src in requests if src != dst]
+            if not candidates:
+                return []
+        if tx_usable is None or not any(
             not tx_usable(src, port) for src in candidates for port in ports
-        )
-        if not constrained:
+        ):
             picks = ring.deal(candidates, len(ports))
             return list(zip(ports, picks))
         # A source with a failed egress port must not be granted that port:
@@ -179,20 +211,32 @@ class NegotiaToRMatcher:
         self,
         dst: int,
         requests: Mapping[int, object],
-        rx_usable: PortPredicate,
-        tx_usable: PortPredicate,
+        rx_usable: PortPredicate | None,
+        tx_usable: PortPredicate | None,
     ) -> list[tuple[int, int]]:
         assigned = []
+        rings = self._grant_rings[dst]
+        if rx_usable is None and tx_usable is None:
+            # The ring scan itself intersects with the request set (peek
+            # tests membership), so no per-port candidate set is needed.
+            for port in range(self._ports):
+                src = rings[port].pick(requests)
+                if src is not None:
+                    assigned.append((port, src))
+            return assigned
         for port in range(self._ports):
-            if not rx_usable(dst, port):
+            if rx_usable is not None and not rx_usable(dst, port):
                 continue
-            ring = self._grant_rings[dst][port]
-            eligible = {
-                src
-                for src in requests
-                if src in ring.members and tx_usable(src, port)
-            }
-            src = ring.pick(eligible)
+            ring = rings[port]
+            if tx_usable is None:
+                src = ring.pick(requests)
+            else:
+                eligible = {
+                    src
+                    for src in requests
+                    if src in ring.members and tx_usable(src, port)
+                }
+                src = ring.pick(eligible)
             if src is not None:
                 assigned.append((port, src))
         return assigned
@@ -204,20 +248,36 @@ class NegotiaToRMatcher:
     def accept_step(
         self,
         grants_by_src: Mapping[int, list[tuple[int, int]]],
-        tx_usable: PortPredicate = _all_ports_usable,
+        tx_usable: PortPredicate | None = None,
     ) -> list[Match]:
         """Resolve source-side conflicts: one accepted grant per TX port."""
+        tx_usable = _normalize_predicate(tx_usable)
         matches: list[Match] = []
+        buckets = self._accept_buckets
         for src, grants in grants_by_src.items():
-            by_port: dict[int, set[int]] = {}
+            rings = self._accept_rings[src]
+            if len(grants) == 1:
+                # Most sources hold a single grant: no grouping needed.
+                dst, port = grants[0]
+                if tx_usable is None or tx_usable(src, port):
+                    picked = rings[port].pick((dst,))
+                    if picked is not None:
+                        matches.append(Match(src=src, port=port, dst=picked))
+                continue
+            used = []
             for dst, port in grants:
-                by_port.setdefault(port, set()).add(dst)
-            for port in sorted(by_port):
-                if not tx_usable(src, port):
-                    continue
-                dst = self._accept_rings[src][port].pick(by_port[port])
-                if dst is not None:
-                    matches.append(Match(src=src, port=port, dst=dst))
+                bucket = buckets[port]
+                if not bucket:
+                    used.append(port)
+                bucket.append(dst)
+            used.sort()
+            for port in used:
+                bucket = buckets[port]
+                if tx_usable is None or tx_usable(src, port):
+                    dst = rings[port].pick(bucket)
+                    if dst is not None:
+                        matches.append(Match(src=src, port=port, dst=dst))
+                bucket.clear()
         return matches
 
     # ------------------------------------------------------------------
@@ -227,8 +287,8 @@ class NegotiaToRMatcher:
     def run_epoch(
         self,
         requests_by_dst: Mapping[int, Mapping[int, object]],
-        rx_usable: PortPredicate = _all_ports_usable,
-        tx_usable: PortPredicate = _all_ports_usable,
+        rx_usable: PortPredicate | None = None,
+        tx_usable: PortPredicate | None = None,
     ) -> MatchingResult:
         """GRANT + ACCEPT back to back (no pipelining, no message loss).
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from collections.abc import Callable
 
-from .matching import Match, NegotiaToRMatcher, PortPredicate, _all_ports_usable
+from .matching import Match, NegotiaToRMatcher, PortPredicate
 
 GrantsBySrc = dict[int, list[tuple[int, int]]]
 RequestsByDst = dict[int, dict[int, object]]
@@ -36,12 +36,27 @@ class PipelinedScheduler:
         """The ring-state holder this pipeline drives."""
         return self._matcher
 
+    @property
+    def is_idle(self) -> bool:
+        """Whether advancing with no input would be an exact no-op.
+
+        True when no request, grant, or grant-count is in flight: the engine
+        may then skip whole epochs (idle fast-forward, DESIGN.md section 7)
+        without changing any observable state.  Stateful subclasses override
+        this to account for their extra in-flight state.
+        """
+        return (
+            not self._awaiting_grant
+            and not self._awaiting_accept
+            and self._grants_issued_last_epoch == 0
+        )
+
     def advance(
         self,
         delivered_requests: RequestsByDst,
         deliver_grants: GrantDelivery,
-        rx_usable: PortPredicate = _all_ports_usable,
-        tx_usable: PortPredicate = _all_ports_usable,
+        rx_usable: PortPredicate | None = None,
+        tx_usable: PortPredicate | None = None,
     ) -> tuple[list[Match], int, int]:
         """Run one epoch's GRANT and ACCEPT stages.
 

@@ -56,14 +56,35 @@ class RoundRobinRing:
     def peek(self, candidates: Collection[int]) -> int | None:
         """Return the highest-priority member among ``candidates``.
 
-        Scans clockwise from the pointer; does not move the pointer.  Returns
-        None when no candidate belongs to the ring.
+        Does not move the pointer; returns None when no candidate belongs to
+        the ring.  With few candidates the winner is found by ranking each
+        candidate's clockwise distance from the pointer (O(candidates));
+        with many, a clockwise scan stops at the first hit after O(ring /
+        candidates) expected steps.  Both orders pick the same member.
         """
-        n = len(self._members)
-        for step in range(n):
-            member = self._members[(self._pointer + step) % n]
-            if member in candidates:
-                return member
+        members = self._members
+        n = len(members)
+        pointer = self._pointer
+        if len(candidates) * 4 < n:
+            index_of = self._index_of
+            best = None
+            best_rank = n
+            for member in candidates:
+                index = index_of.get(member)
+                if index is None:
+                    continue
+                rank = index - pointer
+                if rank < 0:
+                    rank += n
+                if rank < best_rank:
+                    best, best_rank = member, rank
+            return best
+        for i in range(pointer, n):
+            if members[i] in candidates:
+                return members[i]
+        for i in range(pointer):
+            if members[i] in candidates:
+                return members[i]
         return None
 
     def advance_past(self, member: int) -> None:
@@ -94,12 +115,18 @@ class RoundRobinRing:
         """
         if not candidates:
             return []
-        wanted = set(candidates)
-        n = len(self._members)
+        # dicts and sets support O(1) membership directly; only copy when
+        # given a sequence (this runs once per destination per epoch).
+        if not isinstance(candidates, (set, frozenset, dict)):
+            candidates = set(candidates)
+        members = self._members
+        pointer = self._pointer
         ordered = []
-        for step in range(n):
-            member = self._members[(self._pointer + step) % n]
-            if member in wanted:
+        for member in members[pointer:]:
+            if member in candidates:
+                ordered.append(member)
+        for member in members[:pointer]:
+            if member in candidates:
                 ordered.append(member)
         return ordered
 

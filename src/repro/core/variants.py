@@ -65,6 +65,8 @@ class ValuePriorityMatcher(NegotiaToRMatcher):
         return float(payload) if payload is not None else 0.0
 
     def _grant_parallel(self, dst, requests, rx_usable, tx_usable):
+        rx_usable = rx_usable or _all_ports_usable
+        tx_usable = tx_usable or _all_ports_usable
         ring = self._grant_rings[dst]
         ports = [p for p in range(self._ports) if rx_usable(dst, p)]
         candidates = {src for src in requests if src != dst}
@@ -84,6 +86,8 @@ class ValuePriorityMatcher(NegotiaToRMatcher):
         return assigned
 
     def _grant_thinclos(self, dst, requests, rx_usable, tx_usable):
+        rx_usable = rx_usable or _all_ports_usable
+        tx_usable = tx_usable or _all_ports_usable
         assigned = []
         for port in range(self._ports):
             if not rx_usable(dst, port):
@@ -159,6 +163,17 @@ class StatefulScheduler(PipelinedScheduler):
         self._reported: dict[tuple[int, int], int] = {}
         self._tentative: dict[tuple[int, int, int], float] = {}
 
+    @property
+    def is_idle(self) -> bool:
+        """Idle additionally requires no tentative reservation in flight.
+
+        An unresolved reservation is reverted (a matrix write) on the next
+        ``advance``, so skipping epochs while one exists would not be a
+        no-op.  The demand matrices themselves are persistent state and do
+        not change across empty epochs.
+        """
+        return super().is_idle and not self._tentative
+
     def demand_estimate(self, dst: int, src: int) -> float:
         """The destination's current estimate of the source's backlog."""
         return self._matrix.get((dst, src), 0.0)
@@ -174,8 +189,8 @@ class StatefulScheduler(PipelinedScheduler):
         self,
         delivered_requests: RequestsByDst,
         deliver_grants: GrantDelivery,
-        rx_usable: PortPredicate = _all_ports_usable,
-        tx_usable: PortPredicate = _all_ports_usable,
+        rx_usable: PortPredicate | None = None,
+        tx_usable: PortPredicate | None = None,
     ) -> tuple[list[Match], int, int]:
         # Grant only the pairs whose matrix still shows demand.
         granted_view = {
@@ -254,6 +269,8 @@ class ProjecToRMatcher(NegotiaToRMatcher):
         return best_src
 
     def _grant_parallel(self, dst, requests, rx_usable, tx_usable):
+        rx_usable = rx_usable or _all_ports_usable
+        tx_usable = tx_usable or _all_ports_usable
         assigned = []
         for port in range(self._ports):
             if not rx_usable(dst, port):
@@ -264,6 +281,8 @@ class ProjecToRMatcher(NegotiaToRMatcher):
         return assigned
 
     def _grant_thinclos(self, dst, requests, rx_usable, tx_usable):
+        rx_usable = rx_usable or _all_ports_usable
+        tx_usable = tx_usable or _all_ports_usable
         assigned = []
         for port in range(self._ports):
             if not rx_usable(dst, port):
@@ -362,13 +381,29 @@ class IterativeScheduler:
     def observe_sent(self, src, dst, num_bytes):
         """No demand bookkeeping."""
 
+    @property
+    def is_idle(self) -> bool:
+        """Whether no scheduling process or grant is in flight.
+
+        The internal epoch counter is self-contained (stages are computed
+        relative to each process's start epoch), so the engine skipping
+        epochs while idle cannot desynchronize it.
+        """
+        return (
+            not self._processes
+            and not self._grants_in_flight
+            and all(count == 0 for count in self._grants_issued.values())
+        )
+
     def advance(
         self,
         delivered_requests: RequestsByDst,
         deliver_grants: GrantDelivery,
-        rx_usable: PortPredicate = _all_ports_usable,
-        tx_usable: PortPredicate = _all_ports_usable,
+        rx_usable: PortPredicate | None = None,
+        tx_usable: PortPredicate | None = None,
     ) -> tuple[list[Match], int, int]:
+        rx_usable = rx_usable or _all_ports_usable
+        tx_usable = tx_usable or _all_ports_usable
         epoch = self._epoch
         self._epoch += 1
         if delivered_requests:

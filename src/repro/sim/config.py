@@ -208,6 +208,12 @@ class SimConfig:
     128 x 8.  ``uplink_gbps`` is the per-port optical rate (100 Gbps with the
     default 2x speedup); ``host_aggregate_gbps`` is the per-ToR host-side
     bandwidth against which goodput is normalized and loads are defined.
+
+    ``idle_fast_forward`` lets the engine's run loops jump over epochs in
+    which provably nothing can happen (no queued data, drained scheduling
+    pipeline, no imminent arrival or failure event); results are bit-exact
+    either way (DESIGN.md section 7), so the flag exists for A/B testing
+    and the determinism regression suite.
     """
 
     num_tors: int = 128
@@ -220,6 +226,7 @@ class SimConfig:
     pias_thresholds: tuple[int, ...] = DEFAULT_PIAS_THRESHOLDS
     mice_threshold_bytes: int = MICE_THRESHOLD_BYTES
     receiver_buffer_bytes: int | None = None
+    idle_fast_forward: bool = True
     seed: int = 0
 
     def __post_init__(self) -> None:

@@ -98,7 +98,13 @@ def random_failure_plan(
 
 
 class LinkFailureModel:
-    """Actual link state plus the lagged detection process."""
+    """Actual link state plus the lagged detection process.
+
+    Links are tracked as packed integer keys (``(tor * ports + port) << 1 |
+    direction``) rather than ``(tor, port, Direction)`` tuples: the
+    ``egress_ok``/``ingress_ok`` predicates sit on the scheduling hot path
+    and integer set membership avoids tuple construction and enum hashing.
+    """
 
     def __init__(
         self, num_tors: int, ports_per_tor: int, detect_epochs: int = 3
@@ -108,9 +114,14 @@ class LinkFailureModel:
         self._num_tors = num_tors
         self._ports = ports_per_tor
         self._detect_epochs = detect_epochs
-        self._failed: set[tuple[int, int, Direction]] = set()
-        self._detected: set[tuple[int, int, Direction]] = set()
-        self._evidence: dict[tuple[int, int, Direction], int] = {}
+        self._failed: set[int] = set()
+        self._detected: set[int] = set()
+        self._evidence: dict[int, int] = {}
+
+    def _key(self, tor: int, port: int, direction: Direction) -> int:
+        return ((tor * self._ports + port) << 1) | (
+            direction is Direction.INGRESS
+        )
 
     @property
     def any_failed(self) -> bool:
@@ -122,13 +133,25 @@ class LinkFailureModel:
         """Whether any link is currently excluded from scheduling."""
         return bool(self._detected)
 
+    @property
+    def is_quiescent(self) -> bool:
+        """Whether an epoch tick would be a no-op.
+
+        True when the detected state matches the actual state, so no
+        evidence accumulates and no flip is pending — the condition under
+        which the engine may fast-forward across epochs without running
+        :meth:`tick_epoch` (stale evidence counters from interrupted
+        transitions stay untouched either way).
+        """
+        return self._failed == self._detected
+
     # ------------------------------------------------------------------
     # actual state
     # ------------------------------------------------------------------
 
     def apply(self, event: FailureEvent) -> None:
         """Apply one failure/repair event."""
-        key = (event.link.tor, event.link.port, event.link.direction)
+        key = self._key(event.link.tor, event.link.port, event.link.direction)
         if event.fail:
             self._failed.add(key)
         else:
@@ -136,11 +159,11 @@ class LinkFailureModel:
 
     def egress_ok(self, tor: int, port: int) -> bool:
         """Whether the TX fiber of (tor, port) actually works."""
-        return (tor, port, Direction.EGRESS) not in self._failed
+        return ((tor * self._ports + port) << 1) not in self._failed
 
     def ingress_ok(self, tor: int, port: int) -> bool:
         """Whether the RX fiber of (tor, port) actually works."""
-        return (tor, port, Direction.INGRESS) not in self._failed
+        return ((tor * self._ports + port) << 1 | 1) not in self._failed
 
     def transmission_ok(self, src: int, src_port: int, dst: int, dst_port: int) -> bool:
         """Whether a one-hop transmission physically gets through."""
@@ -182,8 +205,8 @@ class LinkFailureModel:
 
     def detected_egress_ok(self, tor: int, port: int) -> bool:
         """Scheduling predicate: TX fiber not currently excluded."""
-        return (tor, port, Direction.EGRESS) not in self._detected
+        return ((tor * self._ports + port) << 1) not in self._detected
 
     def detected_ingress_ok(self, tor: int, port: int) -> bool:
         """Scheduling predicate: RX fiber not currently excluded."""
-        return (tor, port, Direction.INGRESS) not in self._detected
+        return ((tor * self._ports + port) << 1 | 1) not in self._detected

@@ -60,10 +60,13 @@ class FlowTracker:
         self._flows: list[Flow] = []
         self._delivered_total = 0
         self._delivered_per_dst = [0] * num_tors
+        self._num_completed = 0
 
     def register(self, flow: Flow) -> Flow:
         """Start tracking a flow (called on arrival at the source ToR)."""
         self._flows.append(flow)
+        if flow.completed:
+            self._num_completed += 1
         return flow
 
     def register_all(self, flows) -> None:
@@ -90,6 +93,7 @@ class FlowTracker:
         self._delivered_per_dst[flow.dst] += num_bytes
         if flow.remaining_bytes == 0:
             flow.completed_ns = time_ns
+            self._num_completed += 1
 
     # ------------------------------------------------------------------
     # flow views
@@ -123,8 +127,12 @@ class FlowTracker:
 
     @property
     def all_complete(self) -> bool:
-        """Whether every registered flow has completed."""
-        return all(f.completed for f in self._flows)
+        """Whether every registered flow has completed.
+
+        O(1): completions are counted as they happen, so the per-epoch
+        ``run_until_complete`` check does not rescan the flow list.
+        """
+        return self._num_completed == len(self._flows)
 
     # ------------------------------------------------------------------
     # statistics

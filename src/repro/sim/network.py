@@ -16,10 +16,17 @@ An epoch-driven engine: every epoch it
 
 All transmissions are one-hop; conflict-freedom is guaranteed by the matching
 (validated in tests) and the predefined-phase permutation schedule.
+
+Two hot-path mechanisms keep large sweeps tractable (DESIGN.md sections 6-7):
+queue backlog and request-readiness are maintained as running counters
+updated on enqueue/drain rather than re-summed per epoch, and the run loops
+fast-forward over epochs in which provably nothing can happen.  Both are
+exact: a fixed seed produces bit-identical results with them on or off.
 """
 
 from __future__ import annotations
 
+import math
 import random
 from collections.abc import Iterable
 
@@ -59,6 +66,19 @@ class NegotiaToRSimulator:
         self.timing = EpochTiming.derive(
             config.epoch, config.uplink_gbps, topology.predefined_slots
         )
+        self._epoch_ns = self.timing.epoch_ns
+        # Per-slot start/end offsets from epoch start, fixed for the whole
+        # run; the predefined-phase loop adds the epoch start per pair
+        # (keeping the original operand grouping, so times stay bit-exact)
+        # instead of calling the timing methods per pair per epoch.
+        self._predef_slot_starts = tuple(
+            self.timing.predefined_slot_start(s)
+            for s in range(self.timing.predefined_slots)
+        )
+        self._predef_slot_ends = tuple(
+            self.timing.predefined_slot_end(s)
+            for s in range(self.timing.predefined_slots)
+        )
         self._rng = random.Random(config.seed)
         if scheduler is None:
             scheduler = PipelinedScheduler(
@@ -94,6 +114,20 @@ class NegotiaToRSimulator:
             for src in range(n)
         ]
         self._active_pairs: set[tuple[int, int]] = set()
+        # Incremental accounting (DESIGN.md section 6): total backlog and the
+        # set of pairs above the REQUEST threshold are updated at every
+        # enqueue/drain instead of being re-derived from the queues.
+        self._queued_bytes = 0
+        self._request_threshold = config.epoch.request_threshold_bytes
+        self._request_ready: set[tuple[int, int]] = set()
+        self._ff_enabled = config.idle_fast_forward
+        self._epochs_fast_forwarded = 0
+        # Base-scheduler requests are always binary (payload None): skip the
+        # per-pair request_payload hook unless a variant overrides it.
+        self._binary_requests = (
+            type(self.scheduler).request_payload
+            is PipelinedScheduler.request_payload
+        )
         if config.receiver_buffer_bytes is not None:
             # Section 3.6.5: destinations stop granting when their host-side
             # receive buffer is nearly full.
@@ -121,7 +155,7 @@ class NegotiaToRSimulator:
     @property
     def now_ns(self) -> float:
         """Start time of the next epoch."""
-        return self._epoch * self.timing.epoch_ns
+        return self._epoch * self._epoch_ns
 
     def attach_stats_recorder(self, recorder: EpochStatsRecorder) -> None:
         """Record per-epoch scheduler statistics into ``recorder``."""
@@ -137,9 +171,12 @@ class NegotiaToRSimulator:
     @property
     def total_queued_bytes(self) -> int:
         """Bytes currently waiting in all per-destination queues."""
-        return sum(
-            self._queues[src][dst].pending_bytes for src, dst in self._active_pairs
-        )
+        return self._queued_bytes
+
+    @property
+    def fast_forwarded_epochs(self) -> int:
+        """Idle epochs the run loops skipped without stepping them."""
+        return self._epochs_fast_forwarded
 
     # ------------------------------------------------------------------
     # run loops
@@ -150,6 +187,9 @@ class NegotiaToRSimulator:
         if duration_ns <= 0:
             raise ValueError("duration must be positive")
         while self.now_ns < duration_ns:
+            self._maybe_fast_forward(duration_ns)
+            if self.now_ns >= duration_ns:
+                break
             self.step_epoch()
 
     def run_until_complete(self, max_ns: float) -> bool:
@@ -160,8 +200,91 @@ class NegotiaToRSimulator:
         while not self.tracker.all_complete:
             if self.now_ns >= max_ns:
                 return False
+            self._maybe_fast_forward(max_ns)
+            if self.now_ns >= max_ns:
+                return False
             self.step_epoch()
         return True
+
+    # ------------------------------------------------------------------
+    # idle-epoch fast-forward (DESIGN.md section 7)
+    # ------------------------------------------------------------------
+
+    def _maybe_fast_forward(self, limit_ns: float) -> None:
+        """Jump ``_epoch`` over epochs in which provably nothing happens.
+
+        Requires the engine to be fully idle: no queued data, a drained
+        scheduling pipeline, failure detection in steady state, and no
+        subclass-held in-flight state.  The jump lands on the earliest epoch
+        that an arrival, a failure/repair event, or the run limit can touch,
+        so every skipped epoch would have been an exact no-op.
+        """
+        if (
+            not self._ff_enabled
+            or self._active_pairs
+            or self._stats is not None
+            or not self.failures.is_quiescent
+            or not getattr(self.scheduler, "is_idle", False)
+            or not self._subclass_state_idle()
+        ):
+            return
+        target = self._next_interesting_epoch(self._epoch_ceil(limit_ns))
+        if target > self._epoch:
+            self._epochs_fast_forwarded += target - self._epoch
+            self._epoch = target
+
+    def _subclass_state_idle(self) -> bool:
+        """Hook for engine subclasses holding their own in-flight state.
+
+        Fast-forward is only legal when this returns True; the selective
+        relay overrides it while relay requests or grants are pending.
+        """
+        return True
+
+    def _epoch_ceil(self, time_ns: float) -> int:
+        """Smallest epoch index whose start time is at or after ``time_ns``.
+
+        The while-loops absorb float rounding in the division so the result
+        is exact against the engine's own ``epoch * epoch_ns`` arithmetic.
+        """
+        epoch_ns = self.timing.epoch_ns
+        epoch = math.ceil(time_ns / epoch_ns)
+        while epoch > 0 and (epoch - 1) * epoch_ns >= time_ns:
+            epoch -= 1
+        while epoch * epoch_ns < time_ns:
+            epoch += 1
+        return epoch
+
+    def _next_interesting_epoch(self, limit_epoch: int) -> int:
+        """First epoch at which a pending arrival or failure event matters.
+
+        A skipped epoch must not even *enqueue* an arrival: engine
+        subclasses (the selective relay) act on newly active pairs right
+        after the mid-epoch injection, so the jump stops at the first epoch
+        whose injection bound (its end time) reaches the next arrival — see
+        DESIGN.md section 7.  A failure event fires at the first epoch
+        whose start is at or after its timestamp.
+        """
+        epoch_ns = self.timing.epoch_ns
+        target = limit_epoch
+        flows = self._pending_flows
+        if self._next_flow < len(flows):
+            arrival = flows[self._next_flow].arrival_ns
+            # Keep every epoch whose injection bound reaches the arrival.
+            # The bound must be the exact float expression step_epoch uses —
+            # (epoch * epoch_ns) + epoch_ns — because for non-dyadic epoch
+            # lengths it can differ by 1 ulp from (epoch + 1) * epoch_ns,
+            # and a mismatch would skip an epoch the stepped run injects in.
+            epoch = int(arrival // epoch_ns)
+            while epoch > 0 and (epoch - 1) * epoch_ns + epoch_ns >= arrival:
+                epoch -= 1
+            target = min(target, epoch)
+        events = self._failure_events
+        if self._next_failure_event < len(events):
+            target = min(
+                target, self._epoch_ceil(events[self._next_failure_event].time_ns)
+            )
+        return max(target, self._epoch)
 
     # ------------------------------------------------------------------
     # one epoch
@@ -185,7 +308,11 @@ class NegotiaToRSimulator:
             delivered_requests,
             deliver_grants=lambda grants: self._deliver_grants(grants, epoch),
             rx_usable=self._rx_usable(start_ns),
-            tx_usable=self.failures.detected_egress_ok,
+            tx_usable=(
+                self.failures.detected_egress_ok
+                if self.failures.any_detected
+                else None
+            ),
         )
         if self.match_recorder is not None and grants_answered > 0:
             self.match_recorder.record(epoch, grants_answered, accepts)
@@ -236,45 +363,70 @@ class NegotiaToRSimulator:
         # Inclusive bound: a flow arriving exactly at an epoch boundary is
         # visible to that epoch's REQUEST decision.
         flows = self._pending_flows
+        threshold = self._request_threshold
         while (
             self._next_flow < len(flows)
             and flows[self._next_flow].arrival_ns <= before_ns
         ):
             flow = flows[self._next_flow]
-            self._queues[flow.src][flow.dst].enqueue_flow(flow)
-            self._active_pairs.add((flow.src, flow.dst))
+            queue = self._queues[flow.src][flow.dst]
+            queue.enqueue_flow(flow)
+            pair = (flow.src, flow.dst)
+            self._active_pairs.add(pair)
+            self._queued_bytes += flow.size_bytes
+            if queue.pending_bytes > threshold:
+                self._request_ready.add(pair)
             self._next_flow += 1
 
     def _compute_requests(self, now_ns: float) -> dict[int, dict[int, object]]:
-        """REQUEST step: binary demand above the piggyback threshold."""
-        threshold = self.config.epoch.request_threshold_bytes
-        scheduler = self.scheduler
+        """REQUEST step: binary demand above the piggyback threshold.
+
+        ``_request_ready`` holds exactly the pairs whose pending bytes
+        exceed the threshold (maintained incrementally at every
+        enqueue/drain), so no per-pair byte check happens here.  Requests
+        are returned keyed by destination — the shape GRANT consumes — and
+        the payload hook is skipped entirely for the base scheduler, whose
+        requests are always binary (None).
+        """
         requests: dict[int, dict[int, object]] = {}
-        for src, dst in self._active_pairs:
-            queue = self._queues[src][dst]
-            if queue.pending_bytes > threshold:
-                payload = scheduler.request_payload(src, dst, queue, now_ns)
-                requests.setdefault(src, {})[dst] = payload
+        if self._binary_requests:
+            for src, dst in self._request_ready:
+                entry = requests.get(dst)
+                if entry is None:
+                    requests[dst] = {src: None}
+                else:
+                    entry[src] = None
+            return requests
+        payload_of = self.scheduler.request_payload
+        queues = self._queues
+        for src, dst in self._request_ready:
+            payload = payload_of(src, dst, queues[src][dst], now_ns)
+            entry = requests.get(dst)
+            if entry is None:
+                requests[dst] = {src: payload}
+            else:
+                entry[src] = payload
         return requests
 
     def _deliver_requests(
-        self, requests_by_src: dict[int, dict[int, object]], epoch: int
+        self, requests_by_dst: dict[int, dict[int, object]], epoch: int
     ) -> dict[int, dict[int, object]]:
         """Route REQUESTs through this epoch's predefined phase.
 
         A request from src to dst rides the (slot, port) link of their
         predefined meeting; it is lost when that link is actually down.
+        With no actual failure the requests pass through untouched.
         """
-        delivered: dict[int, dict[int, object]] = {}
         failures = self.failures
-        check = failures.any_failed
+        if not failures.any_failed:
+            return requests_by_dst
+        delivered: dict[int, dict[int, object]] = {}
         topology = self.topology
-        for src, dsts in requests_by_src.items():
-            for dst, payload in dsts.items():
-                if check:
-                    _slot, port = topology.predefined_assignment(src, dst, epoch)
-                    if not failures.transmission_ok(src, port, dst, port):
-                        continue
+        for dst, srcs in requests_by_dst.items():
+            for src, payload in srcs.items():
+                _slot, port = topology.predefined_assignment(src, dst, epoch)
+                if not failures.transmission_ok(src, port, dst, port):
+                    continue
                 delivered.setdefault(dst, {})[src] = payload
         return delivered
 
@@ -298,33 +450,50 @@ class NegotiaToRSimulator:
         return delivered
 
     def _run_predefined_phase(self, epoch: int, start_ns: float) -> None:
-        """Serve one piggybacked packet per pair with pending data."""
+        """Serve one piggybacked packet per pair with pending data.
+
+        This is the engine's hottest loop — one iteration per active pair
+        per epoch — so the (slot, port) assignment comes from the
+        topology's memoized per-epoch table and all slot times are
+        precomputed once per epoch.
+        """
         timing = self.timing
         payload = timing.piggyback_payload_bytes
         propagation = self.config.propagation_ns
         failures = self.failures
         check = failures.any_failed
-        topology = self.topology
+        assign = self.topology.assignment_for_epoch(epoch)
         tracker = self.tracker
+        queues = self._queues
+        threshold = self._request_threshold
+        ready = self._request_ready
+        record = self._rx_buffers is not None or self.bandwidth is not None
+        slot_starts = self._predef_slot_starts
+        slot_ends = self._predef_slot_ends
+        piggybacked = 0
         emptied = []
-        for src, dst in self._active_pairs:
-            slot, port = topology.predefined_assignment(src, dst, epoch)
+        for pair in self._active_pairs:
+            src, dst = pair
+            slot, port = assign(src, dst)
             if check and not failures.transmission_ok(src, port, dst, port):
                 continue
-            queue = self._queues[src][dst]
-            slot_start = start_ns + timing.predefined_slot_start(slot)
-            served = queue.drain_single_packet(payload, slot_start)
+            queue = queues[src][dst]
+            served = queue.drain_single_packet(payload, start_ns + slot_starts[slot])
             if served is None:
                 continue
             flow, num_bytes = served
-            deliver_ns = (
-                start_ns + timing.predefined_slot_end(slot) + propagation
-            )
+            deliver_ns = start_ns + slot_ends[slot] + propagation
             tracker.deliver(flow, num_bytes, deliver_ns)
-            self._phase_bytes[0] += num_bytes
-            self._record_bandwidth(src, dst, num_bytes, deliver_ns)
-            if queue.is_empty:
-                emptied.append((src, dst))
+            piggybacked += num_bytes
+            if record:
+                self._record_bandwidth(src, dst, num_bytes, deliver_ns)
+            pending = queue.pending_bytes
+            if pending == 0:
+                emptied.append(pair)
+            if pending <= threshold:
+                ready.discard(pair)
+        self._phase_bytes[0] += piggybacked
+        self._queued_bytes -= piggybacked
         for pair in emptied:
             self._active_pairs.discard(pair)
 
@@ -378,21 +547,36 @@ class NegotiaToRSimulator:
             if sent:
                 scheduler.observe_sent(src, dst, sent)
                 self._phase_bytes[1] += sent
-            if queue.is_empty:
+                self._queued_bytes -= sent
+            pending = queue.pending_bytes
+            if pending == 0:
                 self._active_pairs.discard((src, dst))
+            if pending <= self._request_threshold:
+                self._request_ready.discard((src, dst))
 
     def _rx_usable(self, now_ns: float):
-        """GRANT-side admission: detected failures plus buffer headroom."""
-        detected_ok = self.failures.detected_ingress_ok
+        """GRANT-side admission: detected failures plus buffer headroom.
+
+        Returns None — "every port usable" — in the common unconstrained
+        case so the matcher can skip per-port predicate calls entirely.
+        """
         buffers = self._rx_buffers
+        constrained = self.failures.any_detected
+        detected_ok = self.failures.detected_ingress_ok if constrained else None
         if buffers is None:
             return detected_ok
         phase_bytes = self.timing.scheduled_slots * self.timing.data_payload_bytes
+        if detected_ok is None:
 
-        def usable(tor: int, port: int) -> bool:
-            return detected_ok(tor, port) and buffers[tor].has_room(
-                phase_bytes, now_ns
-            )
+            def usable(tor: int, port: int) -> bool:
+                return buffers[tor].has_room(phase_bytes, now_ns)
+
+        else:
+
+            def usable(tor: int, port: int) -> bool:
+                return detected_ok(tor, port) and buffers[tor].has_room(
+                    phase_bytes, now_ns
+                )
 
         return usable
 
@@ -466,9 +650,18 @@ class NegotiaToRSimulator:
                 deliver=hand_over,
             )
             if moved:
-                self._active_pairs.add((intermediate, dst))
-                if queue.is_empty:
+                # The bytes changed queues but stayed in the fabric, so the
+                # total backlog counter is untouched; only the per-pair
+                # demand flags move.
+                inter_pair = (intermediate, dst)
+                self._active_pairs.add(inter_pair)
+                if relay_queue.pending_bytes > self._request_threshold:
+                    self._request_ready.add(inter_pair)
+                pending = queue.pending_bytes
+                if pending == 0:
                     self._active_pairs.discard((src, dst))
+                if pending <= self._request_threshold:
+                    self._request_ready.discard((src, dst))
 
     def _record_bandwidth(
         self, src: int, dst: int, num_bytes: int, time_ns: float

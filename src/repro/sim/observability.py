@@ -16,9 +16,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 
-@dataclass
+@dataclass(slots=True)
 class EpochStats:
-    """One epoch's scheduler-level snapshot."""
+    """One epoch's scheduler-level snapshot (allocated once per epoch)."""
 
     epoch: int
     active_pairs: int

@@ -27,9 +27,13 @@ from .flows import Flow
 INFINITY = float("inf")
 
 
-@dataclass
+@dataclass(slots=True)
 class Segment:
-    """A contiguous run of one flow's bytes inside one priority band."""
+    """A contiguous run of one flow's bytes inside one priority band.
+
+    Segments are the engine's highest-churn records (one per band per flow,
+    plus one per relayed chunk); ``slots=True`` keeps them dict-free.
+    """
 
     flow: Flow
     bytes_remaining: int
@@ -262,8 +266,20 @@ class PiasDestQueue:
         """Serve one packet (the piggyback opportunity of the predefined phase).
 
         Returns (flow, bytes) or None when nothing is eligible at ``now_ns``.
+        Called once per active pair per epoch, so the band scan and the head
+        pop are fused here instead of going through :meth:`head_band` +
+        :meth:`pop_bytes` (whose argument validation is redundant on this
+        path).
         """
-        band = self.head_band(now_ns)
-        if band is None:
-            return None
-        return self.pop_bytes(band, payload_bytes)
+        for segments in self._bands:
+            if segments and segments[0].eligible_ns <= now_ns:
+                head = segments[0]
+                taken = head.bytes_remaining
+                if taken > payload_bytes:
+                    taken = payload_bytes
+                head.bytes_remaining -= taken
+                self._pending -= taken
+                if head.bytes_remaining == 0:
+                    segments.popleft()
+                return head.flow, taken
+        return None

@@ -81,6 +81,19 @@ class FlatTopology(ABC):
     ) -> tuple[int, int]:
         """(slot, port) at which ``src`` transmits to ``dst`` in ``epoch``."""
 
+    def assignment_for_epoch(self, epoch: int):
+        """A fast ``(src, dst) -> (slot, port)`` lookup bound to one epoch.
+
+        The engine calls :meth:`predefined_assignment` once per active pair
+        per epoch, which makes it the hottest topology query by far.
+        Subclasses override this to return a closure over a precomputed
+        permutation table (one table per rotation cycle, built lazily and
+        memoized), turning the per-pair cost into a single list index.  The
+        returned callable may assume ``src != dst`` and in-range indices —
+        validation stays in :meth:`predefined_assignment`.
+        """
+        return lambda src, dst: self.predefined_assignment(src, dst, epoch)
+
     @abstractmethod
     def data_port(self, src: int, dst: int) -> int | None:
         """Port ``src`` must use to reach ``dst`` in the scheduled phase.

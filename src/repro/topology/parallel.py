@@ -37,6 +37,9 @@ class ParallelNetwork(FlatTopology):
         self._slots = math.ceil((num_tors - 1) / ports_per_tor)
         self._awgr = AWGR(num_tors)
         self._offsets = num_tors - 1
+        # rotation -> offset-indexed (slot, port) table, built lazily; the
+        # rotation cycle has N-1 values, so the cache is bounded by N^2.
+        self._assignment_tables: dict[int, list[tuple[int, int] | None]] = {}
 
     @property
     def name(self) -> str:
@@ -74,13 +77,33 @@ class ParallelNetwork(FlatTopology):
         offset = 1 + (index + self._rotation(epoch)) % self._offsets
         return (tor + offset) % self._num_tors
 
+    def _assignment_table(self, rotation: int) -> list[tuple[int, int] | None]:
+        table = self._assignment_tables.get(rotation)
+        if table is None:
+            ports = self._ports
+            offsets = self._offsets
+            table = [None]  # offset 0 would be the ToR itself
+            for offset in range(1, self._num_tors):
+                index = (offset - 1 - rotation) % offsets
+                table.append((index // ports, index % ports))
+            self._assignment_tables[rotation] = table
+        return table
+
     def predefined_assignment(
         self, src: int, dst: int, epoch: int = 0
     ) -> tuple[int, int]:
         self.check_pair(src, dst)
-        offset = (dst - src) % self._num_tors
-        index = (offset - 1 - self._rotation(epoch)) % self._offsets
-        return index // self._ports, index % self._ports
+        table = self._assignment_table(self._rotation(epoch))
+        return table[(dst - src) % self._num_tors]
+
+    def assignment_for_epoch(self, epoch: int):
+        table = self._assignment_table(self._rotation(epoch))
+        n = self._num_tors
+
+        def assign(src: int, dst: int) -> tuple[int, int]:
+            return table[(dst - src) % n]
+
+        return assign
 
     def data_port(self, src: int, dst: int) -> int | None:
         self.check_pair(src, dst)

@@ -47,6 +47,9 @@ class ThinClos(FlatTopology):
         self._w = awgr_ports
         self._groups = num_tors // awgr_ports
         self._awgr = AWGR(awgr_ports)
+        # Flat [src * N + dst] -> (slot, port) table; the thin-clos schedule
+        # does not rotate, so one table serves every epoch.  Built lazily.
+        self._assignment_table: list[tuple[int, int] | None] | None = None
 
     @property
     def name(self) -> str:
@@ -93,13 +96,37 @@ class ThinClos(FlatTopology):
             return None
         return peer
 
+    def _pair_table(self) -> list[tuple[int, int] | None]:
+        table = self._assignment_table
+        if table is None:
+            n = self._num_tors
+            table = [None] * (n * n)
+            for src in range(n):
+                for dst in range(n):
+                    if src == dst:
+                        continue
+                    port = (self.group(dst) - self.group(src)) % self._groups
+                    slot = (
+                        self.index_in_group(dst) - self.index_in_group(src)
+                    ) % self._w
+                    table[src * n + dst] = (slot, port)
+            self._assignment_table = table
+        return table
+
     def predefined_assignment(
         self, src: int, dst: int, epoch: int = 0
     ) -> tuple[int, int]:
         self.check_pair(src, dst)
-        port = (self.group(dst) - self.group(src)) % self._groups
-        slot = (self.index_in_group(dst) - self.index_in_group(src)) % self._w
-        return slot, port
+        return self._pair_table()[src * self._num_tors + dst]
+
+    def assignment_for_epoch(self, epoch: int):
+        table = self._pair_table()
+        n = self._num_tors
+
+        def assign(src: int, dst: int) -> tuple[int, int]:
+            return table[src * n + dst]
+
+        return assign
 
     def data_port(self, src: int, dst: int) -> int | None:
         self.check_pair(src, dst)

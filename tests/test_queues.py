@@ -281,3 +281,67 @@ class TestDrainSlots:
         drained = []
         q.drain_slots(1000, 1115, lambda s: s * 1.0, lambda f, b, s: drained.append(b))
         assert sum(drained) + q.pending_bytes == total
+
+
+class TestDrainSlotsPreemptionEdge:
+    """The ``run = 0 -> run = 1`` guard in :meth:`PiasDestQueue.drain_slots`.
+
+    With an exact slot clock the guard is unreachable: if a higher band's
+    head were eligible at the current slot's start, ``head_band`` would have
+    chosen it.  But ``slot_start_ns`` is caller-supplied and may carry float
+    rounding, so the same slot index can evaluate below the preemption time
+    in ``head_band`` and at/above it in the run-capping loop — the guard
+    then forces one packet of progress instead of looping forever.
+    """
+
+    def test_inconsistent_slot_clock_forces_single_packet_run(self):
+        q = PiasDestQueue(THRESHOLDS)
+        mice = make_flow(600, arrival=100.0, fid=1)
+        q.enqueue_flow(mice)  # 600 bytes in band 0, eligible at 100.0
+        elephant = make_flow(50_000, arrival=0.0, fid=2)
+        q.enqueue_bytes(elephant, 5000, band=2, eligible_ns=0.0)
+
+        calls = {0: 0}
+
+        def jittery_slot_start(slot):
+            if slot == 0:
+                # First evaluation (head_band's `now`) lands just below the
+                # band-0 eligibility; re-evaluations land exactly on it,
+                # mimicking a float-rounding inconsistency.
+                calls[0] += 1
+                return 99.99999999999 if calls[0] == 1 else 100.0
+            return 100.0 + slot * 90.0
+
+        served = []
+        used = q.drain_slots(
+            num_slots=10,
+            payload_bytes=1000,
+            slot_start_ns=jittery_slot_start,
+            deliver=lambda f, b, s: served.append((f.fid, b, s)),
+        )
+
+        # Slot 0 hits the edge: head_band picks band 2, the cap loop sees
+        # slot 0 already at the preemption time (run would be 0), and the
+        # guard serves exactly one band-2 packet.  Band 0 then preempts.
+        assert calls[0] >= 2
+        assert served == [(2, 1000, 0), (1, 600, 1), (2, 4000, 5)]
+        assert used == 6
+        assert q.is_empty
+
+    def test_consistent_clock_caps_run_at_preemption(self):
+        # The ordinary mid-epoch preemption: a higher-band arrival caps the
+        # elephant's run at the first slot starting at/after eligibility.
+        q = PiasDestQueue(THRESHOLDS)
+        q.enqueue_bytes(make_flow(50_000, fid=2), 10_000, band=2, eligible_ns=0.0)
+        q.enqueue_flow(make_flow(600, arrival=270.0, fid=1))
+
+        served = []
+        used = q.drain_slots(
+            num_slots=10,
+            payload_bytes=1000,
+            slot_start_ns=lambda v: v * 90.0,
+            deliver=lambda f, b, s: served.append((f.fid, b, s)),
+        )
+        assert served == [(2, 3000, 2), (1, 600, 3), (2, 6000, 9)]
+        assert used == 10
+        assert q.pending_bytes == 1000
