@@ -4,19 +4,27 @@ Commands:
 
 * ``list`` — show the available experiments and scales.
 * ``run <experiment> [...]`` — regenerate one or more tables/figures and
-  print the rendered results.
+  print the rendered results (``--jobs N`` parallelizes spec-declared
+  experiments, ``--json`` emits structured output).
 * ``report`` — run a set of experiments and emit a markdown report
-  (the generator behind EXPERIMENTS.md).
+  (the generator behind EXPERIMENTS.md); ``--json`` emits the results as
+  structured JSON instead.
 * ``simulate`` — one-off simulation with headline metrics.
+* ``sweep`` — run a grid of scenario x load x seed x system points through
+  the sweep orchestrator: parallel fan-out (``--jobs``), a JSONL result
+  store, and ``--resume`` to skip cached points (DESIGN.md section 8).
 * ``bench`` — the engine hot-path benchmark suite behind BENCH_engine.json
-  (DESIGN.md section 8).
+  (DESIGN.md section 9).
 
 Examples::
 
     python -m repro list
-    python -m repro run fig9 --scale tiny
+    python -m repro run fig9 --scale tiny --jobs 4
     python -m repro run table2 fig14 efficiency
     python -m repro report --scale small --output report.md
+    python -m repro sweep --scale tiny --scenario poisson --scenario hotspot \\
+        --jobs 4 --store sweep.jsonl
+    python -m repro sweep --resume --store sweep.jsonl   # only new points run
     python -m repro bench --scenario sparse --fabric 64x8
     python -m repro bench --check 0.5   # fail if any scenario regressed 2x
 """
@@ -24,6 +32,8 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import inspect
+import json
 import sys
 
 from .experiments import EXPERIMENT_MODULES, SCALES, current_scale, load_experiment
@@ -47,6 +57,19 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"one of: {', '.join(sorted(EXPERIMENT_MODULES))}",
     )
     run.add_argument("--scale", choices=sorted(SCALES), default=None)
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parallel worker processes for spec-declared experiments "
+        "(default 1: serial, the reference behavior)",
+    )
+    run.add_argument(
+        "--json",
+        action="store_true",
+        help="emit results as structured JSON instead of rendered tables",
+    )
 
     report = sub.add_parser("report", help="emit a markdown report")
     report.add_argument("--scale", choices=sorted(SCALES), default=None)
@@ -58,6 +81,101 @@ def build_parser() -> argparse.ArgumentParser:
         help="subset to include (default: all)",
     )
     report.add_argument("--output", default=None, help="file (default stdout)")
+    report.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the results as structured JSON instead of markdown",
+    )
+
+    sweep = sub.add_parser(
+        "sweep", help="run a spec grid with fan-out, caching, and resume"
+    )
+    sweep.add_argument("--scale", choices=sorted(SCALES), default=None)
+    sweep.add_argument(
+        "--scenario",
+        action="append",
+        dest="scenarios",
+        metavar="NAME[:k=v,...]",
+        default=None,
+        help="traffic scenario with optional parameter overrides "
+        "(repeatable; default: poisson)",
+    )
+    sweep.add_argument(
+        "--system",
+        action="append",
+        dest="systems",
+        choices=["negotiator", "oblivious"],
+        default=None,
+        help="system to sweep (repeatable; default: negotiator)",
+    )
+    sweep.add_argument(
+        "--topology",
+        action="append",
+        dest="topologies",
+        choices=["parallel", "thinclos"],
+        default=None,
+        help="fabric to sweep (repeatable; default: parallel)",
+    )
+    sweep.add_argument(
+        "--load",
+        action="append",
+        dest="loads",
+        type=float,
+        metavar="L",
+        default=None,
+        help="offered load (repeatable; default: the scale's load points)",
+    )
+    sweep.add_argument(
+        "--seed",
+        action="append",
+        dest="seeds",
+        type=int,
+        metavar="N",
+        default=None,
+        help="workload seed (repeatable; default: the scale's seed)",
+    )
+    sweep.add_argument(
+        "--scheduler",
+        default="base",
+        help="scheduler variant (base, iterative, data-size, hol-delay, "
+        "stateful, projector)",
+    )
+    sweep.add_argument("--duration-ms", type=float, default=None)
+    sweep.add_argument(
+        "--no-pq", action="store_true", help="disable PIAS priority queues"
+    )
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parallel worker processes (default 1: serial)",
+    )
+    sweep.add_argument(
+        "--store",
+        default="sweep_results.jsonl",
+        help="JSONL result store (default: sweep_results.jsonl)",
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip specs whose hash already has a stored summary",
+    )
+    sweep.add_argument(
+        "--json",
+        action="store_true",
+        help="emit per-spec results as JSON instead of a table",
+    )
+    sweep.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the spec grid and hashes without running anything",
+    )
+    sweep.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="list registered scenarios and their parameters, then exit",
+    )
 
     simulate = sub.add_parser(
         "simulate", help="one-off simulation with headline metrics"
@@ -159,7 +277,35 @@ def cmd_list() -> int:
     return 0
 
 
-def cmd_run(names: list[str], scale_name: str | None) -> int:
+def _run_experiment(module, scale, runner):
+    """Invoke one experiment, routing through the sweep runner if supported.
+
+    Spec-declared experiments accept a ``runner`` keyword; the rest run
+    their simulations inline as before (a warning notes that --jobs cannot
+    help them).
+    """
+    if "runner" in inspect.signature(module.run).parameters:
+        return module.run(scale, runner=runner)
+    if runner is not None and runner.jobs > 1:
+        print(
+            f"note: {module.__name__.rsplit('.', 1)[-1]} does not declare "
+            "its runs as specs; running serially",
+            file=sys.stderr,
+        )
+    return module.run(scale)
+
+
+def cmd_run(
+    names: list[str],
+    scale_name: str | None,
+    jobs: int = 1,
+    as_json: bool = False,
+) -> int:
+    from .sweep import SweepRunner
+
+    if jobs < 1:
+        print("--jobs must be at least 1", file=sys.stderr)
+        return 2
     scale = resolve_scale(scale_name)
     unknown = [n for n in names if n not in EXPERIMENT_MODULES]
     if unknown:
@@ -169,27 +315,235 @@ def cmd_run(names: list[str], scale_name: str | None) -> int:
             file=sys.stderr,
         )
         return 2
+    runner = SweepRunner(jobs=jobs)
+    results = []
     for name in names:
-        module = load_experiment(name)
-        print(module.run(scale).render())
-        print()
+        result = _run_experiment(load_experiment(name), scale, runner)
+        results.append(result)
+        if not as_json:
+            print(result.render())
+            print()
+    if as_json:
+        payload = {
+            "scale": scale.name,
+            "results": [result.to_dict() for result in results],
+        }
+        print(json.dumps(payload, indent=2))
     return 0
 
 
 def cmd_report(
-    names: list[str] | None, scale_name: str | None, output: str | None
+    names: list[str] | None,
+    scale_name: str | None,
+    output: str | None,
+    as_json: bool = False,
 ) -> int:
     from .analysis.report import build_report, run_experiments
 
     scale = resolve_scale(scale_name)
     results = run_experiments(names, scale, verbose=output is not None)
-    text = build_report(results, scale)
+    if as_json:
+        payload = {
+            "scale": scale.name,
+            "results": {
+                name: result.to_dict() for name, result in results.items()
+            },
+        }
+        text = json.dumps(payload, indent=2)
+    else:
+        text = build_report(results, scale)
     if output is None:
         print(text)
     else:
         with open(output, "w") as handle:
             handle.write(text)
         print(f"wrote {output}")
+    return 0
+
+
+def _parse_scenario_arg(arg: str) -> tuple[str, dict]:
+    """Parse ``name[:k=v,...]`` into a scenario name and overrides."""
+    name, _, tail = arg.partition(":")
+    params: dict = {}
+    if tail:
+        for item in tail.split(","):
+            key, sep, raw = item.partition("=")
+            if not sep or not key:
+                raise ValueError(
+                    f"bad scenario parameter {item!r} (expected k=v)"
+                )
+            params[key] = _parse_scalar(raw)
+    return name, params
+
+
+def _parse_scalar(raw: str):
+    for cast in (int, float):
+        try:
+            return cast(raw)
+        except ValueError:
+            pass
+    if raw.lower() in ("true", "false"):
+        return raw.lower() == "true"
+    return raw
+
+
+def cmd_sweep(args) -> int:
+    from .sweep import (
+        SCENARIOS,
+        ResultStore,
+        RunSpec,
+        SweepRunner,
+        system_spec_fields,
+    )
+
+    if args.list_scenarios:
+        print("scenarios:")
+        for name in sorted(SCENARIOS):
+            scenario = SCENARIOS[name]
+            params = ", ".join(
+                f"{k}={v}" for k, v in sorted(scenario.defaults.items())
+            )
+            sync = " [synchronous]" if scenario.synchronous else ""
+            print(f"  {name:<15} {scenario.description}{sync}")
+            if params:
+                print(f"  {'':<15} params: {params}")
+        return 0
+
+    if args.jobs < 1:
+        print("--jobs must be at least 1", file=sys.stderr)
+        return 2
+    scale = resolve_scale(args.scale)
+    try:
+        scenarios = [
+            _parse_scenario_arg(s) for s in (args.scenarios or ["poisson"])
+        ]
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    unknown = [name for name, _ in scenarios if name not in SCENARIOS]
+    if unknown:
+        print(
+            f"unknown scenario(s): {', '.join(unknown)} "
+            f"(choose from {', '.join(sorted(SCENARIOS))})",
+            file=sys.stderr,
+        )
+        return 2
+    # Resolve parameter overrides up front: --dry-run approves only grids
+    # the real run would accept, workers never see bad params, and the
+    # specs carry the *resolved* params so their hashes stay valid even if
+    # a scenario's registered defaults change later.
+    resolved_scenarios = []
+    for name, overrides in scenarios:
+        try:
+            resolved_scenarios.append(
+                (name, SCENARIOS[name].resolve_params(overrides))
+            )
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    systems = args.systems or ["negotiator"]
+    topologies = args.topologies or ["parallel"]
+    loads = args.loads or list(scale.loads)
+    seeds = args.seeds or [scale.seed]
+    duration_ns = (
+        args.duration_ms * 1e6 if args.duration_ms is not None else None
+    )
+
+    specs = []
+    seen_hashes: set[str] = set()
+    try:
+        for scenario_name, params in resolved_scenarios:
+            # Synchronous scenarios inject at fixed instants and ignore the
+            # load axis — one point instead of len(loads) identical runs.
+            point_loads = (
+                [1.0] if SCENARIOS[scenario_name].synchronous else loads
+            )
+            for system in systems:
+                for topology in topologies:
+                    # The oblivious baseline only runs on thin-clos (its
+                    # rotor schedule needs the AWGR structure), whatever
+                    # the --topology axis says; duplicates dedupe below.
+                    fields = (
+                        system_spec_fields("oblivious")
+                        if system == "oblivious"
+                        else {"system": system, "topology": topology}
+                    )
+                    for load in point_loads:
+                        for seed in seeds:
+                            spec = RunSpec(
+                                scale=scale.name,
+                                **fields,
+                                scheduler=args.scheduler,
+                                scenario=scenario_name,
+                                scenario_params=params,
+                                load=load,
+                                seed=seed,
+                                duration_ns=duration_ns,
+                                priority_queue=not args.no_pq,
+                            )
+                            if spec.content_hash not in seen_hashes:
+                                seen_hashes.add(spec.content_hash)
+                                specs.append(spec)
+    except (TypeError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    if args.dry_run:
+        for spec in specs:
+            print(f"{spec.short_hash}  {spec.label()}")
+        print(f"{len(specs)} specs")
+        return 0
+
+    store = ResultStore(args.store)
+    runner = SweepRunner(
+        jobs=args.jobs,
+        store=store,
+        resume=args.resume,
+        verbose=not args.json,
+    )
+    try:
+        summaries = runner.run(specs)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    if args.json:
+        rows = [
+            {
+                "spec_hash": spec.content_hash,
+                "spec": spec.to_dict(),
+                "summary": summaries[spec.content_hash].to_dict(),
+            }
+            for spec in specs
+        ]
+        print(json.dumps({"scale": scale.name, "runs": rows}, indent=2))
+    else:
+        header = (
+            f"{'hash':<12}  {'scenario':<14}  {'system':<10}  "
+            f"{'topology':<8}  {'load':>5}  {'seed':>6}  {'flows':>7}  "
+            f"{'done':>7}  {'gput':>6}  {'p99 mice (us)':>13}"
+        )
+        print(header)
+        print("-" * len(header))
+        for spec in specs:
+            summary = summaries[spec.content_hash]
+            fct = (
+                f"{summary.mice_fct_p99_ns / 1e3:.1f}"
+                if summary.mice_fct_p99_ns is not None
+                else "n/a"
+            )
+            print(
+                f"{spec.short_hash:<12}  {spec.scenario:<14}  "
+                f"{spec.system:<10}  {spec.topology:<8}  "
+                f"{spec.load:>5.2f}  {spec.seed:>6}  "
+                f"{summary.num_flows:>7}  {summary.num_completed:>7}  "
+                f"{summary.goodput_normalized:>6.3f}  {fct:>13}"
+            )
+    print(
+        f"{len(specs)} specs: {runner.executed} executed, "
+        f"{runner.cached} cached (store: {args.store})",
+        file=sys.stderr if args.json else sys.stdout,
+    )
     return 0
 
 
@@ -336,9 +690,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "list":
         return cmd_list()
     if args.command == "run":
-        return cmd_run(args.experiments, args.scale)
+        return cmd_run(args.experiments, args.scale, args.jobs, args.json)
     if args.command == "report":
-        return cmd_report(args.experiments, args.scale, args.output)
+        return cmd_report(args.experiments, args.scale, args.output, args.json)
+    if args.command == "sweep":
+        return cmd_sweep(args)
     if args.command == "simulate":
         return cmd_simulate(args)
     if args.command == "bench":

@@ -21,6 +21,8 @@ import os
 import random
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..core.variants import make_scheduler
 from ..sim.config import EpochConfig, SimConfig
 from ..sim.metrics import BandwidthRecorder, MatchRatioRecorder, RunSummary
@@ -233,6 +235,20 @@ def run_oblivious(
     return RunArtifacts(summary=summary, simulator=sim, bandwidth=bandwidth)
 
 
+def sized_distribution(scale: ExperimentScale, trace: str = "hadoop"):
+    """A flow-size distribution truncated to the scale's cap.
+
+    The cap keeps the largest flow's single-port service time small
+    relative to the run, matching the paper's 30 ms-to-10 MB ratio
+    (DESIGN.md).  The single source of truth for both the experiments'
+    direct workloads and the sweep scenarios.
+    """
+    distribution = by_name(trace)
+    if scale.max_flow_bytes is not None:
+        distribution = distribution.truncated(scale.max_flow_bytes)
+    return distribution
+
+
 def workload_for(
     scale: ExperimentScale,
     load: float,
@@ -240,23 +256,26 @@ def workload_for(
     trace: str = "hadoop",
     duration_ns: float | None = None,
     seed_offset: int = 0,
+    rng: random.Random | None = None,
 ):
-    """The standard Poisson workload of section 4.1 at one load point."""
+    """The standard Poisson workload of section 4.1 at one load point.
+
+    ``rng`` overrides the default ``Random(scale.seed + seed_offset)`` —
+    the sweep layer passes a spec-seeded one so both paths share this
+    single implementation.
+    """
     from ..workloads.generators import poisson_workload
 
     duration = duration_ns if duration_ns is not None else scale.duration_ns
-    distribution = by_name(trace)
-    if scale.max_flow_bytes is not None:
-        # Keep the largest flow's single-port service time small relative to
-        # the run, matching the paper's 30 ms-to-10 MB ratio (DESIGN.md).
-        distribution = distribution.truncated(scale.max_flow_bytes)
+    if rng is None:
+        rng = random.Random(scale.seed + seed_offset)
     return poisson_workload(
-        distribution,
+        sized_distribution(scale, trace),
         load,
         scale.num_tors,
         scale.host_aggregate_gbps,
         duration,
-        random.Random(scale.seed + seed_offset),
+        rng,
     )
 
 
@@ -280,6 +299,18 @@ class ExperimentResult:
         """Append one table row."""
         self.rows.append(list(values))
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (series data is omitted: it may hold
+        arbitrarily large arrays; the sweep store is the home for raw
+        per-run data)."""
+        return {
+            "experiment": self.experiment,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [[_jsonable(v) for v in row] for row in self.rows],
+            "notes": list(self.notes),
+        }
+
     def render(self) -> str:
         """Human-readable fixed-width table plus notes."""
         cells = [[_format_cell(v) for v in row] for row in self.rows]
@@ -301,6 +332,15 @@ class ExperimentResult:
         for note in self.notes:
             lines.append(f"note: {note}")
         return "\n".join(lines)
+
+
+def _jsonable(value):
+    """Coerce a table cell to a JSON-serializable scalar."""
+    if isinstance(value, (np.integer, np.floating, np.bool_)):
+        return value.item()
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)
 
 
 def _format_cell(value) -> str:

@@ -8,14 +8,18 @@ relaying doubles its traffic volume against a smaller capacity.
 
 from __future__ import annotations
 
+from ..sweep import SweepRunner
 from .common import ExperimentResult, ExperimentScale, current_scale
 from .fig9_main_results import build_result, sweep
 
 
-def run(scale: ExperimentScale | None = None) -> ExperimentResult:
+def run(
+    scale: ExperimentScale | None = None,
+    runner: SweepRunner | None = None,
+) -> ExperimentResult:
     """Regenerate Fig 11."""
     scale = scale or current_scale()
-    data = sweep(scale, without_speedup=True)
+    data = sweep(scale, without_speedup=True, runner=runner)
     return build_result(
         scale,
         data,

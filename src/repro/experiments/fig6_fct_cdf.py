@@ -3,30 +3,56 @@
 Expected shape: the two topologies overlap for small FCTs (identical
 predefined phases) and over 80% of mice flows finish within two epochs —
 they bypassed the scheduling delay entirely.
+
+The two runs are declared as :class:`~repro.sweep.spec.RunSpec`\\ s with the
+``mice_cdf`` collector, so they parallelize under ``repro run --jobs`` and
+cache in a sweep store like any other sweep point.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..sim.flows import FlowTracker
-from .common import (
-    ExperimentResult,
-    ExperimentScale,
-    current_scale,
-    run_negotiator,
-    workload_for,
-)
+from ..sweep import RunSpec, SweepRunner, scale_spec_fields
+from .common import ExperimentResult, ExperimentScale, current_scale
+
+TOPOLOGIES = ("parallel", "thinclos")
 
 
-def mice_fct_cdf(scale: ExperimentScale, topology_kind: str):
+def cdf_specs(scale: ExperimentScale) -> dict[str, RunSpec]:
+    """Declare the Fig 6 runs: one per topology at 100% load."""
+    return {
+        kind: RunSpec(
+            **scale_spec_fields(scale),
+            topology=kind,
+            scenario="poisson",
+            scenario_params={"trace": "hadoop"},
+            load=1.0,
+            seed=scale.seed,
+            collect=("mice_cdf",),
+        )
+        for kind in TOPOLOGIES
+    }
+
+
+def _unpack_cdf(summary) -> tuple[np.ndarray, np.ndarray, float]:
+    cdf = summary.extra["mice_cdf"]
+    return (
+        np.array(cdf["values_us"]),
+        np.array(cdf["fractions"]),
+        cdf["epoch_us"],
+    )
+
+
+def mice_fct_cdf(
+    scale: ExperimentScale,
+    topology_kind: str,
+    runner: SweepRunner | None = None,
+):
     """(FCT values in us, cumulative fractions, epoch length in us)."""
-    flows = workload_for(scale, load=1.0)
-    artifacts = run_negotiator(scale, topology_kind, flows)
-    sim = artifacts.simulator
-    mice = sim.tracker.mice_flows(sim.config.mice_threshold_bytes)
-    values_ns, fractions = FlowTracker.fct_cdf(mice)
-    return values_ns / 1e3, fractions, sim.timing.epoch_ns / 1e3
+    runner = runner if runner is not None else SweepRunner()
+    spec = cdf_specs(scale)[topology_kind]
+    return _unpack_cdf(runner.run([spec])[spec.content_hash])
 
 
 def fraction_within_epochs(values_us, fractions, epoch_us, epochs: float) -> float:
@@ -38,9 +64,13 @@ def fraction_within_epochs(values_us, fractions, epoch_us, epochs: float) -> flo
     return float(fractions[index - 1])
 
 
-def run(scale: ExperimentScale | None = None) -> ExperimentResult:
+def run(
+    scale: ExperimentScale | None = None,
+    runner: SweepRunner | None = None,
+) -> ExperimentResult:
     """Regenerate Fig 6 as quantiles plus the 2-epoch bypass fraction."""
     scale = scale or current_scale()
+    runner = runner if runner is not None else SweepRunner()
     result = ExperimentResult(
         experiment="Fig 6",
         title="CDF of mice flow FCT at 100% load",
@@ -53,8 +83,12 @@ def run(scale: ExperimentScale | None = None) -> ExperimentResult:
             "within 2 epochs",
         ],
     )
-    for kind in ("parallel", "thinclos"):
-        values, fractions, epoch_us = mice_fct_cdf(scale, kind)
+    specs = cdf_specs(scale)
+    summaries = runner.run(specs.values())
+    for kind in TOPOLOGIES:
+        values, fractions, epoch_us = _unpack_cdf(
+            summaries[specs[kind].content_hash]
+        )
         result.series[kind] = (values, fractions)
         result.add_row(
             kind,

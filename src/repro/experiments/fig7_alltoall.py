@@ -6,51 +6,59 @@ goodput grows with the flow size for all systems; NegotiaToR on the parallel
 network is highest (full connectivity keeps links busy as flows finish),
 thin-clos is close behind, and the traffic-oblivious scheme is limited by
 relayed traffic competing for receiver bandwidth.
+
+Each (system, flow size) point is declared as a
+:class:`~repro.sweep.spec.RunSpec` with the ``alltoall_goodput_gbps``
+collector and executed through the sweep runner.
 """
 
 from __future__ import annotations
 
 from ..sim.config import KB
-from ..workloads.incast import all_to_all_workload
-from .common import (
-    ExperimentResult,
-    ExperimentScale,
-    current_scale,
-    run_negotiator,
-    run_oblivious,
-)
+from ..sweep import RunSpec, SweepRunner, scale_spec_fields, system_spec_fields
+from .common import ExperimentResult, ExperimentScale, current_scale
 
 INJECT_NS = 10_000.0
+SYSTEMS = ("parallel", "thinclos", "oblivious")
+
+
+def alltoall_spec(
+    scale: ExperimentScale, system: str, flow_kb: int
+) -> RunSpec:
+    """Declare one all-to-all run."""
+    return RunSpec(
+        **scale_spec_fields(scale),
+        **system_spec_fields(system),
+        scenario="alltoall",
+        scenario_params={"flow_bytes": flow_kb * KB, "at_ns": INJECT_NS},
+        load=1.0,
+        seed=scale.seed,
+        until_complete=True,
+        max_ns=200_000_000.0,
+        collect=("alltoall_goodput_gbps",),
+    )
 
 
 def alltoall_goodput_gbps(
-    scale: ExperimentScale, system: str, flow_kb: int
+    scale: ExperimentScale,
+    system: str,
+    flow_kb: int,
+    runner: SweepRunner | None = None,
 ) -> float:
     """Average per-ToR received goodput (Gbps) during the transfer."""
-    flows = all_to_all_workload(
-        scale.num_tors, flow_bytes=flow_kb * KB, at_ns=INJECT_NS
-    )
-    max_ns = 200_000_000.0
-    if system == "oblivious":
-        artifacts = run_oblivious(
-            scale, "thinclos", flows, until_complete=True, max_ns=max_ns
-        )
-    else:
-        artifacts = run_negotiator(
-            scale, system, flows, until_complete=True, max_ns=max_ns
-        )
-    sim = artifacts.simulator
-    if not sim.tracker.all_complete:
-        raise RuntimeError("all-to-all transfer did not finish")
-    finish_ns = max(f.completed_ns for f in sim.tracker.flows)
-    duration = finish_ns - INJECT_NS
-    total_bits = sim.tracker.delivered_bytes * 8.0
-    return total_bits / duration / scale.num_tors
+    runner = runner if runner is not None else SweepRunner()
+    spec = alltoall_spec(scale, system, flow_kb)
+    summary = runner.run([spec])[spec.content_hash]
+    return summary.extra["alltoall_goodput_gbps"]
 
 
-def run(scale: ExperimentScale | None = None) -> ExperimentResult:
+def run(
+    scale: ExperimentScale | None = None,
+    runner: SweepRunner | None = None,
+) -> ExperimentResult:
     """Regenerate Fig 7b."""
     scale = scale or current_scale()
+    runner = runner if runner is not None else SweepRunner()
     result = ExperimentResult(
         experiment="Fig 7b",
         title="average per-ToR goodput (Gbps) under all-to-all",
@@ -61,12 +69,21 @@ def run(scale: ExperimentScale | None = None) -> ExperimentResult:
             "oblivious thin-clos",
         ],
     )
+    specs = {
+        (system, flow_kb): alltoall_spec(scale, system, flow_kb)
+        for flow_kb in scale.alltoall_flow_kb
+        for system in SYSTEMS
+    }
+    summaries = runner.run(specs.values())
     for flow_kb in scale.alltoall_flow_kb:
         result.add_row(
             flow_kb,
-            alltoall_goodput_gbps(scale, "parallel", flow_kb),
-            alltoall_goodput_gbps(scale, "thinclos", flow_kb),
-            alltoall_goodput_gbps(scale, "oblivious", flow_kb),
+            *(
+                summaries[specs[(system, flow_kb)].content_hash].extra[
+                    "alltoall_goodput_gbps"
+                ]
+                for system in SYSTEMS
+            ),
         )
     result.notes.append(
         "paper: goodput rises with flow size; parallel > thin-clos > oblivious "

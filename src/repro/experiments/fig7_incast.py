@@ -5,56 +5,66 @@ Expected shape: NegotiaToR's finish time is flat in the degree — every pair
 gets a piggyback slot every epoch, so the incast bypasses scheduling on both
 topologies identically — while the traffic-oblivious scheme grows with the
 degree (cells collide at intermediates and pay extra rotor cycles).
+
+Each (system, degree) point is declared as a :class:`~repro.sweep.spec.RunSpec`
+with the ``incast_finish_ns`` collector and executed through the sweep
+runner, so the whole figure parallelizes and caches.
 """
 
 from __future__ import annotations
 
-import random
-
 from ..sim.config import KB
-from ..workloads.incast import incast_finish_time_ns, incast_workload
-from .common import (
-    ExperimentResult,
-    ExperimentScale,
-    current_scale,
-    run_negotiator,
-    run_oblivious,
-)
+from ..sweep import RunSpec, SweepRunner, scale_spec_fields, system_spec_fields
+from .common import ExperimentResult, ExperimentScale, current_scale
 
 INJECT_NS = 10_000.0
 FLOW_BYTES = 1 * KB
+SYSTEMS = ("parallel", "thinclos", "oblivious")
+
+
+def incast_spec(
+    scale: ExperimentScale, system: str, degree: int, seed: int = 7
+) -> RunSpec:
+    """Declare one incast run (the paper samples sources with seed 7)."""
+    return RunSpec(
+        **scale_spec_fields(scale),
+        **system_spec_fields(system),
+        scenario="incast",
+        scenario_params={
+            "degree": degree,
+            "dst": 0,
+            "flow_bytes": FLOW_BYTES,
+            "at_ns": INJECT_NS,
+        },
+        load=1.0,
+        seed=seed,
+        until_complete=True,
+        max_ns=50_000_000.0,
+        collect=("incast_finish_ns",),
+    )
 
 
 def finish_time_us(
-    scale: ExperimentScale, system: str, degree: int, seed: int = 7
+    scale: ExperimentScale,
+    system: str,
+    degree: int,
+    seed: int = 7,
+    runner: SweepRunner | None = None,
 ) -> float:
     """Incast finish time in microseconds for one system."""
-    flows = incast_workload(
-        scale.num_tors,
-        degree,
-        dst=0,
-        flow_bytes=FLOW_BYTES,
-        at_ns=INJECT_NS,
-        rng=random.Random(seed),
-    )
-    max_ns = 50_000_000.0
-    if system == "oblivious":
-        artifacts = run_oblivious(
-            scale, "thinclos", flows, until_complete=True, max_ns=max_ns
-        )
-    else:
-        artifacts = run_negotiator(
-            scale, system, flows, until_complete=True, max_ns=max_ns
-        )
-    sim = artifacts.simulator
-    if not sim.tracker.all_complete:
-        raise RuntimeError(f"incast did not finish within {max_ns} ns")
-    return incast_finish_time_ns(sim.tracker.flows, INJECT_NS) / 1e3
+    runner = runner if runner is not None else SweepRunner()
+    spec = incast_spec(scale, system, degree, seed=seed)
+    summary = runner.run([spec])[spec.content_hash]
+    return summary.extra["incast_finish_ns"] / 1e3
 
 
-def run(scale: ExperimentScale | None = None) -> ExperimentResult:
+def run(
+    scale: ExperimentScale | None = None,
+    runner: SweepRunner | None = None,
+) -> ExperimentResult:
     """Regenerate Fig 7a."""
     scale = scale or current_scale()
+    runner = runner if runner is not None else SweepRunner()
     result = ExperimentResult(
         experiment="Fig 7a",
         title="incast finish time (us) vs degree, 1 KB flows",
@@ -66,12 +76,22 @@ def run(scale: ExperimentScale | None = None) -> ExperimentResult:
         ],
     )
     degrees = [d for d in scale.incast_degrees if d < scale.num_tors]
+    specs = {
+        (system, degree): incast_spec(scale, system, degree)
+        for degree in degrees
+        for system in SYSTEMS
+    }
+    summaries = runner.run(specs.values())
     for degree in degrees:
         result.add_row(
             degree,
-            finish_time_us(scale, "parallel", degree),
-            finish_time_us(scale, "thinclos", degree),
-            finish_time_us(scale, "oblivious", degree),
+            *(
+                summaries[specs[(system, degree)].content_hash].extra[
+                    "incast_finish_ns"
+                ]
+                / 1e3
+                for system in SYSTEMS
+            ),
         )
     result.notes.append(
         "paper: NegotiaToR flat and identical on both topologies; "

@@ -15,15 +15,8 @@ Expected shape (section 4.3):
 
 from __future__ import annotations
 
-from .common import (
-    ExperimentResult,
-    ExperimentScale,
-    current_scale,
-    fct_ms,
-    run_negotiator,
-    run_oblivious,
-    workload_for,
-)
+from ..sweep import RunSpec, SweepRunner, scale_spec_fields, system_spec_fields
+from .common import ExperimentResult, ExperimentScale, current_scale, fct_ms
 
 SYSTEMS = (
     ("NT parallel", "parallel", True),
@@ -35,44 +28,69 @@ SYSTEMS = (
 )
 
 
+def load_specs(
+    scale: ExperimentScale,
+    *,
+    without_speedup: bool = False,
+    trace: str = "hadoop",
+    loads=None,
+) -> dict[str, dict[float, RunSpec]]:
+    """Declare every Fig 9 run: {system label: {load: spec}}.
+
+    The oblivious baseline always runs on thin-clos (its rotor schedule
+    needs the AWGR structure); NegotiaToR runs on both fabrics.
+    """
+    loads = loads if loads is not None else scale.loads
+    grid: dict[str, dict[float, RunSpec]] = {}
+    for label, kind, pq in SYSTEMS:
+        grid[label] = {
+            load: RunSpec(
+                **scale_spec_fields(scale),
+                **system_spec_fields(kind),
+                scenario="poisson",
+                scenario_params={"trace": trace},
+                load=load,
+                seed=scale.seed,
+                priority_queue=pq,
+                without_speedup=without_speedup,
+            )
+            for load in loads
+        }
+    return grid
+
+
 def sweep(
     scale: ExperimentScale,
     *,
     without_speedup: bool = False,
     trace: str = "hadoop",
     loads=None,
+    runner: SweepRunner | None = None,
 ) -> dict[str, dict[float, tuple[float | None, float]]]:
     """Run every system at every load; returns {system: {load: (fct_ms, goodput)}}.
 
-    ``without_speedup`` switches to the Fig 11 protocol (1x uplinks).
+    ``without_speedup`` switches to the Fig 11 protocol (1x uplinks).  The
+    runs are declared as specs and executed by ``runner`` (default: serial
+    in-process), so ``repro run --jobs N`` parallelizes and a store-backed
+    runner caches them.
     """
-    loads = loads if loads is not None else scale.loads
-    results: dict[str, dict[float, tuple[float | None, float]]] = {}
-    for label, kind, pq in SYSTEMS:
-        per_load = {}
-        for load in loads:
-            flows = workload_for(scale, load, trace=trace)
-            if kind == "oblivious":
-                config = _config(scale, pq, without_speedup)
-                artifacts = run_oblivious(
-                    scale, "thinclos", flows, config=config
-                )
-            else:
-                config = _config(scale, pq, without_speedup)
-                artifacts = run_negotiator(scale, kind, flows, config=config)
-            summary = artifacts.summary
-            per_load[load] = (fct_ms(summary), summary.goodput_normalized)
-        results[label] = per_load
-    return results
-
-
-def _config(scale, pq, without_speedup):
-    from .common import sim_config
-
-    config = sim_config(scale, priority_queue_enabled=pq)
-    if without_speedup:
-        config = config.without_speedup()
-    return config
+    runner = runner if runner is not None else SweepRunner()
+    grid = load_specs(
+        scale, without_speedup=without_speedup, trace=trace, loads=loads
+    )
+    summaries = runner.run(
+        spec for per_load in grid.values() for spec in per_load.values()
+    )
+    return {
+        label: {
+            load: (
+                fct_ms(summaries[spec.content_hash]),
+                summaries[spec.content_hash].goodput_normalized,
+            )
+            for load, spec in per_load.items()
+        }
+        for label, per_load in grid.items()
+    }
 
 
 def build_result(
@@ -111,10 +129,13 @@ def build_result(
     return result
 
 
-def run(scale: ExperimentScale | None = None) -> ExperimentResult:
+def run(
+    scale: ExperimentScale | None = None,
+    runner: SweepRunner | None = None,
+) -> ExperimentResult:
     """Regenerate Fig 9."""
     scale = scale or current_scale()
-    return build_result(scale, sweep(scale))
+    return build_result(scale, sweep(scale, runner=runner))
 
 
 if __name__ == "__main__":

@@ -139,3 +139,30 @@ class RunSummary:
         if self.mice_fct_mean_ns is None or not self.epoch_ns:
             return None
         return self.mice_fct_mean_ns / self.epoch_ns
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form; round-trips bit-exactly via from_dict.
+
+        ``extra`` must already contain only JSON-serializable values — the
+        sweep collectors guarantee that, and the result store depends on it.
+        """
+        return {
+            "duration_ns": self.duration_ns,
+            "epoch_ns": self.epoch_ns,
+            "num_flows": self.num_flows,
+            "num_completed": self.num_completed,
+            "goodput_normalized": self.goodput_normalized,
+            "goodput_gbps": self.goodput_gbps,
+            "mice_fct_p99_ns": self.mice_fct_p99_ns,
+            "mice_fct_mean_ns": self.mice_fct_mean_ns,
+            "extra": self.extra,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSummary":
+        """Inverse of :meth:`to_dict`."""
+        known = {f.name for f in cls.__dataclass_fields__.values()}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown RunSummary fields: {sorted(unknown)}")
+        return cls(**data)

@@ -1,0 +1,43 @@
+"""Sweep orchestration: declare runs as specs, fan out, cache results.
+
+The layer between the fast engine and the experiments (DESIGN.md §8):
+
+* :mod:`~repro.sweep.spec` — :class:`RunSpec`, a frozen, content-hashed
+  description of one simulation run.
+* :mod:`~repro.sweep.scenarios` — the registry of named traffic patterns a
+  spec can reference (the paper's workloads plus hotspot, permutation,
+  bursty, and ML-collective patterns).
+* :mod:`~repro.sweep.runner` — :func:`execute_spec` and
+  :class:`SweepRunner`, the serial/parallel executor with deterministic
+  per-spec seeding.
+* :mod:`~repro.sweep.store` — :class:`ResultStore`, the JSONL store keyed
+  by spec hash that makes sweeps resumable.
+"""
+
+from .runner import (
+    COLLECTORS,
+    SweepRunner,
+    execute_spec,
+    resolve_scale,
+    scale_spec_fields,
+)
+from .scenarios import SCENARIOS, Scenario, build_workload
+from .spec import SPEC_VERSION, RunSpec, freeze_params, system_spec_fields
+from .store import ResultStore, StoreError
+
+__all__ = [
+    "COLLECTORS",
+    "ResultStore",
+    "RunSpec",
+    "SCENARIOS",
+    "SPEC_VERSION",
+    "Scenario",
+    "StoreError",
+    "SweepRunner",
+    "build_workload",
+    "execute_spec",
+    "freeze_params",
+    "resolve_scale",
+    "scale_spec_fields",
+    "system_spec_fields",
+]

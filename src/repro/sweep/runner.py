@@ -1,0 +1,293 @@
+"""Spec execution and parallel sweep fan-out.
+
+:func:`execute_spec` turns one :class:`~repro.sweep.spec.RunSpec` into a
+:class:`~repro.sim.metrics.RunSummary` — generate the workload from the
+spec's seed, build the configured simulator, run, summarize, and compute
+any requested ``collect`` metrics into ``summary.extra``.
+
+:class:`SweepRunner` maps that over many specs, optionally across a
+``ProcessPoolExecutor`` (``jobs > 1``) and optionally against a
+:class:`~repro.sweep.store.ResultStore` (``resume=True`` skips specs whose
+hash already has a stored summary).  Because a spec fully determines its
+run and workers share no mutable state, the parallel fan-out is
+bit-identical to the serial loop — the determinism regression in
+tests/test_sweep.py asserts exactly that.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterable
+from concurrent.futures import ProcessPoolExecutor
+
+from ..experiments.common import (
+    SCALES,
+    ExperimentScale,
+    run_negotiator,
+    run_oblivious,
+    sim_config,
+)
+from ..sim.flows import FlowTracker
+from ..sim.metrics import RunSummary
+from . import scenarios
+from .spec import RunSpec
+from .store import ResultStore
+
+
+def scale_spec_fields(scale: ExperimentScale) -> dict:
+    """RunSpec constructor kwargs pinning one scale.
+
+    Registered scales are referenced by name; ad-hoc scales (test fixtures,
+    custom fabrics) additionally embed their fabric shape so the spec is
+    self-contained and its content hash covers the real geometry.
+    """
+    if SCALES.get(scale.name) == scale:
+        return {"scale": scale.name}
+    return {
+        "scale": scale.name,
+        "scale_params": {
+            "name": scale.name,
+            "num_tors": scale.num_tors,
+            "ports_per_tor": scale.ports_per_tor,
+            "awgr_ports": scale.awgr_ports,
+            "duration_ns": scale.duration_ns,
+            "max_flow_bytes": scale.max_flow_bytes,
+            "seed": scale.seed,
+        },
+    }
+
+
+def resolve_scale(spec: RunSpec) -> ExperimentScale:
+    """The scale a spec runs at (inline shape beats the name registry)."""
+    if spec.scale_params:
+        return ExperimentScale(**dict(spec.scale_params))
+    try:
+        return SCALES[spec.scale]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {spec.scale!r}; choose from {sorted(SCALES)} "
+            "or embed scale_params (see scale_spec_fields)"
+        ) from None
+
+# ---------------------------------------------------------------------------
+# collectors: extra metrics computed from the finished simulator
+# ---------------------------------------------------------------------------
+
+Collector = Callable[..., object]
+
+COLLECTORS: dict[str, Collector] = {}
+
+
+def collector(name: str):
+    """Register a ``collect`` metric: (sim, spec, scale, params) -> JSONable."""
+
+    def wrap(fn: Collector) -> Collector:
+        if name in COLLECTORS:
+            raise ValueError(f"collector {name!r} already registered")
+        COLLECTORS[name] = fn
+        return fn
+
+    return wrap
+
+
+@collector("mice_cdf")
+def _collect_mice_cdf(sim, spec, scale, params) -> dict:
+    """The Fig 6 observable: empirical mice-FCT CDF plus the epoch length."""
+    mice = sim.tracker.mice_flows(sim.config.mice_threshold_bytes)
+    values_ns, fractions = FlowTracker.fct_cdf(mice)
+    return {
+        "values_us": [float(v) / 1e3 for v in values_ns],
+        "fractions": [float(f) for f in fractions],
+        "epoch_us": sim.timing.epoch_ns / 1e3,
+    }
+
+
+@collector("incast_finish_ns")
+def _collect_incast_finish(sim, spec, scale, params) -> float:
+    """The Fig 7a observable: last incast flow completion minus injection."""
+    from ..workloads.incast import incast_finish_time_ns
+
+    return float(incast_finish_time_ns(sim.tracker.flows, params["at_ns"]))
+
+
+@collector("alltoall_goodput_gbps")
+def _collect_alltoall_goodput(sim, spec, scale, params) -> float:
+    """The Fig 7b observable: per-ToR received goodput over the transfer."""
+    if not sim.tracker.all_complete:
+        raise RuntimeError("all-to-all transfer did not finish")
+    finish_ns = max(f.completed_ns for f in sim.tracker.flows)
+    duration = finish_ns - params["at_ns"]
+    return sim.tracker.delivered_bytes * 8.0 / duration / scale.num_tors
+
+
+@collector("tag_finish_ns")
+def _collect_tag_finish(sim, spec, scale, params) -> dict:
+    """Per-tag last completion time — collective phase/round finish times."""
+    finish: dict[str, float] = {}
+    for flow in sim.tracker.flows:
+        if flow.completed:
+            tag = flow.tag or "untagged"
+            finish[tag] = max(finish.get(tag, 0.0), flow.completed_ns)
+    return finish
+
+
+# ---------------------------------------------------------------------------
+# single-spec execution
+# ---------------------------------------------------------------------------
+
+
+def execute_spec(spec: RunSpec) -> RunSummary:
+    """Run one spec to completion and return its summary.
+
+    Delegates the actual run to the experiments' reference helpers
+    (``run_negotiator``/``run_oblivious``), so sweep results can never
+    diverge from a directly-run experiment.  Module-level (and
+    argument-picklable) so a process pool can ship it to workers unchanged.
+    """
+    scale = resolve_scale(spec)
+    scenario = scenarios.get(spec.scenario)
+    params = scenario.resolve_params(dict(spec.scenario_params))
+    for name in spec.collect:
+        if name not in COLLECTORS:
+            raise ValueError(
+                f"unknown collect metric {name!r}; "
+                f"choose from {sorted(COLLECTORS)}"
+            )
+
+    flows = scenarios.build_workload(spec, scale, params)
+    config = sim_config(scale, priority_queue_enabled=spec.priority_queue)
+    if spec.without_speedup:
+        config = config.without_speedup()
+    duration = spec.duration_ns if spec.duration_ns else scale.duration_ns
+
+    if spec.system == "oblivious":
+        if spec.scheduler != "base" or spec.scheduler_params:
+            raise ValueError(
+                "scheduler variants apply to the negotiator system only"
+            )
+        artifacts = run_oblivious(
+            scale,
+            spec.topology,
+            flows,
+            duration_ns=duration,
+            config=config,
+            until_complete=spec.until_complete,
+            max_ns=spec.max_ns,
+        )
+    else:
+        artifacts = run_negotiator(
+            scale,
+            spec.topology,
+            flows,
+            duration_ns=duration,
+            config=config,
+            scheduler_name=spec.scheduler,
+            scheduler_kwargs=dict(spec.scheduler_params),
+            until_complete=spec.until_complete,
+            max_ns=spec.max_ns,
+        )
+
+    summary = artifacts.summary
+    for name in spec.collect:
+        summary.extra[name] = COLLECTORS[name](
+            artifacts.simulator, spec, scale, params
+        )
+    return summary
+
+
+def _timed_execute(spec: RunSpec) -> tuple[str, RunSummary, float]:
+    started = time.perf_counter()
+    summary = execute_spec(spec)
+    return spec.content_hash, summary, time.perf_counter() - started
+
+
+# ---------------------------------------------------------------------------
+# the sweep runner
+# ---------------------------------------------------------------------------
+
+
+class SweepRunner:
+    """Executes spec batches with optional parallelism, caching, and resume.
+
+    ``jobs=1`` (the default) runs serially in-process — the reference
+    behavior.  With ``jobs > 1`` pending specs fan out over a process pool.
+    A ``store`` persists every computed summary; with ``resume=True``,
+    specs whose content hash is already stored are served from the store
+    without running a simulation.
+
+    After (any number of) :meth:`run` calls, ``executed`` counts the
+    simulations actually performed and ``cached`` the store hits — the
+    observability the "--resume executes zero simulations" contract is
+    tested against.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        store: ResultStore | None = None,
+        resume: bool = False,
+        verbose: bool = False,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        if resume and store is None:
+            raise ValueError("resume requires a result store")
+        self.jobs = jobs
+        self.store = store
+        self.resume = resume
+        self.verbose = verbose
+        self.executed = 0
+        self.cached = 0
+
+    def run(self, specs: Iterable[RunSpec]) -> dict[str, RunSummary]:
+        """Run (or fetch) every spec; returns {content_hash: summary}.
+
+        Duplicate specs collapse to one run.  Results are keyed by hash so
+        callers recover per-spec summaries regardless of execution order.
+        """
+        ordered: list[RunSpec] = []
+        seen: set[str] = set()
+        for spec in specs:
+            if spec.content_hash not in seen:
+                seen.add(spec.content_hash)
+                ordered.append(spec)
+
+        results: dict[str, RunSummary] = {}
+        pending: list[RunSpec] = []
+        stored = self.store.load() if (self.resume and self.store) else {}
+        for spec in ordered:
+            hit = stored.get(spec.content_hash)
+            if hit is not None:
+                results[spec.content_hash] = hit
+                self.cached += 1
+                self._log(spec, "cached")
+            else:
+                pending.append(spec)
+
+        if len(pending) <= 1 or self.jobs == 1:
+            for spec in pending:
+                results[spec.content_hash] = self._run_one(spec)
+        else:
+            workers = min(self.jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                for spec, (spec_hash, summary, elapsed) in zip(
+                    pending, pool.map(_timed_execute, pending)
+                ):
+                    results[spec_hash] = summary
+                    self.executed += 1
+                    if self.store is not None:
+                        self.store.put(spec, summary, elapsed_s=elapsed)
+                    self._log(spec, f"ran in {elapsed:.2f}s")
+        return results
+
+    def _run_one(self, spec: RunSpec) -> RunSummary:
+        spec_hash, summary, elapsed = _timed_execute(spec)
+        self.executed += 1
+        if self.store is not None:
+            self.store.put(spec, summary, elapsed_s=elapsed)
+        self._log(spec, f"ran in {elapsed:.2f}s")
+        return summary
+
+    def _log(self, spec: RunSpec, status: str) -> None:
+        if self.verbose:
+            print(f"[{spec.short_hash}] {spec.label()}: {status}")

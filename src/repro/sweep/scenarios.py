@@ -1,0 +1,264 @@
+"""The scenario registry: named, parameterized workload builders.
+
+A *scenario* turns ``(scale, load, duration, rng, **params)`` into a flow
+list.  Scenarios are the workload half of a :class:`~repro.sweep.spec.RunSpec`
+— the spec names one plus its parameter overrides, and the runner resolves
+it here.  The registry spans the paper's own workloads (``poisson``,
+``incast``, ``alltoall``) and the extended patterns of
+:mod:`repro.workloads.patterns` (hotspot, permutation, bursty, and the ML
+collectives), so sweeps can range over traffic shapes the paper never
+evaluated without touching experiment code.
+
+Builders must draw randomness only from the ``rng`` argument; the runner
+seeds it from the spec, which is what makes parallel sweeps bit-identical
+to serial ones.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+
+from ..experiments.common import sized_distribution, workload_for
+from ..sim.config import KB
+from ..sim.flows import Flow
+from ..workloads.incast import all_to_all_workload, incast_workload
+from ..workloads.patterns import (
+    bursty_workload,
+    hotspot_workload,
+    permutation_workload,
+    ring_allreduce_workload,
+    shuffle_workload,
+)
+
+Builder = Callable[..., list[Flow]]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered traffic pattern."""
+
+    name: str
+    description: str
+    build: Builder
+    defaults: dict = field(default_factory=dict)
+    synchronous: bool = False
+    """Synchronous scenarios inject at fixed instants and ignore ``load``."""
+
+    def resolve_params(self, overrides: Mapping[str, object]) -> dict:
+        """Defaults merged with spec-provided overrides (validated)."""
+        unknown = set(overrides) - set(self.defaults)
+        if unknown:
+            raise ValueError(
+                f"scenario {self.name!r} has no parameter(s) "
+                f"{sorted(unknown)}; available: {sorted(self.defaults)}"
+            )
+        params = dict(self.defaults)
+        params.update(overrides)
+        return params
+
+
+SCENARIOS: dict[str, Scenario] = {}
+
+
+def register(
+    name: str,
+    description: str,
+    *,
+    synchronous: bool = False,
+    **defaults,
+):
+    """Decorator registering a builder under ``name`` with its defaults."""
+
+    def wrap(build: Builder) -> Builder:
+        if name in SCENARIOS:
+            raise ValueError(f"scenario {name!r} already registered")
+        SCENARIOS[name] = Scenario(
+            name=name,
+            description=description,
+            build=build,
+            defaults=defaults,
+            synchronous=synchronous,
+        )
+        return build
+
+    return wrap
+
+
+def get(name: str) -> Scenario:
+    """Look up one scenario by name."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
+        ) from None
+
+
+def build_workload(spec, scale, params: dict | None = None) -> list[Flow]:
+    """Generate the flow list for one spec at its resolved scale.
+
+    The rng is freshly seeded from the spec, so the result depends only on
+    the spec's content — never on which process or in which order it runs.
+    ``params`` takes already-resolved scenario parameters (the runner
+    resolves them once for its collectors) and defaults to resolving here.
+    """
+    scenario = get(spec.scenario)
+    if params is None:
+        params = scenario.resolve_params(dict(spec.scenario_params))
+    duration = spec.duration_ns if spec.duration_ns else scale.duration_ns
+    rng = random.Random(spec.seed)
+    return scenario.build(scale, spec.load, duration, rng, **params)
+
+
+# ---------------------------------------------------------------------------
+# the paper's workloads
+# ---------------------------------------------------------------------------
+
+
+@register(
+    "poisson",
+    "uniform Poisson arrivals from a flow-size trace (section 4.1)",
+    trace="hadoop",
+)
+def _poisson(scale, load, duration_ns, rng, *, trace):
+    # Same implementation as the non-migrated experiments' direct path.
+    return workload_for(
+        scale, load, trace=trace, duration_ns=duration_ns, rng=rng
+    )
+
+
+@register(
+    "incast",
+    "degree sources synchronously hit one destination (Fig 7a)",
+    synchronous=True,
+    degree=10,
+    dst=0,
+    flow_bytes=1 * KB,
+    at_ns=10_000.0,
+)
+def _incast(scale, load, duration_ns, rng, *, degree, dst, flow_bytes, at_ns):
+    return incast_workload(
+        scale.num_tors,
+        degree,
+        dst,
+        flow_bytes=flow_bytes,
+        at_ns=at_ns,
+        rng=rng,
+    )
+
+
+@register(
+    "alltoall",
+    "every ToR sends one equal-sized flow to every other ToR (Fig 7b)",
+    synchronous=True,
+    flow_bytes=30 * KB,
+    at_ns=10_000.0,
+)
+def _alltoall(scale, load, duration_ns, rng, *, flow_bytes, at_ns):
+    return all_to_all_workload(scale.num_tors, flow_bytes, at_ns=at_ns)
+
+
+# ---------------------------------------------------------------------------
+# extended patterns (beyond the paper)
+# ---------------------------------------------------------------------------
+
+
+@register(
+    "hotspot",
+    "skewed matrix: a hot ToR set carries most of the traffic",
+    trace="hadoop",
+    hot_fraction=0.125,
+    hot_weight=0.75,
+)
+def _hotspot(scale, load, duration_ns, rng, *, trace, hot_fraction, hot_weight):
+    return hotspot_workload(
+        sized_distribution(scale, trace),
+        load,
+        scale.num_tors,
+        scale.host_aggregate_gbps,
+        duration_ns,
+        rng,
+        hot_fraction=hot_fraction,
+        hot_weight=hot_weight,
+    )
+
+
+@register(
+    "permutation",
+    "each ToR sends to one fixed partner (demand-aware best case)",
+    trace="hadoop",
+)
+def _permutation(scale, load, duration_ns, rng, *, trace):
+    return permutation_workload(
+        sized_distribution(scale, trace),
+        load,
+        scale.num_tors,
+        scale.host_aggregate_gbps,
+        duration_ns,
+        rng,
+    )
+
+
+@register(
+    "bursty",
+    "on/off modulated Poisson arrivals at the same average load",
+    trace="hadoop",
+    mean_on_ns=100_000.0,
+    mean_off_ns=300_000.0,
+)
+def _bursty(scale, load, duration_ns, rng, *, trace, mean_on_ns, mean_off_ns):
+    return bursty_workload(
+        sized_distribution(scale, trace),
+        load,
+        scale.num_tors,
+        scale.host_aggregate_gbps,
+        duration_ns,
+        rng,
+        mean_on_ns=mean_on_ns,
+        mean_off_ns=mean_off_ns,
+    )
+
+
+@register(
+    "ring-allreduce",
+    "2(N-1)-phase ring all-reduce collective (data-parallel training)",
+    synchronous=True,
+    data_bytes=256 * KB,
+    at_ns=10_000.0,
+    phase_gap_ns="auto",
+)
+def _ring_allreduce(
+    scale, load, duration_ns, rng, *, data_bytes, at_ns, phase_gap_ns
+):
+    # "auto" paces phases at the chunk's host-NIC serialization time
+    # (resolved inside the generator); an explicit gap must be positive.
+    return ring_allreduce_workload(
+        scale.num_tors,
+        data_bytes,
+        at_ns=at_ns,
+        phase_gap_ns=None if phase_gap_ns == "auto" else phase_gap_ns,
+        host_aggregate_gbps=scale.host_aggregate_gbps,
+    )
+
+
+@register(
+    "shuffle",
+    "repeated synchronous all-to-all rounds (MoE / map-reduce shuffle)",
+    synchronous=True,
+    chunk_bytes=10 * KB,
+    rounds=2,
+    at_ns=10_000.0,
+    round_gap_ns=100_000.0,
+)
+def _shuffle(
+    scale, load, duration_ns, rng, *, chunk_bytes, rounds, at_ns, round_gap_ns
+):
+    return shuffle_workload(
+        scale.num_tors,
+        chunk_bytes,
+        rounds=rounds,
+        at_ns=at_ns,
+        round_gap_ns=round_gap_ns,
+    )

@@ -1,0 +1,202 @@
+"""Frozen, content-addressed description of one simulation run.
+
+A :class:`RunSpec` captures everything needed to reproduce a run — fabric
+scale, system, topology, scheduler variant, traffic scenario, load, seed,
+duration — as a frozen dataclass.  Its :meth:`~RunSpec.content_hash` is a
+SHA-256 over the canonical JSON form, so the same spec hashes identically in
+every process and on every platform (CPython's shortest-round-trip float
+repr is what JSON emits, and key order is pinned by ``sort_keys``).  That
+hash keys the result store: a sweep resumes by skipping every spec whose
+hash already has a stored summary.
+
+Determinism contract: a spec fully determines its run.  The workload is
+generated from ``random.Random(seed)`` and the simulator from the scale's
+config seed, with no shared mutable state between specs — which is why a
+process-pool fan-out is bit-identical to a serial loop (DESIGN.md §8).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections.abc import Mapping
+from dataclasses import dataclass, fields, replace
+
+SPEC_VERSION = 1
+"""Bump when the spec schema or run semantics change incompatibly; the
+version participates in the hash, so stale store entries stop matching."""
+
+Params = tuple[tuple[str, object], ...]
+
+SYSTEMS = ("negotiator", "oblivious")
+TOPOLOGIES = ("parallel", "thinclos")
+
+
+def freeze_params(params: Mapping[str, object] | None) -> Params:
+    """Canonicalize a parameter mapping into a sorted, hashable tuple."""
+    if not params:
+        return ()
+    for key, value in params.items():
+        if value is not None and not isinstance(value, (int, float, str, bool)):
+            raise TypeError(
+                f"spec parameter {key!r} must be a scalar, got "
+                f"{type(value).__name__}"
+            )
+    return tuple(sorted(params.items()))
+
+
+def system_spec_fields(kind: str) -> dict:
+    """Map an experiment "system" label to RunSpec system/topology fields.
+
+    Experiments label their curves ``parallel``/``thinclos`` (NegotiaToR on
+    that fabric) or ``oblivious`` — and the oblivious baseline always runs
+    on thin-clos, whose AWGR structure its rotor schedule needs.  This
+    helper is that invariant's single home.
+    """
+    if kind == "oblivious":
+        return {"system": "oblivious", "topology": "thinclos"}
+    return {"system": "negotiator", "topology": kind}
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One point of a sweep: a fully reproducible simulation run.
+
+    ``seed`` is the *workload* seed (fed to the scenario generator as
+    ``random.Random(seed)``); the simulator's own seed comes from the scale.
+    ``load`` is ignored by synchronous scenarios (incast, all-to-all, the
+    collectives) but still participates in the hash, so leave it at 1.0
+    there.  ``collect`` names extra metrics the runner computes into
+    ``RunSummary.extra`` (see :mod:`repro.sweep.runner`).
+
+    ``scale`` normally names a registered scale (tiny/small/paper); an
+    ad-hoc :class:`~repro.experiments.common.ExperimentScale` is pinned by
+    also setting ``scale_params`` to its fabric shape (use
+    :func:`repro.sweep.runner.scale_spec_fields`), so the content hash
+    covers the actual fabric rather than an unregistered name.
+    """
+
+    scale: str
+    scale_params: Params = ()
+    system: str = "negotiator"
+    topology: str = "parallel"
+    scheduler: str = "base"
+    scheduler_params: Params = ()
+    scenario: str = "poisson"
+    scenario_params: Params = ()
+    load: float = 1.0
+    seed: int = 0
+    duration_ns: float | None = None
+    priority_queue: bool = True
+    without_speedup: bool = False
+    until_complete: bool = False
+    max_ns: float | None = None
+    collect: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.system not in SYSTEMS:
+            raise ValueError(
+                f"unknown system {self.system!r}; choose from {SYSTEMS}"
+            )
+        if self.topology not in TOPOLOGIES:
+            raise ValueError(
+                f"unknown topology {self.topology!r}; choose from {TOPOLOGIES}"
+            )
+        if self.load <= 0:
+            raise ValueError("load must be positive")
+        if self.duration_ns is not None and self.duration_ns <= 0:
+            raise ValueError("duration_ns must be positive")
+        # Normalize params passed as dicts so hashing never sees a dict.
+        if isinstance(self.scale_params, Mapping):
+            object.__setattr__(
+                self, "scale_params", freeze_params(self.scale_params)
+            )
+        if isinstance(self.scheduler_params, Mapping):
+            object.__setattr__(
+                self, "scheduler_params", freeze_params(self.scheduler_params)
+            )
+        if isinstance(self.scenario_params, Mapping):
+            object.__setattr__(
+                self, "scenario_params", freeze_params(self.scenario_params)
+            )
+        object.__setattr__(self, "collect", tuple(self.collect))
+
+    # ------------------------------------------------------------------
+    # serialization and hashing
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (tuples become lists)."""
+        return {
+            "scale": self.scale,
+            "scale_params": [list(kv) for kv in self.scale_params],
+            "system": self.system,
+            "topology": self.topology,
+            "scheduler": self.scheduler,
+            "scheduler_params": [list(kv) for kv in self.scheduler_params],
+            "scenario": self.scenario,
+            "scenario_params": [list(kv) for kv in self.scenario_params],
+            "load": self.load,
+            "seed": self.seed,
+            "duration_ns": self.duration_ns,
+            "priority_queue": self.priority_queue,
+            "without_speedup": self.without_speedup,
+            "until_complete": self.until_complete,
+            "max_ns": self.max_ns,
+            "collect": list(self.collect),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RunSpec":
+        """Inverse of :meth:`to_dict`."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown RunSpec fields: {sorted(unknown)}")
+        kwargs = dict(data)
+        for name in ("scale_params", "scheduler_params", "scenario_params"):
+            kwargs[name] = tuple(
+                (str(k), v) for k, v in kwargs.get(name, ())
+            )
+        kwargs["collect"] = tuple(kwargs.get("collect", ()))
+        return cls(**kwargs)
+
+    def canonical_json(self) -> str:
+        """The byte-stable JSON form the content hash is taken over."""
+        payload = {"spec_version": SPEC_VERSION, **self.to_dict()}
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    @property
+    def content_hash(self) -> str:
+        """Stable SHA-256 hex digest of the canonical JSON form."""
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()
+
+    @property
+    def short_hash(self) -> str:
+        """First 12 hex chars — enough for display and log lines."""
+        return self.content_hash[:12]
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+
+    def scenario_param(self, key: str, default=None):
+        """One scenario parameter by name."""
+        return dict(self.scenario_params).get(key, default)
+
+    def with_params(self, **changes) -> "RunSpec":
+        """A copy with dataclass fields replaced (params auto-frozen)."""
+        return replace(self, **changes)
+
+    def label(self) -> str:
+        """A compact human-readable identity for tables and logs."""
+        parts = [self.system, self.topology, self.scenario]
+        if self.scheduler != "base":
+            parts.append(self.scheduler)
+        parts.append(f"load={self.load:g}")
+        parts.append(f"seed={self.seed}")
+        if not self.priority_queue:
+            parts.append("no-pq")
+        if self.without_speedup:
+            parts.append("1x")
+        return " ".join(parts)

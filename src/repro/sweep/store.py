@@ -1,0 +1,156 @@
+"""Content-addressed JSONL result store with resume support.
+
+One line per completed run::
+
+    {"spec_hash": "...", "spec": {...}, "summary": {...},
+     "elapsed_s": 1.23, "store_version": 1}
+
+Appending a line is the only write operation, so concurrent sweeps against
+the same store at worst duplicate a run — they never corrupt each other
+(the last line for a hash wins on load).  The hash is the spec's canonical
+content hash (:meth:`repro.sweep.spec.RunSpec.content_hash`), so a store
+entry is valid for exactly the run it describes: change any spec field and
+the lookup misses, change the spec schema and ``SPEC_VERSION`` rolls every
+hash over.
+
+Float fidelity: summaries round-trip bit-exactly because ``json`` emits
+CPython's shortest round-trip ``repr`` for floats.  The determinism
+regression in tests/test_sweep.py leans on this.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from ..sim.metrics import RunSummary
+from .spec import RunSpec
+
+STORE_VERSION = 1
+
+
+class StoreError(ValueError):
+    """A store file exists but cannot be parsed."""
+
+
+class ResultStore:
+    """Append-only JSONL store keyed by spec content hash."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.skipped_rows = 0
+
+    def exists(self) -> bool:
+        """Whether the backing file exists."""
+        return self.path.exists()
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+
+    def rows(self, strict: bool = False) -> list[dict]:
+        """All valid rows in file order (empty when the file is absent).
+
+        Torn lines — a sweep killed mid-append, or interleaved writes from
+        concurrent sweeps — are skipped (counted in ``skipped_rows``) so an
+        interrupted sweep stays resumable; the affected runs simply re-run.
+        ``strict=True`` raises :class:`StoreError` on the first bad line
+        instead, for integrity checks.
+        """
+        self.skipped_rows = 0
+        if not self.path.exists():
+            return []
+        rows = []
+        with self.path.open() as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    if strict:
+                        raise StoreError(
+                            f"{self.path}:{line_number}: not valid JSON "
+                            f"({exc})"
+                        ) from None
+                    self.skipped_rows += 1
+                    continue
+                if not isinstance(row, dict) or "spec_hash" not in row:
+                    if strict:
+                        raise StoreError(
+                            f"{self.path}:{line_number}: row has no spec_hash"
+                        )
+                    self.skipped_rows += 1
+                    continue
+                rows.append(row)
+        return rows
+
+    def load(self) -> dict[str, RunSummary]:
+        """{spec_hash: summary} with the last line winning per hash."""
+        results: dict[str, RunSummary] = {}
+        for row in self.rows():
+            results[row["spec_hash"]] = RunSummary.from_dict(row["summary"])
+        return results
+
+    def load_specs(self) -> dict[str, RunSpec]:
+        """{spec_hash: spec} for every stored row carrying a spec."""
+        specs: dict[str, RunSpec] = {}
+        for row in self.rows():
+            if "spec" in row:
+                specs[row["spec_hash"]] = RunSpec.from_dict(row["spec"])
+        return specs
+
+    def completed_hashes(self) -> set[str]:
+        """Hashes with at least one stored summary."""
+        return {row["spec_hash"] for row in self.rows()}
+
+    def get(self, spec: RunSpec) -> RunSummary | None:
+        """The stored summary for one spec, if any."""
+        return self.load().get(spec.content_hash)
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+
+    def put(
+        self,
+        spec: RunSpec,
+        summary: RunSummary,
+        elapsed_s: float | None = None,
+    ) -> None:
+        """Append one completed run."""
+        row = {
+            "spec_hash": spec.content_hash,
+            "spec": spec.to_dict(),
+            "summary": summary.to_dict(),
+            "elapsed_s": elapsed_s,
+            "store_version": STORE_VERSION,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        data = (json.dumps(row, sort_keys=True) + "\n").encode()
+        # One O_APPEND write(2) per row: concurrent sweeps append whole
+        # lines rather than interleaving buffered fragments.
+        fd = os.open(self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            os.write(fd, data)
+        finally:
+            os.close(fd)
+
+    def compact(self) -> int:
+        """Rewrite the file keeping only the last row per hash.
+
+        Returns the number of rows dropped.  Useful after repeated
+        re-sweeps of the same grid.
+        """
+        rows = self.rows()
+        latest: dict[str, dict] = {}
+        for row in rows:
+            latest[row["spec_hash"]] = row
+        dropped = len(rows) - len(latest)
+        if dropped:
+            with self.path.open("w") as handle:
+                for row in latest.values():
+                    handle.write(json.dumps(row, sort_keys=True) + "\n")
+        return dropped

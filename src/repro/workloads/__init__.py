@@ -17,6 +17,13 @@ from .incast import (
     mixed_incast_workload,
 )
 from . import trace_io
+from .patterns import (
+    bursty_workload,
+    hotspot_workload,
+    permutation_workload,
+    ring_allreduce_workload,
+    shuffle_workload,
+)
 from .traces import TRACES, by_name, google, hadoop, websearch
 
 __all__ = [
@@ -26,15 +33,20 @@ __all__ = [
     "INCAST_TAG",
     "TRACES",
     "all_to_all_workload",
+    "bursty_workload",
     "by_name",
     "google",
     "hadoop",
+    "hotspot_workload",
     "incast_finish_time_ns",
     "incast_workload",
     "merge_workloads",
     "mixed_incast_workload",
     "network_arrival_rate_per_ns",
+    "permutation_workload",
     "poisson_workload",
+    "ring_allreduce_workload",
+    "shuffle_workload",
     "single_pair_stream",
     "trace_io",
     "uniform_pair",

@@ -1,0 +1,276 @@
+"""Traffic patterns beyond the paper's evaluation (sweep scenario backends).
+
+The paper sweeps uniform Poisson traffic, incasts, and all-to-alls.  The
+reconfigurable-networks literature (ProjecToR's skewed matrices, the
+demand-aware designs surveyed by Avin & Schmid) judges fabrics under far
+more diverse traffic; this module adds those shapes:
+
+* **Hotspot** — a small set of ToRs exchanges a large share of the traffic,
+  the skewed matrices observed in production clusters.
+* **Permutation** — each ToR sends to exactly one fixed partner, the
+  adversarial case for oblivious rotors and the best case for demand-aware
+  scheduling.
+* **Bursty** — on/off modulated Poisson arrivals: the same average load as a
+  plain Poisson process, but concentrated into bursts.
+* **Ring all-reduce** — the 2(N-1)-phase ring collective of data-parallel ML
+  training: every node forwards a 1/N-sized chunk to its ring successor.
+* **All-to-all shuffle** — repeated synchronous all-to-all rounds, the
+  expert-parallel / map-reduce shuffle pattern.
+
+All generators draw randomness exclusively from the ``rng`` argument, so a
+``(generator, seed)`` pair is fully deterministic — the property the sweep
+runner's parallel fan-out relies on.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections.abc import Iterator
+
+from ..sim.flows import Flow
+from .generators import network_arrival_rate_per_ns, uniform_pair
+from .incast import all_to_all_workload
+
+HOTSPOT_TAG = "hotspot"
+PERMUTATION_TAG = "permutation"
+BURSTY_TAG = "bursty"
+ALLREDUCE_TAG = "allreduce"
+SHUFFLE_TAG = "shuffle"
+
+
+def hotspot_workload(
+    size_dist,
+    load: float,
+    num_tors: int,
+    host_aggregate_gbps: float,
+    duration_ns: float,
+    rng: random.Random,
+    hot_fraction: float = 0.125,
+    hot_weight: float = 0.75,
+    tag: str = HOTSPOT_TAG,
+    fids: Iterator[int] | None = None,
+) -> list[Flow]:
+    """Poisson arrivals with a skewed traffic matrix.
+
+    ``hot_fraction`` of the ToRs (at least two) form a hot set that carries
+    ``hot_weight`` of the flows among themselves; the rest of the traffic is
+    uniform over all ToRs.  Aggregate load matches the plain Poisson model.
+    """
+    if not 0 < hot_fraction <= 1:
+        raise ValueError("hot_fraction must be in (0, 1]")
+    if not 0 <= hot_weight <= 1:
+        raise ValueError("hot_weight must be in [0, 1]")
+    if num_tors < 2:
+        raise ValueError("need at least two ToRs")
+    num_hot = max(2, round(hot_fraction * num_tors))
+    num_hot = min(num_hot, num_tors)
+    hot = rng.sample(range(num_tors), num_hot)
+    rate = network_arrival_rate_per_ns(
+        load, size_dist.mean(), num_tors, host_aggregate_gbps
+    )
+    if fids is None:
+        fids = itertools.count()
+    flows = []
+    t = rng.expovariate(rate)
+    while t < duration_ns:
+        if rng.random() < hot_weight:
+            src, dst = rng.sample(hot, 2)
+        else:
+            src, dst = uniform_pair(num_tors, rng)
+        flows.append(
+            Flow(
+                fid=next(fids),
+                src=src,
+                dst=dst,
+                size_bytes=size_dist.sample(rng),
+                arrival_ns=t,
+                tag=tag,
+            )
+        )
+        t += rng.expovariate(rate)
+    return flows
+
+
+def permutation_workload(
+    size_dist,
+    load: float,
+    num_tors: int,
+    host_aggregate_gbps: float,
+    duration_ns: float,
+    rng: random.Random,
+    tag: str = PERMUTATION_TAG,
+    fids: Iterator[int] | None = None,
+) -> list[Flow]:
+    """Poisson arrivals over a fixed fixed-point-free permutation matrix.
+
+    A random cyclic order of the ToRs is drawn once; every flow from ToR
+    ``i`` goes to ``i``'s successor in that cycle.  Each ToR therefore has
+    exactly one destination — the pattern demand-aware fabrics serve with a
+    single matching while oblivious rotors waste all but one slot.
+    """
+    if num_tors < 2:
+        raise ValueError("a permutation needs at least two ToRs")
+    order = rng.sample(range(num_tors), num_tors)
+    successor = {
+        order[i]: order[(i + 1) % num_tors] for i in range(num_tors)
+    }
+    rate = network_arrival_rate_per_ns(
+        load, size_dist.mean(), num_tors, host_aggregate_gbps
+    )
+    if fids is None:
+        fids = itertools.count()
+    flows = []
+    t = rng.expovariate(rate)
+    while t < duration_ns:
+        src = rng.randrange(num_tors)
+        flows.append(
+            Flow(
+                fid=next(fids),
+                src=src,
+                dst=successor[src],
+                size_bytes=size_dist.sample(rng),
+                arrival_ns=t,
+                tag=tag,
+            )
+        )
+        t += rng.expovariate(rate)
+    return flows
+
+
+def bursty_workload(
+    size_dist,
+    load: float,
+    num_tors: int,
+    host_aggregate_gbps: float,
+    duration_ns: float,
+    rng: random.Random,
+    mean_on_ns: float = 100_000.0,
+    mean_off_ns: float = 300_000.0,
+    tag: str = BURSTY_TAG,
+    fids: Iterator[int] | None = None,
+) -> list[Flow]:
+    """On/off modulated Poisson arrivals (a two-state MMPP).
+
+    The source process alternates exponentially distributed ON and OFF
+    periods; flows only arrive during ON periods, at a rate boosted by
+    ``(mean_on + mean_off) / mean_on`` so the long-run average load equals
+    ``load``.  Same marginal traffic volume as the plain Poisson workload,
+    but concentrated into bursts that stress scheduling responsiveness.
+    """
+    if mean_on_ns <= 0 or mean_off_ns < 0:
+        raise ValueError("mean_on_ns must be positive, mean_off_ns >= 0")
+    base_rate = network_arrival_rate_per_ns(
+        load, size_dist.mean(), num_tors, host_aggregate_gbps
+    )
+    burst_rate = base_rate * (mean_on_ns + mean_off_ns) / mean_on_ns
+    if fids is None:
+        fids = itertools.count()
+    flows = []
+    t = 0.0
+    on = True
+    while t < duration_ns:
+        if on:
+            period = rng.expovariate(1.0 / mean_on_ns)
+        elif mean_off_ns > 0:
+            period = rng.expovariate(1.0 / mean_off_ns)
+        else:
+            period = 0.0
+        end = min(t + period, duration_ns)
+        if on:
+            arrival = t + rng.expovariate(burst_rate)
+            while arrival < end:
+                src, dst = uniform_pair(num_tors, rng)
+                flows.append(
+                    Flow(
+                        fid=next(fids),
+                        src=src,
+                        dst=dst,
+                        size_bytes=size_dist.sample(rng),
+                        arrival_ns=arrival,
+                        tag=tag,
+                    )
+                )
+                arrival += rng.expovariate(burst_rate)
+        t = end
+        on = not on
+    return flows
+
+
+def ring_allreduce_workload(
+    num_tors: int,
+    data_bytes: int,
+    at_ns: float = 0.0,
+    phase_gap_ns: float | None = None,
+    host_aggregate_gbps: float = 400.0,
+    fids: Iterator[int] | None = None,
+    tag: str = ALLREDUCE_TAG,
+) -> list[Flow]:
+    """The ring all-reduce collective of data-parallel training.
+
+    Every node holds ``data_bytes`` and the ring algorithm runs 2(N-1)
+    phases (N-1 reduce-scatter + N-1 all-gather); in each phase every node
+    sends a ``data_bytes / N`` chunk to its ring successor.  Phases are
+    paced ``phase_gap_ns`` apart — an idealized synchronous schedule (a
+    flow-level open-loop generator cannot model the data dependency between
+    phases); the default gap is the chunk's host-NIC serialization time, the
+    fastest any node could turn a phase around.
+    """
+    if num_tors < 2:
+        raise ValueError("a ring needs at least two ToRs")
+    if data_bytes <= 0:
+        raise ValueError("data_bytes must be positive")
+    chunk = max(1, data_bytes // num_tors)
+    if phase_gap_ns is None:
+        phase_gap_ns = chunk * 8.0 / host_aggregate_gbps
+    if phase_gap_ns <= 0:
+        raise ValueError("phase_gap_ns must be positive")
+    if fids is None:
+        fids = itertools.count()
+    flows = []
+    for phase in range(2 * (num_tors - 1)):
+        start = at_ns + phase * phase_gap_ns
+        for src in range(num_tors):
+            flows.append(
+                Flow(
+                    fid=next(fids),
+                    src=src,
+                    dst=(src + 1) % num_tors,
+                    size_bytes=chunk,
+                    arrival_ns=start,
+                    tag=tag,
+                )
+            )
+    return flows
+
+
+def shuffle_workload(
+    num_tors: int,
+    chunk_bytes: int,
+    rounds: int = 1,
+    at_ns: float = 0.0,
+    round_gap_ns: float = 0.0,
+    fids: Iterator[int] | None = None,
+    tag: str = SHUFFLE_TAG,
+) -> list[Flow]:
+    """Repeated synchronous all-to-all rounds (MoE / map-reduce shuffle).
+
+    Each round, every ToR sends a ``chunk_bytes`` flow to every other ToR;
+    ``rounds`` rounds start ``round_gap_ns`` apart (0 collapses them into
+    one burst).
+    """
+    if rounds < 1:
+        raise ValueError("need at least one round")
+    if round_gap_ns < 0:
+        raise ValueError("round_gap_ns must be non-negative")
+    if fids is None:
+        fids = itertools.count()
+    flows = []
+    for r in range(rounds):
+        round_flows = all_to_all_workload(
+            num_tors, chunk_bytes, at_ns=at_ns + r * round_gap_ns, fids=fids
+        )
+        for flow in round_flows:
+            flow.tag = tag
+        flows.extend(round_flows)
+    return flows

@@ -33,8 +33,28 @@ def dumps(flows: Iterable[Flow]) -> str:
     return buffer.getvalue()
 
 
+def _parse_field(line_number: int, name: str, raw: str, cast):
+    """Convert one CSV field, turning raw cast errors into located ones."""
+    try:
+        return cast(raw)
+    except ValueError:
+        raise ValueError(
+            f"line {line_number}: {name} must be a{'n integer' if cast is int else ' number'}, "
+            f"got {raw!r}"
+        ) from None
+
+
 def loads(text: str) -> list[Flow]:
-    """Parse flows from CSV text (arrival-sorted)."""
+    """Parse and validate flows from CSV text.
+
+    Rows are validated with line-numbered error messages: malformed fields,
+    non-positive sizes, negative arrival times, self-loops (``src == dst``),
+    out-of-range negatives, and duplicate flow ids are all rejected before
+    any simulation sees the workload.  Rows need not be arrival-ordered —
+    non-monotonic input is legal and is stably sorted by arrival time on
+    load (ties keep file order), so any row permutation of a workload file
+    replays identically.
+    """
     reader = csv.reader(io.StringIO(text))
     try:
         header = next(reader)
@@ -45,6 +65,7 @@ def loads(text: str) -> list[Flow]:
             f"unexpected workload header {header!r}; expected {HEADER!r}"
         )
     flows = []
+    seen_fids: dict[int, int] = {}
     for line_number, row in enumerate(reader, start=2):
         if not row:
             continue
@@ -53,20 +74,49 @@ def loads(text: str) -> list[Flow]:
                 f"line {line_number}: expected {len(HEADER)} fields, "
                 f"got {len(row)}"
             )
-        fid, src, dst, size_bytes, arrival_ns, tag = row
+        raw_fid, raw_src, raw_dst, raw_size, raw_arrival, tag = row
+        fid = _parse_field(line_number, "fid", raw_fid, int)
+        src = _parse_field(line_number, "src", raw_src, int)
+        dst = _parse_field(line_number, "dst", raw_dst, int)
+        size_bytes = _parse_field(line_number, "size_bytes", raw_size, int)
+        arrival_ns = _parse_field(line_number, "arrival_ns", raw_arrival, float)
+        if fid < 0:
+            raise ValueError(f"line {line_number}: flow id must be non-negative")
+        if src < 0 or dst < 0:
+            raise ValueError(
+                f"line {line_number}: ToR indices must be non-negative "
+                f"(got src={src}, dst={dst})"
+            )
+        if size_bytes <= 0:
+            raise ValueError(
+                f"line {line_number}: flow size must be positive, "
+                f"got {size_bytes}"
+            )
+        if not arrival_ns >= 0:
+            raise ValueError(
+                f"line {line_number}: arrival time must be non-negative, "
+                f"got {raw_arrival}"
+            )
+        if src == dst:
+            raise ValueError(
+                f"line {line_number}: flow {fid} has src == dst == {src}"
+            )
+        if fid in seen_fids:
+            raise ValueError(
+                f"line {line_number}: duplicate flow id {fid} "
+                f"(first used on line {seen_fids[fid]})"
+            )
+        seen_fids[fid] = line_number
         flows.append(
             Flow(
-                fid=int(fid),
-                src=int(src),
-                dst=int(dst),
-                size_bytes=int(size_bytes),
-                arrival_ns=float(arrival_ns),
+                fid=fid,
+                src=src,
+                dst=dst,
+                size_bytes=size_bytes,
+                arrival_ns=arrival_ns,
                 tag=tag,
             )
         )
-    fids = [flow.fid for flow in flows]
-    if len(set(fids)) != len(fids):
-        raise ValueError("duplicate flow ids in workload file")
     flows.sort(key=lambda f: f.arrival_ns)
     return flows
 

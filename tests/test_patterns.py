@@ -1,0 +1,162 @@
+"""Tests for the extended traffic patterns (workloads/patterns.py)."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.workloads.generators import poisson_workload
+from repro.workloads.patterns import (
+    bursty_workload,
+    hotspot_workload,
+    permutation_workload,
+    ring_allreduce_workload,
+    shuffle_workload,
+)
+from repro.workloads.traces import hadoop
+
+N_TORS = 16
+HOST_GBPS = 200.0
+DURATION = 2_000_000.0
+
+
+def _pair_counts(flows) -> Counter:
+    return Counter((f.src, f.dst) for f in flows)
+
+
+class TestHotspot:
+    def test_hot_set_carries_most_traffic(self):
+        flows = hotspot_workload(
+            hadoop(), 0.5, N_TORS, HOST_GBPS, DURATION, random.Random(1),
+            hot_fraction=0.25, hot_weight=0.9,
+        )
+        assert flows
+        # Recover the hot set the generator drew: ToRs involved in the
+        # top pair counts.  With weight 0.9 over 4 hot ToRs, hot-pair flows
+        # dominate: check that some small ToR subset sources >= 70%.
+        src_counts = Counter(f.src for f in flows)
+        top4 = {t for t, _ in src_counts.most_common(4)}
+        hot_flows = sum(1 for f in flows if f.src in top4 and f.dst in top4)
+        assert hot_flows / len(flows) > 0.7
+
+    def test_deterministic_for_seed(self):
+        make = lambda: hotspot_workload(
+            hadoop(), 0.3, N_TORS, HOST_GBPS, DURATION, random.Random(5)
+        )
+        assert [(f.src, f.dst, f.arrival_ns) for f in make()] == [
+            (f.src, f.dst, f.arrival_ns) for f in make()
+        ]
+
+    def test_valid_flows(self):
+        flows = hotspot_workload(
+            hadoop(), 0.5, N_TORS, HOST_GBPS, DURATION, random.Random(2)
+        )
+        assert all(f.src != f.dst for f in flows)
+        assert all(0 <= f.src < N_TORS and 0 <= f.dst < N_TORS for f in flows)
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError, match="hot_fraction"):
+            hotspot_workload(
+                hadoop(), 0.5, N_TORS, HOST_GBPS, DURATION,
+                random.Random(1), hot_fraction=0.0,
+            )
+        with pytest.raises(ValueError, match="hot_weight"):
+            hotspot_workload(
+                hadoop(), 0.5, N_TORS, HOST_GBPS, DURATION,
+                random.Random(1), hot_weight=1.5,
+            )
+
+
+class TestPermutation:
+    def test_each_source_has_one_destination(self):
+        flows = permutation_workload(
+            hadoop(), 0.5, N_TORS, HOST_GBPS, DURATION, random.Random(3)
+        )
+        dsts_per_src: dict[int, set] = {}
+        for f in flows:
+            dsts_per_src.setdefault(f.src, set()).add(f.dst)
+        assert all(len(d) == 1 for d in dsts_per_src.values())
+
+    def test_no_fixed_points_and_full_cycle(self):
+        flows = permutation_workload(
+            hadoop(), 2.0, N_TORS, HOST_GBPS, DURATION, random.Random(4)
+        )
+        mapping = {f.src: f.dst for f in flows}
+        assert all(src != dst for src, dst in mapping.items())
+        # A single cycle visits every ToR once.
+        if len(mapping) == N_TORS:
+            seen, node = set(), next(iter(mapping))
+            while node not in seen:
+                seen.add(node)
+                node = mapping[node]
+            assert len(seen) == N_TORS
+
+
+class TestBursty:
+    def test_same_average_volume_as_poisson(self):
+        """The MMPP modulation preserves the long-run offered load."""
+        rng = random.Random(11)
+        bursty = bursty_workload(
+            hadoop(), 0.5, N_TORS, HOST_GBPS, 20_000_000.0, rng,
+            mean_on_ns=100_000.0, mean_off_ns=100_000.0,
+        )
+        plain = poisson_workload(
+            hadoop(), 0.5, N_TORS, HOST_GBPS, 20_000_000.0, random.Random(11)
+        )
+        volume = sum(f.size_bytes for f in bursty)
+        reference = sum(f.size_bytes for f in plain)
+        assert volume == pytest.approx(reference, rel=0.35)
+
+    def test_arrivals_within_duration_and_ordered_by_construction(self):
+        flows = bursty_workload(
+            hadoop(), 0.5, N_TORS, HOST_GBPS, DURATION, random.Random(6)
+        )
+        assert all(0 <= f.arrival_ns < DURATION for f in flows)
+        arrivals = [f.arrival_ns for f in flows]
+        assert arrivals == sorted(arrivals)
+
+    def test_zero_off_time_degenerates_to_poisson_rate(self):
+        flows = bursty_workload(
+            hadoop(), 0.5, N_TORS, HOST_GBPS, DURATION, random.Random(7),
+            mean_on_ns=50_000.0, mean_off_ns=0.0,
+        )
+        assert flows
+
+
+class TestRingAllreduce:
+    def test_phase_structure(self):
+        flows = ring_allreduce_workload(8, data_bytes=8_000, at_ns=0.0)
+        # 2(N-1) phases x N flows.
+        assert len(flows) == 2 * 7 * 8
+        assert all(f.dst == (f.src + 1) % 8 for f in flows)
+        assert all(f.size_bytes == 1000 for f in flows)
+        phases = sorted({f.arrival_ns for f in flows})
+        assert len(phases) == 14
+        gaps = {round(b - a, 6) for a, b in zip(phases, phases[1:])}
+        assert len(gaps) == 1  # equally paced
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError, match="ring"):
+            ring_allreduce_workload(1, data_bytes=100)
+        with pytest.raises(ValueError, match="data_bytes"):
+            ring_allreduce_workload(4, data_bytes=0)
+
+
+class TestShuffle:
+    def test_rounds_and_tags(self):
+        flows = shuffle_workload(
+            6, chunk_bytes=500, rounds=3, at_ns=100.0, round_gap_ns=50.0
+        )
+        assert len(flows) == 3 * 6 * 5
+        assert {f.tag for f in flows} == {"shuffle"}
+        assert sorted({f.arrival_ns for f in flows}) == [100.0, 150.0, 200.0]
+        fids = [f.fid for f in flows]
+        assert len(set(fids)) == len(fids)
+
+    def test_single_round_matches_alltoall_shape(self):
+        flows = shuffle_workload(4, chunk_bytes=100)
+        assert _pair_counts(flows) == Counter(
+            {(s, d): 1 for s in range(4) for d in range(4) if s != d}
+        )

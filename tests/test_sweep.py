@@ -1,0 +1,525 @@
+"""Tests for the sweep orchestration subsystem (spec, runner, store, CLI).
+
+The load-bearing properties:
+
+* spec content hashes are stable — across objects, param orderings, JSON
+  round-trips, and separate processes;
+* a parallel sweep (``jobs=4``) is bit-identical to a serial one;
+* a resumed sweep serves every completed spec from the store and executes
+  zero simulations.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import TINY
+from repro.sim.metrics import RunSummary
+from repro.sweep import (
+    SCENARIOS,
+    ResultStore,
+    RunSpec,
+    StoreError,
+    SweepRunner,
+    build_workload,
+    execute_spec,
+    freeze_params,
+)
+
+SHORT_NS = 150_000.0
+
+
+def tiny_spec(**overrides) -> RunSpec:
+    base = dict(
+        scale="tiny", load=0.25, seed=2024, duration_ns=SHORT_NS
+    )
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+def grid_specs() -> list[RunSpec]:
+    """8 cheap specs spanning scenarios, loads, and systems."""
+    specs = [
+        tiny_spec(scenario=scenario, load=load)
+        for scenario in ("poisson", "hotspot", "permutation")
+        for load in (0.1, 0.25)
+    ]
+    specs.append(tiny_spec(system="oblivious", topology="thinclos"))
+    specs.append(tiny_spec(scenario="ring-allreduce", load=1.0))
+    return specs
+
+
+# ---------------------------------------------------------------------------
+# spec hashing
+# ---------------------------------------------------------------------------
+
+
+def _hash_in_subprocess(spec_dict: dict) -> str:
+    return RunSpec.from_dict(spec_dict).content_hash
+
+
+class TestSpecHash:
+    def test_equal_specs_hash_equal(self):
+        assert tiny_spec().content_hash == tiny_spec().content_hash
+
+    def test_any_field_change_changes_hash(self):
+        base = tiny_spec()
+        variants = [
+            tiny_spec(load=0.5),
+            tiny_spec(seed=7),
+            tiny_spec(topology="thinclos"),
+            tiny_spec(priority_queue=False),
+            tiny_spec(scenario="hotspot"),
+            tiny_spec(scenario_params={"trace": "websearch"}),
+            tiny_spec(collect=("mice_cdf",)),
+        ]
+        hashes = {spec.content_hash for spec in variants}
+        assert len(hashes) == len(variants)
+        assert base.content_hash not in hashes
+
+    def test_param_order_does_not_matter(self):
+        a = tiny_spec(scenario_params={"a": 1, "b": 2})
+        b = tiny_spec(scenario_params={"b": 2, "a": 1})
+        assert a.content_hash == b.content_hash
+
+    def test_dict_roundtrip_preserves_hash(self):
+        spec = tiny_spec(
+            scenario="incast",
+            scenario_params={"degree": 3},
+            collect=("incast_finish_ns",),
+            until_complete=True,
+        )
+        recycled = RunSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert recycled == spec
+        assert recycled.content_hash == spec.content_hash
+
+    def test_hash_stable_across_processes(self):
+        """The store contract: other processes compute the same hashes."""
+        specs = grid_specs()
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(2) as pool:
+            remote = pool.map(
+                _hash_in_subprocess, [s.to_dict() for s in specs]
+            )
+        assert remote == [s.content_hash for s in specs]
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError, match="system"):
+            tiny_spec(system="rotor")
+
+    def test_unknown_field_rejected_on_from_dict(self):
+        with pytest.raises(ValueError, match="unknown RunSpec fields"):
+            RunSpec.from_dict({"scale": "tiny", "color": "red"})
+
+    def test_freeze_params_rejects_non_scalars(self):
+        with pytest.raises(TypeError, match="scalar"):
+            freeze_params({"bad": [1, 2]})
+
+    def test_ad_hoc_scale_embeds_shape_and_executes(self):
+        """Unregistered scales travel inside the spec (fixture fabrics)."""
+        from repro.experiments.common import ExperimentScale
+        from repro.sweep import scale_spec_fields
+
+        micro = ExperimentScale(
+            name="micro-x",
+            num_tors=8,
+            ports_per_tor=2,
+            awgr_ports=4,
+            duration_ns=80_000.0,
+            max_flow_bytes=100_000,
+            seed=99,
+        )
+        fields = scale_spec_fields(micro)
+        assert fields["scale_params"]  # not a registered scale
+        spec = RunSpec(**fields, load=0.5, seed=99)
+        assert execute_spec(spec).num_flows > 0
+        # Same name, different fabric -> different hash.
+        other = RunSpec(
+            **scale_spec_fields(
+                ExperimentScale(
+                    name="micro-x",
+                    num_tors=16,
+                    ports_per_tor=4,
+                    awgr_ports=4,
+                    duration_ns=80_000.0,
+                    seed=99,
+                )
+            ),
+            load=0.5,
+            seed=99,
+        )
+        assert other.content_hash != spec.content_hash
+        # Registered scales stay name-referenced.
+        assert scale_spec_fields(TINY) == {"scale": "tiny"}
+
+
+# ---------------------------------------------------------------------------
+# scenarios
+# ---------------------------------------------------------------------------
+
+
+class TestScenarios:
+    def test_registry_covers_paper_and_extended_patterns(self):
+        assert {
+            "poisson", "incast", "alltoall", "hotspot", "permutation",
+            "bursty", "ring-allreduce", "shuffle",
+        } <= set(SCENARIOS)
+
+    def test_build_workload_is_deterministic(self):
+        spec = tiny_spec(scenario="hotspot")
+        a = build_workload(spec, TINY)
+        b = build_workload(spec, TINY)
+        assert [(f.fid, f.src, f.dst, f.size_bytes, f.arrival_ns) for f in a] \
+            == [(f.fid, f.src, f.dst, f.size_bytes, f.arrival_ns) for f in b]
+
+    def test_seed_changes_workload(self):
+        a = build_workload(tiny_spec(scenario="permutation"), TINY)
+        b = build_workload(tiny_spec(scenario="permutation", seed=1), TINY)
+        assert [(f.src, f.dst) for f in a] != [(f.src, f.dst) for f in b]
+
+    def test_unknown_scenario_param_rejected(self):
+        spec = tiny_spec(scenario_params={"bogus": 1})
+        with pytest.raises(ValueError, match="bogus"):
+            build_workload(spec, TINY)
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            build_workload(tiny_spec(scenario="quantum"), TINY)
+
+    def test_ring_allreduce_auto_gap_vs_explicit(self):
+        auto = build_workload(
+            tiny_spec(scenario="ring-allreduce", load=1.0), TINY
+        )
+        explicit = build_workload(
+            tiny_spec(
+                scenario="ring-allreduce",
+                load=1.0,
+                scenario_params={"phase_gap_ns": 500.0},
+            ),
+            TINY,
+        )
+        assert sorted({f.arrival_ns for f in explicit}) != sorted(
+            {f.arrival_ns for f in auto}
+        )
+        # Zero gap is unrepresentable and must say so, not silently
+        # fall back to auto pacing.
+        with pytest.raises(ValueError, match="phase_gap_ns"):
+            build_workload(
+                tiny_spec(
+                    scenario="ring-allreduce",
+                    load=1.0,
+                    scenario_params={"phase_gap_ns": 0.0},
+                ),
+                TINY,
+            )
+
+
+# ---------------------------------------------------------------------------
+# execution and collectors
+# ---------------------------------------------------------------------------
+
+
+class TestExecuteSpec:
+    def test_matches_reference_runner(self):
+        """execute_spec reproduces the experiments' direct-run path."""
+        from repro.experiments.common import run_negotiator, workload_for
+
+        spec = tiny_spec()
+        summary = execute_spec(spec)
+        flows = workload_for(TINY, 0.25, duration_ns=SHORT_NS)
+        reference = run_negotiator(
+            TINY, "parallel", flows, duration_ns=SHORT_NS
+        ).summary
+        assert summary.to_dict() == reference.to_dict()
+
+    def test_collectors_fill_extra(self):
+        spec = tiny_spec(
+            scenario="incast",
+            scenario_params={"degree": 3},
+            load=1.0,
+            seed=7,
+            duration_ns=None,
+            until_complete=True,
+            max_ns=50_000_000.0,
+            collect=("incast_finish_ns", "tag_finish_ns"),
+        )
+        summary = execute_spec(spec)
+        assert summary.extra["incast_finish_ns"] > 0
+        assert "incast" in summary.extra["tag_finish_ns"]
+        # Everything in extra must survive the JSON store.
+        assert json.loads(json.dumps(summary.to_dict())) == summary.to_dict()
+
+    def test_unknown_collector_rejected(self):
+        with pytest.raises(ValueError, match="collect"):
+            execute_spec(tiny_spec(collect=("nope",)))
+
+    def test_oblivious_rejects_scheduler_variants(self):
+        spec = tiny_spec(
+            system="oblivious", topology="thinclos", scheduler="stateful"
+        )
+        with pytest.raises(ValueError, match="negotiator"):
+            execute_spec(spec)
+
+    def test_scheduler_variant_runs(self):
+        summary = execute_spec(tiny_spec(scheduler="data-size"))
+        assert summary.num_flows > 0
+
+
+# ---------------------------------------------------------------------------
+# the store
+# ---------------------------------------------------------------------------
+
+
+class TestResultStore:
+    def test_roundtrip_is_bit_exact(self, tmp_path):
+        store = ResultStore(tmp_path / "results.jsonl")
+        spec = tiny_spec()
+        summary = execute_spec(spec)
+        store.put(spec, summary, elapsed_s=0.5)
+        loaded = store.get(spec)
+        assert loaded.to_dict() == summary.to_dict()
+        assert store.load_specs()[spec.content_hash] == spec
+
+    def test_last_row_wins(self, tmp_path):
+        store = ResultStore(tmp_path / "results.jsonl")
+        spec = tiny_spec()
+        summary = execute_spec(spec)
+        store.put(spec, summary)
+        newer = RunSummary.from_dict(summary.to_dict())
+        newer.extra["marker"] = 1
+        store.put(spec, newer)
+        assert store.get(spec).extra == {"marker": 1}
+        assert store.compact() == 1
+        assert len(store.rows()) == 1
+
+    def test_missing_file_is_empty(self, tmp_path):
+        store = ResultStore(tmp_path / "absent.jsonl")
+        assert store.rows() == []
+        assert store.load() == {}
+        assert not store.exists()
+
+    def test_torn_line_skipped_so_resume_survives_a_crash(self, tmp_path):
+        """A sweep killed mid-append must not poison the store."""
+        store = ResultStore(tmp_path / "results.jsonl")
+        spec = tiny_spec()
+        store.put(spec, execute_spec(spec))
+        with store.path.open("a") as handle:
+            handle.write('{"spec_hash": "torn-off-mid-wri')  # no newline
+        assert len(store.rows()) == 1
+        assert store.skipped_rows == 1
+        assert store.get(spec) is not None
+
+    def test_strict_mode_reports_corruption_with_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        store = ResultStore(path)
+        assert store.rows() == []  # lenient default
+        with pytest.raises(StoreError, match="bad.jsonl:1"):
+            store.rows(strict=True)
+
+
+# ---------------------------------------------------------------------------
+# the runner: determinism and resume
+# ---------------------------------------------------------------------------
+
+
+class TestSweepRunner:
+    def test_parallel_bit_identical_to_serial(self):
+        """The acceptance contract: jobs=4 == jobs=1 over >= 8 specs."""
+        specs = grid_specs()
+        assert len(specs) >= 8
+        serial = SweepRunner(jobs=1).run(specs)
+        parallel = SweepRunner(jobs=4).run(specs)
+        assert set(serial) == set(parallel)
+        for spec_hash, summary in serial.items():
+            assert summary.to_dict() == parallel[spec_hash].to_dict()
+
+    def test_resume_executes_zero_runs(self, tmp_path):
+        specs = grid_specs()
+        store = ResultStore(tmp_path / "sweep.jsonl")
+        first = SweepRunner(jobs=2, store=store)
+        initial = first.run(specs)
+        assert first.executed == len(specs)
+
+        resumed = SweepRunner(jobs=2, store=store, resume=True)
+        results = resumed.run(specs)
+        assert resumed.executed == 0
+        assert resumed.cached == len(specs)
+        for spec_hash, summary in initial.items():
+            assert results[spec_hash].to_dict() == summary.to_dict()
+
+    def test_partial_resume_runs_only_new_specs(self, tmp_path):
+        store = ResultStore(tmp_path / "sweep.jsonl")
+        old = tiny_spec()
+        SweepRunner(store=store).run([old])
+        new = tiny_spec(load=0.5)
+        runner = SweepRunner(store=store, resume=True)
+        results = runner.run([old, new])
+        assert runner.executed == 1
+        assert runner.cached == 1
+        assert set(results) == {old.content_hash, new.content_hash}
+
+    def test_duplicate_specs_run_once(self):
+        runner = SweepRunner()
+        results = runner.run([tiny_spec(), tiny_spec()])
+        assert runner.executed == 1
+        assert len(results) == 1
+
+    def test_resume_without_store_rejected(self):
+        with pytest.raises(ValueError, match="store"):
+            SweepRunner(resume=True)
+
+
+# ---------------------------------------------------------------------------
+# experiments declare their runs as specs
+# ---------------------------------------------------------------------------
+
+
+class TestExperimentSpecs:
+    def test_fig9_sweep_through_store_caches(self, tmp_path):
+        from repro.experiments.fig9_main_results import load_specs
+
+        grid = load_specs(TINY, loads=(0.1,))
+        specs = [s for per_load in grid.values() for s in per_load.values()]
+        assert len(specs) == 6  # six systems at one load
+        assert len({s.content_hash for s in specs}) == 6
+
+    def test_fig7a_and_fig7b_specs_have_collectors(self):
+        from repro.experiments.fig7_alltoall import alltoall_spec
+        from repro.experiments.fig7_incast import incast_spec
+
+        a = incast_spec(TINY, "parallel", degree=2)
+        assert a.collect == ("incast_finish_ns",)
+        assert a.until_complete
+        b = alltoall_spec(TINY, "oblivious", flow_kb=1)
+        assert b.system == "oblivious" and b.topology == "thinclos"
+        assert b.collect == ("alltoall_goodput_gbps",)
+
+    def test_fig6_cached_rerun_is_identical(self, tmp_path):
+        from repro.experiments import fig6_fct_cdf
+
+        store = ResultStore(tmp_path / "fig6.jsonl")
+        hot = fig6_fct_cdf.run(TINY, runner=SweepRunner(store=store))
+        cold_runner = SweepRunner(store=store, resume=True)
+        cold = fig6_fct_cdf.run(TINY, runner=cold_runner)
+        assert cold_runner.executed == 0
+        assert cold.rows == hot.rows
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def run_cli(*args: str, cwd=None) -> subprocess.CompletedProcess:
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        cwd=cwd,
+        env={"PYTHONPATH": src, "PATH": "/usr/bin:/bin"},
+    )
+
+
+class TestSweepCli:
+    def test_list_scenarios(self):
+        proc = run_cli("sweep", "--list-scenarios")
+        assert proc.returncode == 0
+        assert "hotspot" in proc.stdout
+        assert "ring-allreduce" in proc.stdout
+
+    def test_dry_run_prints_grid(self):
+        proc = run_cli(
+            "sweep", "--scale", "tiny", "--dry-run",
+            "--load", "0.1", "--load", "0.2",
+        )
+        assert proc.returncode == 0
+        assert "2 specs" in proc.stdout
+
+    def test_unknown_scenario_fails_cleanly(self):
+        proc = run_cli("sweep", "--scenario", "quantum", "--dry-run")
+        assert proc.returncode == 2
+        assert "unknown scenario" in proc.stderr
+
+    def test_invalid_load_fails_cleanly(self):
+        proc = run_cli(
+            "sweep", "--scale", "tiny", "--load", "0", "--dry-run"
+        )
+        assert proc.returncode == 2
+        assert "load must be positive" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_bad_scenario_param_rejected_even_on_dry_run(self):
+        proc = run_cli(
+            "sweep", "--scale", "tiny",
+            "--scenario", "poisson:bogus=1", "--dry-run",
+        )
+        assert proc.returncode == 2
+        assert "bogus" in proc.stderr
+
+    def test_oblivious_forced_onto_thinclos_and_deduped(self):
+        proc = run_cli(
+            "sweep", "--scale", "tiny", "--system", "oblivious",
+            "--topology", "parallel", "--topology", "thinclos",
+            "--load", "0.1", "--dry-run",
+        )
+        assert proc.returncode == 0
+        assert "oblivious thinclos" in proc.stdout
+        assert "oblivious parallel" not in proc.stdout
+        assert "1 specs" in proc.stdout  # duplicates collapsed
+
+    def test_explicit_default_param_hashes_like_default(self):
+        """CLI specs carry resolved params, so the hash is self-describing."""
+        base = (
+            "sweep", "--scale", "tiny", "--scenario", "hotspot",
+            "--load", "0.1", "--dry-run",
+        )
+        explicit = (
+            "sweep", "--scale", "tiny",
+            "--scenario", "hotspot:hot_weight=0.75",  # the registered default
+            "--load", "0.1", "--dry-run",
+        )
+        a, b = run_cli(*base), run_cli(*explicit)
+        assert a.returncode == 0 and b.returncode == 0
+        assert a.stdout.split()[0] == b.stdout.split()[0]
+
+    def test_zero_jobs_rejected_cleanly(self):
+        for cmd in (
+            ("sweep", "--scale", "tiny", "--jobs", "0", "--dry-run"),
+            ("run", "fig6", "--scale", "tiny", "--jobs", "0"),
+        ):
+            proc = run_cli(*cmd)
+            assert proc.returncode == 2
+            assert "jobs" in proc.stderr
+            assert "Traceback" not in proc.stderr
+
+    def test_sweep_json_and_resume(self, tmp_path):
+        args = (
+            "sweep", "--scale", "tiny", "--scenario", "poisson",
+            "--load", "0.1", "--duration-ms", "0.15",
+            "--store", str(tmp_path / "s.jsonl"), "--json",
+        )
+        first = run_cli(*args)
+        assert first.returncode == 0, first.stderr
+        payload = json.loads(first.stdout)
+        assert payload["runs"][0]["summary"]["num_flows"] > 0
+        assert "1 executed" in first.stderr
+
+        second = run_cli(*args, "--resume")
+        assert second.returncode == 0, second.stderr
+        assert "0 executed, 1 cached" in second.stderr
+        assert json.loads(second.stdout) == payload
+
+    def test_run_json_output(self):
+        proc = run_cli("run", "fig7a", "--scale", "tiny", "--json")
+        assert proc.returncode == 0, proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["results"][0]["experiment"] == "Fig 7a"
+        assert payload["results"][0]["rows"]

@@ -78,13 +78,67 @@ class TestValidation:
         with pytest.raises(ValueError, match="fields"):
             trace_io.loads(text)
 
-    def test_duplicate_fids_rejected(self):
+    def test_duplicate_fids_rejected_with_both_lines(self):
         text = (
             ",".join(trace_io.HEADER)
             + "\n0,0,1,100,0.0,\n0,1,2,100,1.0,\n"
         )
-        with pytest.raises(ValueError, match="duplicate"):
+        with pytest.raises(
+            ValueError, match=r"line 3: duplicate flow id 0 .*line 2"
+        ):
             trace_io.loads(text)
+
+    def _row(self, fid="0", src="0", dst="1", size="100", arrival="0.0"):
+        return (
+            ",".join(trace_io.HEADER)
+            + f"\n{fid},{src},{dst},{size},{arrival},\n"
+        )
+
+    def test_non_integer_fid_located(self):
+        with pytest.raises(ValueError, match="line 2: fid must be an integer"):
+            trace_io.loads(self._row(fid="x"))
+
+    def test_non_numeric_arrival_located(self):
+        with pytest.raises(
+            ValueError, match="line 2: arrival_ns must be a number"
+        ):
+            trace_io.loads(self._row(arrival="soon"))
+
+    def test_negative_size_located(self):
+        with pytest.raises(
+            ValueError, match="line 2: flow size must be positive, got -5"
+        ):
+            trace_io.loads(self._row(size="-5"))
+
+    def test_zero_size_located(self):
+        with pytest.raises(ValueError, match="line 2: flow size"):
+            trace_io.loads(self._row(size="0"))
+
+    def test_negative_arrival_located(self):
+        with pytest.raises(
+            ValueError, match="line 2: arrival time must be non-negative"
+        ):
+            trace_io.loads(self._row(arrival="-1.0"))
+
+    def test_nan_arrival_rejected(self):
+        with pytest.raises(ValueError, match="line 2: arrival time"):
+            trace_io.loads(self._row(arrival="nan"))
+
+    def test_self_loop_located(self):
+        with pytest.raises(ValueError, match="line 2: .*src == dst"):
+            trace_io.loads(self._row(src="3", dst="3"))
+
+    def test_negative_tor_located(self):
+        with pytest.raises(ValueError, match="line 2: ToR indices"):
+            trace_io.loads(self._row(src="-1"))
+
+    def test_non_monotonic_rows_are_sorted_stably(self):
+        text = (
+            ",".join(trace_io.HEADER)
+            + "\n0,0,1,100,50.0,\n1,1,2,100,10.0,\n2,2,3,100,50.0,\n"
+        )
+        flows = trace_io.loads(text)
+        assert [f.fid for f in flows] == [1, 0, 2]
 
     def test_fabric_validation(self):
         flows = [Flow(fid=0, src=0, dst=9, size_bytes=10, arrival_ns=0.0)]
