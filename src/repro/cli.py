@@ -4,8 +4,14 @@ Commands:
 
 * ``list`` — show the available experiments and scales.
 * ``run <experiment> [...]`` — regenerate one or more tables/figures and
-  print the rendered results (``--jobs N`` parallelizes spec-declared
-  experiments, ``--json`` emits structured output).
+  print the rendered results (``--jobs N`` parallelizes the spec-declared
+  runs, ``--json`` emits structured output).  ``run --all --store PATH``
+  reproduces the whole paper through one shared runner and result store:
+  specs common to several figures execute once, and a repeated
+  reproduction against the same store executes zero simulations.
+* ``golden`` — verify every experiment's output digest against the
+  baselines under tests/golden/ (``--record`` refreshes them after an
+  intentional change).
 * ``report`` — run a set of experiments and emit a markdown report
   (the generator behind EXPERIMENTS.md); ``--json`` emits the results as
   structured JSON instead.
@@ -14,13 +20,16 @@ Commands:
   the sweep orchestrator: parallel fan-out (``--jobs``), a JSONL result
   store, and ``--resume`` to skip cached points (DESIGN.md section 8).
 * ``bench`` — the engine hot-path benchmark suite behind BENCH_engine.json
-  (DESIGN.md section 9).
+  (DESIGN.md section 10).
 
 Examples::
 
     python -m repro list
     python -m repro run fig9 --scale tiny --jobs 4
     python -m repro run table2 fig14 efficiency
+    python -m repro run --all --scale tiny --jobs 4 --store repro.jsonl
+    python -m repro golden          # compare against tests/golden/
+    python -m repro golden --record # refresh after an intentional change
     python -m repro report --scale small --output report.md
     python -m repro sweep --scale tiny --scenario poisson --scenario hotspot \\
         --jobs 4 --store sweep.jsonl
@@ -32,7 +41,6 @@ Examples::
 from __future__ import annotations
 
 import argparse
-import inspect
 import json
 import sys
 
@@ -52,9 +60,15 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="regenerate tables/figures")
     run.add_argument(
         "experiments",
-        nargs="+",
+        nargs="*",
         metavar="EXPERIMENT",
         help=f"one of: {', '.join(sorted(EXPERIMENT_MODULES))}",
+    )
+    run.add_argument(
+        "--all",
+        action="store_true",
+        help="reproduce every experiment (specs shared between experiments "
+        "execute once)",
     )
     run.add_argument("--scale", choices=sorted(SCALES), default=None)
     run.add_argument(
@@ -64,6 +78,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="parallel worker processes for spec-declared experiments "
         "(default 1: serial, the reference behavior)",
+    )
+    run.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="JSONL result store shared across experiments; implies resume, "
+        "so a repeated reproduction executes zero simulations",
     )
     run.add_argument(
         "--json",
@@ -177,6 +198,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="list registered scenarios and their parameters, then exit",
     )
 
+    golden = sub.add_parser(
+        "golden",
+        help="verify (or --record) the golden-baseline digests under "
+        "tests/golden/",
+    )
+    golden.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="subset to check/record (default: all)",
+    )
+    golden.add_argument(
+        "--record",
+        action="store_true",
+        help="re-record the baselines instead of verifying them",
+    )
+    golden.add_argument(
+        "--golden-dir",
+        default="tests/golden",
+        help="baseline directory (default: tests/golden)",
+    )
+    golden.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default=None,
+        help="scale to run at (default: micro, the recorded scale)",
+    )
+    golden.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parallel worker processes (default 1)",
+    )
+
     simulate = sub.add_parser(
         "simulate", help="one-off simulation with headline metrics"
     )
@@ -277,34 +333,30 @@ def cmd_list() -> int:
     return 0
 
 
-def _run_experiment(module, scale, runner):
-    """Invoke one experiment, routing through the sweep runner if supported.
-
-    Spec-declared experiments accept a ``runner`` keyword; the rest run
-    their simulations inline as before (a warning notes that --jobs cannot
-    help them).
-    """
-    if "runner" in inspect.signature(module.run).parameters:
-        return module.run(scale, runner=runner)
-    if runner is not None and runner.jobs > 1:
-        print(
-            f"note: {module.__name__.rsplit('.', 1)[-1]} does not declare "
-            "its runs as specs; running serially",
-            file=sys.stderr,
-        )
-    return module.run(scale)
-
-
 def cmd_run(
     names: list[str],
     scale_name: str | None,
     jobs: int = 1,
     as_json: bool = False,
+    run_all: bool = False,
+    store_path: str | None = None,
 ) -> int:
-    from .sweep import SweepRunner
+    from . import golden
+    from .sweep import ResultStore, SweepRunner
 
     if jobs < 1:
         print("--jobs must be at least 1", file=sys.stderr)
+        return 2
+    if run_all:
+        if names:
+            print("--all replaces the experiment list", file=sys.stderr)
+            return 2
+        names = sorted(EXPERIMENT_MODULES)
+    elif not names:
+        print(
+            "name at least one experiment, or pass --all",
+            file=sys.stderr,
+        )
         return 2
     scale = resolve_scale(scale_name)
     unknown = [n for n in names if n not in EXPERIMENT_MODULES]
@@ -315,10 +367,14 @@ def cmd_run(
             file=sys.stderr,
         )
         return 2
-    runner = SweepRunner(jobs=jobs)
+    store = ResultStore(store_path) if store_path is not None else None
+    # One runner for every experiment: specs common to several figures
+    # execute once (in-memory memo), and a store makes the whole
+    # reproduction resumable — a second run is a pure cache hit.
+    runner = SweepRunner(jobs=jobs, store=store, resume=store is not None)
     results = []
     for name in names:
-        result = _run_experiment(load_experiment(name), scale, runner)
+        result = golden.compute_result(name, scale, runner=runner)
         results.append(result)
         if not as_json:
             print(result.render())
@@ -329,6 +385,84 @@ def cmd_run(
             "results": [result.to_dict() for result in results],
         }
         print(json.dumps(payload, indent=2))
+    status = sys.stderr if as_json else sys.stdout
+    print(
+        f"{runner.executed} simulations executed, {runner.cached} cached",
+        file=status,
+    )
+    # Staleness (stored hashes the grid never requested) is only
+    # meaningful when the runner saw the *full* grid; a subset run would
+    # flag every other experiment's perfectly valid rows.
+    if store is not None and run_all:
+        stale = len(runner.stale_stored_hashes())
+        if stale:
+            print(
+                f"{stale} stored rows ignored (stale spec hashes)",
+                file=status,
+            )
+    return 0
+
+
+def cmd_golden(args) -> int:
+    from . import golden
+    from .sweep import SweepRunner
+
+    if args.jobs < 1:
+        print("--jobs must be at least 1", file=sys.stderr)
+        return 2
+    scale = SCALES[args.scale] if args.scale else SCALES[golden.GOLDEN_SCALE]
+    names = args.experiments or golden.experiment_names()
+    unknown = [n for n in names if n not in EXPERIMENT_MODULES]
+    if unknown:
+        print(
+            f"unknown experiment(s): {', '.join(unknown)} "
+            f"(try: python -m repro list)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.scale and args.scale != golden.GOLDEN_SCALE:
+        if args.record:
+            # Recording at another scale would write baselines the test
+            # suite (which always verifies at the golden scale) can never
+            # match, while labeling them with the recorded scale.
+            print(
+                f"--record only makes sense at the {golden.GOLDEN_SCALE} "
+                "scale the test suite verifies against; drop --scale",
+                file=sys.stderr,
+            )
+            return 2
+        print(
+            f"note: baselines are recorded at {golden.GOLDEN_SCALE}; "
+            f"digests at {args.scale} will not match them",
+            file=sys.stderr,
+        )
+    runner = SweepRunner(jobs=args.jobs)
+    failures = 0
+    for name in names:
+        result = golden.compute_result(name, scale, runner=runner)
+        if args.record:
+            digest = golden.record_golden(args.golden_dir, name, result)
+            print(f"recorded {name}: {digest[:12]}")
+            continue
+        check = golden.check_golden(args.golden_dir, name, result)
+        if check.expected is None:
+            print(f"MISSING  {name}: no baseline (run with --record)")
+            failures += 1
+        elif check.ok:
+            print(f"ok       {name}: {check.digest[:12]}")
+        else:
+            print(
+                f"MISMATCH {name}: got {check.digest[:12]}, "
+                f"expected {check.expected[:12]}"
+            )
+            failures += 1
+    if failures:
+        print(
+            f"{failures} experiment(s) diverged from tests/golden/ — "
+            "re-record with 'python -m repro golden --record' if intended",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -539,20 +673,29 @@ def cmd_sweep(args) -> int:
                 f"{summary.num_flows:>7}  {summary.num_completed:>7}  "
                 f"{summary.goodput_normalized:>6.3f}  {fct:>13}"
             )
+    status = sys.stderr if args.json else sys.stdout
     print(
         f"{len(specs)} specs: {runner.executed} executed, "
         f"{runner.cached} cached (store: {args.store})",
-        file=sys.stderr if args.json else sys.stdout,
+        file=status,
     )
+    if args.resume:
+        stale = len(runner.stale_stored_hashes())
+        if stale:
+            print(
+                f"{stale} stored rows ignored (stale spec hashes — the "
+                "store holds results for specs this grid no longer "
+                "requests; 'compact' keeps them, delete the store to drop "
+                "them)",
+                file=status,
+            )
     return 0
 
 
 def cmd_simulate(args) -> int:
     import random
 
-    from .experiments.common import make_topology, sim_config
-    from .sim.network import NegotiaToRSimulator
-    from .sim.oblivious import ObliviousSimulator
+    from .experiments.common import run_negotiator, run_oblivious, sim_config
     from .workloads import by_name, poisson_workload, trace_io
 
     scale = resolve_scale(args.scale)
@@ -582,13 +725,10 @@ def cmd_simulate(args) -> int:
             random.Random(config.seed),
         )
 
-    topology = make_topology(scale, args.topology)
-    if args.system == "oblivious":
-        sim = ObliviousSimulator(config, topology, flows)
-    else:
-        sim = NegotiaToRSimulator(config, topology, flows)
-    sim.run(duration_ns)
-    summary = sim.summary(duration_ns)
+    run = run_oblivious if args.system == "oblivious" else run_negotiator
+    summary = run(
+        scale, args.topology, flows, duration_ns=duration_ns, config=config
+    ).summary
 
     print(f"system    : {args.system} on {args.topology} "
           f"({config.num_tors} ToRs x {config.ports_per_tor} ports)")
@@ -690,7 +830,16 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "list":
         return cmd_list()
     if args.command == "run":
-        return cmd_run(args.experiments, args.scale, args.jobs, args.json)
+        return cmd_run(
+            args.experiments,
+            args.scale,
+            args.jobs,
+            args.json,
+            run_all=args.all,
+            store_path=args.store,
+        )
+    if args.command == "golden":
+        return cmd_golden(args)
     if args.command == "report":
         return cmd_report(args.experiments, args.scale, args.output, args.json)
     if args.command == "sweep":

@@ -12,6 +12,7 @@ module is also directly runnable: ``python -m repro.experiments.<name>``.
 import importlib
 
 from .common import (
+    MICRO,
     PAPER,
     SCALES,
     SMALL,
@@ -22,6 +23,7 @@ from .common import (
     make_topology,
     run_negotiator,
     run_oblivious,
+    run_relay,
     sim_config,
     workload_for,
 )
@@ -62,6 +64,7 @@ def load_experiment(name: str):
 
 __all__ = [
     "EXPERIMENT_MODULES",
+    "MICRO",
     "SCALES",
     "ExperimentResult",
     "ExperimentScale",
@@ -73,6 +76,7 @@ __all__ = [
     "make_topology",
     "run_negotiator",
     "run_oblivious",
+    "run_relay",
     "sim_config",
     "workload_for",
 ]

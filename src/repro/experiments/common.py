@@ -9,6 +9,8 @@ the paper.  Experiments run at a configurable *scale*:
   paper reports is visible at this size, and the whole benchmark suite runs
   in minutes.
 * ``tiny`` — 16 ToRs x 4 ports, sub-millisecond runs, for smoke testing.
+* ``micro`` — 8 ToRs x 2 ports, 80 us runs: the golden-baseline scale the
+  regression digests under tests/golden/ are recorded at.
 
 Select with the ``REPRO_SCALE`` environment variable.  All scales keep the
 paper's 2x uplink speedup by deriving the host-aggregate bandwidth from the
@@ -66,6 +68,19 @@ class ExperimentScale:
         return self.ports_per_tor * 100.0 / 2.0
 
 
+MICRO = ExperimentScale(
+    name="micro",
+    num_tors=8,
+    ports_per_tor=2,
+    awgr_ports=4,
+    duration_ns=80_000.0,
+    loads=(0.5, 1.0),
+    incast_degrees=(1, 3),
+    alltoall_flow_kb=(1, 5),
+    max_flow_bytes=100_000,
+    seed=99,
+)
+
 TINY = ExperimentScale(
     name="tiny",
     num_tors=16,
@@ -95,7 +110,7 @@ PAPER = ExperimentScale(
     incast_degrees=(1, 10, 20, 30, 40, 50),
 )
 
-SCALES = {scale.name: scale for scale in (TINY, SMALL, PAPER)}
+SCALES = {scale.name: scale for scale in (MICRO, TINY, SMALL, PAPER)}
 
 
 def current_scale() -> ExperimentScale:
@@ -203,6 +218,35 @@ def run_negotiator(
         match_recorder=match_recorder,
         bandwidth=bandwidth,
     )
+
+
+def run_relay(
+    scale: ExperimentScale,
+    flows,
+    *,
+    duration_ns: float | None = None,
+    config: SimConfig | None = None,
+    relay_policy=None,
+    until_complete: bool = False,
+    max_ns: float | None = None,
+) -> RunArtifacts:
+    """Run the selective-relay variant (thin-clos only, appendix A.2.2)."""
+    from ..core.relay import SelectiveRelaySimulator
+
+    if config is None:
+        config = sim_config(scale)
+    topology = make_topology(scale, "thinclos")
+    sim = SelectiveRelaySimulator(
+        config, topology, flows, relay_policy=relay_policy
+    )
+    duration = duration_ns if duration_ns is not None else scale.duration_ns
+    if until_complete:
+        sim.run_until_complete(max_ns=max_ns or 100 * duration)
+        summary = sim.summary(sim.now_ns)
+    else:
+        sim.run(duration)
+        summary = sim.summary(duration)
+    return RunArtifacts(summary=summary, simulator=sim)
 
 
 def run_oblivious(

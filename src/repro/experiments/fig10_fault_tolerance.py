@@ -7,62 +7,18 @@ and ``BW_pre_recovery / BW_post_recovery`` (how completely repair restores
 it).  Expected shape: the bandwidth drop is disproportionate to the failure
 ratio (one dead fiber affects every pair whose control or data rides it) and
 recovery returns usage to its pre-failure level.
+
+Each failure-ratio point is declared as a :class:`~repro.sweep.spec.RunSpec`
+carrying the failure plan in ``failure_params`` and the windowed-bandwidth
+measurement in the ``fault_bw_ratios`` collector.
 """
 
 from __future__ import annotations
 
-import random
-
-from ..sim.failures import LinkFailureModel, random_failure_plan
-from ..workloads.incast import all_to_all_workload
-from .common import (
-    ExperimentResult,
-    ExperimentScale,
-    current_scale,
-    make_topology,
-    run_negotiator,
-)
+from ..sweep import RunSpec, SweepRunner, scale_spec_fields
+from .common import ExperimentResult, ExperimentScale, current_scale, make_topology
 
 FAILURE_RATIOS = (0.02, 0.04, 0.06, 0.08, 0.10)
-
-
-def bandwidth_ratios(
-    scale: ExperimentScale, failure_ratio: float, seed: int = 5
-) -> tuple[float, float]:
-    """(post-failure/pre-failure, pre-recovery/post-recovery) ratios."""
-    epoch_ns = _epoch_ns(scale)
-    duration = 360 * epoch_ns
-    fail_at = 120 * epoch_ns
-    repair_at = 240 * epoch_ns
-    margin = 25 * epoch_ns
-
-    # A saturating all-to-all backlog keeps every link busy, so windowed
-    # delivered bytes measure available bandwidth directly.
-    flows = all_to_all_workload(scale.num_tors, flow_bytes=20_000_000)
-    plan, _failed = random_failure_plan(
-        scale.num_tors, scale.ports_per_tor, failure_ratio,
-        fail_at, repair_at, random.Random(seed),
-    )
-    model = LinkFailureModel(scale.num_tors, scale.ports_per_tor, detect_epochs=3)
-    artifacts = run_negotiator(
-        scale, "parallel", flows,
-        duration_ns=duration,
-        failure_model=model,
-        failure_plan=plan,
-        bandwidth_bin_ns=epoch_ns,
-    )
-    recorder = artifacts.bandwidth
-
-    def window(start, end):
-        return sum(
-            recorder.window_bytes(("rx", dst), start, end)
-            for dst in range(scale.num_tors)
-        ) / (end - start)
-
-    pre = window(margin, fail_at)
-    during = window(fail_at + margin, repair_at)
-    post = window(repair_at + margin, duration - margin)
-    return during / pre, during / post
 
 
 def _epoch_ns(scale: ExperimentScale) -> float:
@@ -72,9 +28,60 @@ def _epoch_ns(scale: ExperimentScale) -> float:
     return EpochTiming.derive(EpochConfig(), 100.0, slots).epoch_ns
 
 
-def run(scale: ExperimentScale | None = None) -> ExperimentResult:
+def fault_spec(
+    scale: ExperimentScale, failure_ratio: float, seed: int = 5
+) -> RunSpec:
+    """Declare one Fig 10 run: saturating all-to-all through fail+repair.
+
+    A saturating all-to-all backlog keeps every link busy, so windowed
+    delivered bytes measure available bandwidth directly.  The window
+    boundaries are multiples of the (declare-time-derived) epoch length.
+    """
+    epoch_ns = _epoch_ns(scale)
+    return RunSpec(
+        **scale_spec_fields(scale),
+        topology="parallel",
+        scenario="alltoall",
+        scenario_params={"flow_bytes": 20_000_000, "at_ns": 0.0},
+        load=1.0,
+        seed=seed,
+        duration_ns=360 * epoch_ns,
+        failure_params={
+            "plan": "random",
+            "ratio": failure_ratio,
+            "fail_at_ns": 120 * epoch_ns,
+            "repair_at_ns": 240 * epoch_ns,
+            "seed": seed,
+            "detect_epochs": 3,
+        },
+        instrument={
+            "bandwidth_bin_ns": epoch_ns,
+            "margin_ns": 25 * epoch_ns,
+        },
+        collect=("fault_bw_ratios",),
+    )
+
+
+def bandwidth_ratios(
+    scale: ExperimentScale,
+    failure_ratio: float,
+    seed: int = 5,
+    runner: SweepRunner | None = None,
+) -> tuple[float, float]:
+    """(post-failure/pre-failure, pre-recovery/post-recovery) ratios."""
+    runner = runner if runner is not None else SweepRunner()
+    spec = fault_spec(scale, failure_ratio, seed=seed)
+    ratios = runner.run([spec])[spec.content_hash].extra["fault_bw_ratios"]
+    return ratios["drop"], ratios["recovery"]
+
+
+def run(
+    scale: ExperimentScale | None = None,
+    runner: SweepRunner | None = None,
+) -> ExperimentResult:
     """Regenerate Fig 10."""
     scale = scale or current_scale()
+    runner = runner if runner is not None else SweepRunner()
     result = ExperimentResult(
         experiment="Fig 10",
         title="bandwidth usage through link failure and recovery",
@@ -84,9 +91,11 @@ def run(scale: ExperimentScale | None = None) -> ExperimentResult:
             "BW_pre_recov/BW_post_recov",
         ],
     )
+    specs = {ratio: fault_spec(scale, ratio) for ratio in FAILURE_RATIOS}
+    summaries = runner.run(specs.values())
     for ratio in FAILURE_RATIOS:
-        drop, recovery = bandwidth_ratios(scale, ratio)
-        result.add_row(f"{ratio:.0%}", drop, recovery)
+        ratios = summaries[specs[ratio].content_hash].extra["fault_bw_ratios"]
+        result.add_row(f"{ratio:.0%}", ratios["drop"], ratios["recovery"])
     result.notes.append(
         "paper: 1% failures -> 98.9% bandwidth, 10% -> 75.3%; recovery "
         "restores the pre-failure level (both ratios track each other)"

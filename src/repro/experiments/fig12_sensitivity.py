@@ -9,32 +9,27 @@ scheduling delay and risk outdated matchings.
 
 Expected shape: a shallow optimum around the defaults (60 ns / 30 slots) —
 the paper's point is that performance is robust near the chosen values.
+
+Each panel point is declared as a :class:`~repro.sweep.spec.RunSpec` whose
+``epoch_params`` carry the overridden EpochConfig field.
 """
 
 from __future__ import annotations
 
-import dataclasses
-
 from ..sim.config import EpochConfig, transmit_ns
-from .common import (
-    ExperimentResult,
-    ExperimentScale,
-    current_scale,
-    fct_us,
-    run_negotiator,
-    sim_config,
-    workload_for,
-)
+from ..sweep import RunSpec, SweepRunner, scale_spec_fields
+from .common import ExperimentResult, ExperimentScale, current_scale, fct_us
 
 PREDEFINED_SLOT_NS = (20.0, 30.0, 60.0, 90.0, 120.0)
 SCHEDULED_SLOTS = (10, 30, 50, 100, 500)
 
 
-def epoch_for_predefined_slot(slot_ns: float) -> EpochConfig:
-    """An EpochConfig whose predefined slot lasts ``slot_ns`` at 100 Gbps.
+def payload_for_predefined_slot(slot_ns: float) -> int:
+    """The piggyback payload making a predefined slot last ``slot_ns``.
 
-    The slot is guard + message + piggyback payload; we resize the payload
-    to hit the requested duration (the paper varies exactly this).
+    The slot is guard + message + piggyback payload at 100 Gbps; we resize
+    the payload to hit the requested duration (the paper varies exactly
+    this).
     """
     base = EpochConfig()
     budget_ns = slot_ns - base.guard_ns - transmit_ns(
@@ -43,46 +38,78 @@ def epoch_for_predefined_slot(slot_ns: float) -> EpochConfig:
     payload = int(budget_ns * 100.0 / 8.0)
     if payload <= 0:
         raise ValueError(f"slot of {slot_ns} ns cannot fit any payload")
-    return dataclasses.replace(base, piggyback_payload_bytes=payload)
+    return payload
 
 
-def sweep_predefined_slot(scale: ExperimentScale, load: float):
+def _point_spec(scale: ExperimentScale, load: float, **epoch_params) -> RunSpec:
+    return RunSpec(
+        **scale_spec_fields(scale),
+        topology="parallel",
+        scenario="poisson",
+        scenario_params={"trace": "hadoop"},
+        load=load,
+        seed=scale.seed,
+        epoch_params=epoch_params,
+    )
+
+
+def sweep_predefined_slot(
+    scale: ExperimentScale, load: float, runner: SweepRunner | None = None
+):
     """FCT (us) per predefined slot duration at one load."""
-    rows = []
-    for slot_ns in PREDEFINED_SLOT_NS:
-        epoch = epoch_for_predefined_slot(slot_ns)
-        config = sim_config(scale, epoch=epoch)
-        flows = workload_for(scale, load)
-        artifacts = run_negotiator(scale, "parallel", flows, config=config)
-        rows.append((slot_ns, fct_us(artifacts.summary)))
-    return rows
+    runner = runner if runner is not None else SweepRunner()
+    specs = {
+        slot_ns: _point_spec(
+            scale,
+            load,
+            piggyback_payload_bytes=payload_for_predefined_slot(slot_ns),
+        )
+        for slot_ns in PREDEFINED_SLOT_NS
+    }
+    summaries = runner.run(specs.values())
+    return [
+        (slot_ns, fct_us(summaries[spec.content_hash]))
+        for slot_ns, spec in specs.items()
+    ]
 
 
-def sweep_scheduled_slots(scale: ExperimentScale, load: float):
+def sweep_scheduled_slots(
+    scale: ExperimentScale, load: float, runner: SweepRunner | None = None
+):
     """(FCT us, goodput) per scheduled-phase length at one load."""
-    rows = []
-    for slots in SCHEDULED_SLOTS:
-        epoch = dataclasses.replace(EpochConfig(), scheduled_slots=slots)
-        config = sim_config(scale, epoch=epoch)
-        flows = workload_for(scale, load)
-        artifacts = run_negotiator(scale, "parallel", flows, config=config)
-        summary = artifacts.summary
-        rows.append((slots, fct_us(summary), summary.goodput_normalized))
-    return rows
+    runner = runner if runner is not None else SweepRunner()
+    specs = {
+        slots: _point_spec(scale, load, scheduled_slots=slots)
+        for slots in SCHEDULED_SLOTS
+    }
+    summaries = runner.run(specs.values())
+    return [
+        (
+            slots,
+            fct_us(summaries[spec.content_hash]),
+            summaries[spec.content_hash].goodput_normalized,
+        )
+        for slots, spec in specs.items()
+    ]
 
 
-def run(scale: ExperimentScale | None = None, load: float = 1.0) -> ExperimentResult:
+def run(
+    scale: ExperimentScale | None = None,
+    load: float = 1.0,
+    runner: SweepRunner | None = None,
+) -> ExperimentResult:
     """Regenerate both panels of Fig 12 at one load (default 100%)."""
     scale = scale or current_scale()
+    runner = runner if runner is not None else SweepRunner()
     result = ExperimentResult(
         experiment="Fig 12",
         title=f"epoch parameter sensitivity at {load:.0%} load (parallel)",
         headers=["panel", "setting", "99p mice FCT (us)", "goodput"],
     )
-    for slot_ns, fct in sweep_predefined_slot(scale, load):
+    for slot_ns, fct in sweep_predefined_slot(scale, load, runner=runner):
         marker = " <- default" if slot_ns == 60.0 else ""
         result.add_row("a: predefined slot", f"{slot_ns:g} ns{marker}", fct, "")
-    for slots, fct, goodput in sweep_scheduled_slots(scale, load):
+    for slots, fct, goodput in sweep_scheduled_slots(scale, load, runner=runner):
         marker = " <- default" if slots == 30 else ""
         result.add_row("b: scheduled slots", f"{slots}{marker}", fct, goodput)
     result.notes.append(

@@ -8,28 +8,16 @@ Expected shape: the advantages of Fig 9 persist without any parameter
 retuning — incasts are absorbed by the piggyback path with minor impact on
 background traffic, and both FCT and goodput ordering carry over to the
 other traces.
+
+Panel (a) declares ``mixed-incast`` scenario specs with the
+``incast_mix_stats`` collector; panels (b)/(c) reuse the ``poisson``
+scenario with the other traces.
 """
 
 from __future__ import annotations
 
-import random
-from collections import defaultdict
-
-import numpy as np
-
-from ..sim.flows import FlowTracker
-from ..workloads.incast import BACKGROUND_TAG, INCAST_TAG, mixed_incast_workload
-from ..workloads.traces import by_name
-from .common import (
-    ExperimentResult,
-    ExperimentScale,
-    current_scale,
-    fct_ms,
-    run_negotiator,
-    run_oblivious,
-    sim_config,
-    workload_for,
-)
+from ..sweep import RunSpec, SweepRunner, scale_spec_fields, system_spec_fields
+from .common import ExperimentResult, ExperimentScale, current_scale, fct_ms
 
 MIX_SYSTEMS = (
     ("NT parallel", "parallel"),
@@ -38,66 +26,76 @@ MIX_SYSTEMS = (
 )
 
 
-def mixed_workload(scale: ExperimentScale, load: float):
-    distribution = by_name("hadoop")
-    if scale.max_flow_bytes is not None:
-        distribution = distribution.truncated(scale.max_flow_bytes)
-    return mixed_incast_workload(
-        distribution,
-        load,
-        scale.num_tors,
-        scale.host_aggregate_gbps,
-        scale.duration_ns,
-        random.Random(scale.seed + 7),
+def mix_spec(scale: ExperimentScale, system_kind: str, load: float) -> RunSpec:
+    """Declare one Fig 13a run (Hadoop background plus incasts)."""
+    return RunSpec(
+        **scale_spec_fields(scale),
+        **system_spec_fields(system_kind),
+        scenario="mixed-incast",
+        scenario_params={"trace": "hadoop"},
+        load=load,
+        seed=scale.seed + 7,
+        collect=("incast_mix_stats",),
     )
 
 
-def incast_mix_point(scale: ExperimentScale, system_kind: str, load: float):
+def trace_spec(
+    scale: ExperimentScale, system_kind: str, trace: str, load: float
+) -> RunSpec:
+    """Declare one Fig 13b/c run (web-search or Google trace)."""
+    return RunSpec(
+        **scale_spec_fields(scale),
+        **system_spec_fields(system_kind),
+        scenario="poisson",
+        scenario_params={"trace": trace},
+        load=load,
+        seed=scale.seed,
+    )
+
+
+def incast_mix_point(
+    scale: ExperimentScale,
+    system_kind: str,
+    load: float,
+    runner: SweepRunner | None = None,
+):
     """(bg mice FCT ms, mean incast finish ms, goodput) for Fig 13a."""
-    flows = mixed_workload(scale, load)
-    if system_kind == "oblivious":
-        artifacts = run_oblivious(scale, "thinclos", flows)
-    else:
-        artifacts = run_negotiator(scale, system_kind, flows)
-    sim = artifacts.simulator
-    tracker = sim.tracker
-
-    background_mice = tracker.mice_flows(
-        sim.config.mice_threshold_bytes, tag=BACKGROUND_TAG
-    )
-    bg_fct_ms = (
-        FlowTracker.fct_percentile_ns(background_mice, 99) / 1e6
-        if background_mice
-        else None
+    runner = runner if runner is not None else SweepRunner()
+    spec = mix_spec(scale, system_kind, load)
+    summary = runner.run([spec])[spec.content_hash]
+    stats = summary.extra["incast_mix_stats"]
+    bg = stats["bg_mice_fct_p99_ns"]
+    incast = stats["incast_mean_finish_ns"]
+    return (
+        bg / 1e6 if bg is not None else None,
+        incast / 1e6 if incast is not None else None,
+        summary.goodput_normalized,
     )
 
-    # Average finish time over completed incast events (grouped by arrival).
-    events = defaultdict(list)
-    for flow in tracker.flows_with_tag(INCAST_TAG):
-        events[flow.arrival_ns].append(flow)
-    finish_times = [
-        max(f.completed_ns for f in group) - at
-        for at, group in events.items()
-        if all(f.completed for f in group)
-    ]
-    incast_ms = float(np.mean(finish_times)) / 1e6 if finish_times else None
-    return bg_fct_ms, incast_ms, artifacts.summary.goodput_normalized
 
-
-def trace_point(scale: ExperimentScale, system_kind: str, trace: str, load: float):
+def trace_point(
+    scale: ExperimentScale,
+    system_kind: str,
+    trace: str,
+    load: float,
+    runner: SweepRunner | None = None,
+):
     """(mice FCT ms, goodput) for Fig 13b/c."""
-    flows = workload_for(scale, load, trace=trace)
-    if system_kind == "oblivious":
-        artifacts = run_oblivious(scale, "thinclos", flows)
-    else:
-        artifacts = run_negotiator(scale, system_kind, flows)
-    return fct_ms(artifacts.summary), artifacts.summary.goodput_normalized
+    runner = runner if runner is not None else SweepRunner()
+    spec = trace_spec(scale, system_kind, trace, load)
+    summary = runner.run([spec])[spec.content_hash]
+    return fct_ms(summary), summary.goodput_normalized
 
 
-def run(scale: ExperimentScale | None = None, loads=None) -> ExperimentResult:
+def run(
+    scale: ExperimentScale | None = None,
+    loads=None,
+    runner: SweepRunner | None = None,
+) -> ExperimentResult:
     """Regenerate Fig 13 (all three panels) at selected loads."""
     scale = scale or current_scale()
     loads = loads if loads is not None else (0.5, 1.0)
+    runner = runner if runner is not None else SweepRunner()
     result = ExperimentResult(
         experiment="Fig 13",
         title="FCT and goodput under more workloads",
@@ -110,28 +108,47 @@ def run(scale: ExperimentScale | None = None, loads=None) -> ExperimentResult:
             "goodput",
         ],
     )
+    # Batch-warm the runner so all three panels fan out together; the
+    # per-point reads below are pure cache hits through the shared helpers.
+    runner.run(
+        [
+            mix_spec(scale, kind, load)
+            for load in loads
+            for _label, kind in MIX_SYSTEMS
+        ]
+        + [
+            trace_spec(scale, kind, trace, load)
+            for trace in ("websearch", "google")
+            for load in loads
+            for _label, kind in MIX_SYSTEMS
+        ]
+    )
     for load in loads:
         for label, kind in MIX_SYSTEMS:
-            bg_fct, incast_ms, goodput = incast_mix_point(scale, kind, load)
+            bg_ms, incast_ms, gput = incast_mix_point(
+                scale, kind, load, runner=runner
+            )
             result.add_row(
                 "a: hadoop+incast",
                 label,
                 f"{load:.0%}",
-                bg_fct if bg_fct is not None else "n/a",
+                bg_ms if bg_ms is not None else "n/a",
                 incast_ms if incast_ms is not None else "n/a",
-                goodput,
+                gput,
             )
     for panel, trace in (("b: websearch", "websearch"), ("c: google", "google")):
         for load in loads:
             for label, kind in MIX_SYSTEMS:
-                fct, goodput = trace_point(scale, kind, trace, load)
+                fct, gput = trace_point(
+                    scale, kind, trace, load, runner=runner
+                )
                 result.add_row(
                     panel,
                     label,
                     f"{load:.0%}",
                     fct if fct is not None else "n/a",
                     "",
-                    goodput,
+                    gput,
                 )
     result.notes.append(
         "paper: same ordering as Fig 9 on every workload; incasts absorbed "

@@ -5,6 +5,10 @@ E[Y] = 1 - (1 - 1/n)^n where n is the number of ToRs competing for a port:
 the whole fabric on the parallel network, one W-ToR group on thin-clos.  The
 paper reports 0.634 at n=128 and 0.644 at n=16 and shows the simulated
 series hugging 0.63.
+
+Each topology's run is declared as a :class:`~repro.sweep.spec.RunSpec`
+with the ``match_ratio`` instrumentation and the ``match_ratio_series``
+collector.
 """
 
 from __future__ import annotations
@@ -12,32 +16,50 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.efficiency import expected_match_ratio
-from .common import (
-    ExperimentResult,
-    ExperimentScale,
-    current_scale,
-    run_negotiator,
-    workload_for,
-)
+from ..sweep import RunSpec, SweepRunner, scale_spec_fields
+from .common import ExperimentResult, ExperimentScale, current_scale
 
 
-def match_ratio_series(scale: ExperimentScale, topology_kind: str):
-    """(per-epoch ratios, mean ratio, theoretical E[Y])."""
-    flows = workload_for(scale, load=1.0)
-    artifacts = run_negotiator(
-        scale, topology_kind, flows, record_match_ratio=True
+def match_ratio_spec(scale: ExperimentScale, topology_kind: str) -> RunSpec:
+    """Declare one Fig 14 run at 100% load."""
+    return RunSpec(
+        **scale_spec_fields(scale),
+        topology=topology_kind,
+        scenario="poisson",
+        scenario_params={"trace": "hadoop"},
+        load=1.0,
+        seed=scale.seed,
+        instrument={"match_ratio": True},
+        collect=("match_ratio_series",),
     )
-    recorder = artifacts.match_recorder
-    ratios = recorder.ratios()
+
+
+def match_ratio_series(
+    scale: ExperimentScale,
+    topology_kind: str,
+    runner: SweepRunner | None = None,
+):
+    """(per-epoch finite ratios, mean ratio, theoretical E[Y])."""
+    runner = runner if runner is not None else SweepRunner()
+    spec = match_ratio_spec(scale, topology_kind)
+    series = runner.run([spec])[spec.content_hash].extra["match_ratio_series"]
     competitors = (
         scale.num_tors if topology_kind == "parallel" else scale.awgr_ports
     )
-    return ratios, recorder.mean_ratio(), expected_match_ratio(competitors)
+    return (
+        np.array(series["ratios"]),
+        series["mean"],
+        expected_match_ratio(competitors),
+    )
 
 
-def run(scale: ExperimentScale | None = None) -> ExperimentResult:
+def run(
+    scale: ExperimentScale | None = None,
+    runner: SweepRunner | None = None,
+) -> ExperimentResult:
     """Regenerate Fig 14."""
     scale = scale or current_scale()
+    runner = runner if runner is not None else SweepRunner()
     result = ExperimentResult(
         experiment="Fig 14",
         title="match ratio (accepts/grants) at 100% load vs theory",
@@ -50,16 +72,21 @@ def run(scale: ExperimentScale | None = None) -> ExperimentResult:
             "series p90",
         ],
     )
+    specs = {
+        kind: match_ratio_spec(scale, kind)
+        for kind in ("parallel", "thinclos")
+    }
+    summaries = runner.run(specs.values())
     for kind in ("parallel", "thinclos"):
-        ratios, mean_ratio, theory = match_ratio_series(scale, kind)
-        finite = ratios[~np.isnan(ratios)]
+        series = summaries[specs[kind].content_hash].extra["match_ratio_series"]
+        finite = np.array(series["ratios"])
         n = scale.num_tors if kind == "parallel" else scale.awgr_ports
         result.series[kind] = finite
         result.add_row(
             kind,
             n,
-            mean_ratio,
-            theory,
+            series["mean"],
+            expected_match_ratio(n),
             float(np.percentile(finite, 10)),
             float(np.percentile(finite, 90)),
         )

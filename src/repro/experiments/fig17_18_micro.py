@@ -8,71 +8,99 @@ Fig 18: a 30 KB all-to-all — the oblivious receiver's bandwidth is split
 between traffic destined to it and relayed traffic it must forward (the
 light-grey dots of the paper's figure); every byte NegotiaToR's receiver
 gets is wanted.
+
+Each observation is declared as a :class:`~repro.sweep.spec.RunSpec` with a
+binned :class:`~repro.sim.metrics.BandwidthRecorder` attached through
+``instrument`` and read by the ``first_rx_byte_ns`` /
+``rx_relay_split_gbps`` collectors.
 """
 
 from __future__ import annotations
 
-import random
-
 from ..sim.config import KB
-from ..workloads.incast import all_to_all_workload, incast_workload
-from .common import (
-    ExperimentResult,
-    ExperimentScale,
-    current_scale,
-    run_negotiator,
-    run_oblivious,
-)
+from ..sweep import RunSpec, SweepRunner, scale_spec_fields, system_spec_fields
+from .common import ExperimentResult, ExperimentScale, current_scale
 
 INJECT_NS = 10_000.0
 BIN_NS = 500.0
+SYSTEMS = ("parallel", "thinclos", "oblivious")
 
 
-def incast_observation(scale: ExperimentScale, system: str, degree: int = 15):
-    """(first byte arrival us after injection, rx series) for Fig 17."""
+def incast_spec(
+    scale: ExperimentScale, system: str, degree: int = 15
+) -> RunSpec:
+    """Declare one Fig 17 incast observation (the paper uses seed 3)."""
     degree = min(degree, scale.num_tors - 1)
-    flows = incast_workload(
-        scale.num_tors, degree, dst=0, flow_bytes=1 * KB,
-        at_ns=INJECT_NS, rng=random.Random(3),
+    return RunSpec(
+        **scale_spec_fields(scale),
+        **system_spec_fields(system),
+        scenario="incast",
+        scenario_params={
+            "degree": degree,
+            "dst": 0,
+            "flow_bytes": 1 * KB,
+            "at_ns": INJECT_NS,
+        },
+        load=1.0,
+        seed=3,
+        until_complete=True,
+        max_ns=50_000_000.0,
+        instrument={"bandwidth_bin_ns": BIN_NS},
+        collect=("first_rx_byte_ns",),
     )
-    runner = run_oblivious if system == "oblivious" else run_negotiator
-    kind = "thinclos" if system in ("oblivious", "thinclos") else "parallel"
-    artifacts = runner(
-        scale, kind, flows,
-        until_complete=True, max_ns=50_000_000.0, bandwidth_bin_ns=BIN_NS,
-    )
-    times, gbps = artifacts.bandwidth.series_gbps(("rx", 0))
-    first_byte_ns = None
-    for t, v in zip(times, gbps):
-        if v > 0 and t >= INJECT_NS - BIN_NS:
-            first_byte_ns = t
-            break
-    return (first_byte_ns - INJECT_NS) / 1e3, (times, gbps)
 
 
-def alltoall_observation(scale: ExperimentScale, system: str, flow_kb: int = 30):
+def alltoall_spec(
+    scale: ExperimentScale, system: str, flow_kb: int = 30
+) -> RunSpec:
+    """Declare one Fig 18 all-to-all observation."""
+    return RunSpec(
+        **scale_spec_fields(scale),
+        **system_spec_fields(system),
+        scenario="alltoall",
+        scenario_params={"flow_bytes": flow_kb * KB, "at_ns": INJECT_NS},
+        load=1.0,
+        seed=scale.seed,
+        until_complete=True,
+        max_ns=200_000_000.0,
+        instrument={"bandwidth_bin_ns": BIN_NS},
+        collect=("rx_relay_split_gbps",),
+    )
+
+
+def incast_observation(
+    scale: ExperimentScale,
+    system: str,
+    degree: int = 15,
+    runner: SweepRunner | None = None,
+) -> float:
+    """First byte arrival (us after injection) at the incast destination."""
+    runner = runner if runner is not None else SweepRunner()
+    spec = incast_spec(scale, system, degree)
+    summary = runner.run([spec])[spec.content_hash]
+    return (summary.extra["first_rx_byte_ns"] - INJECT_NS) / 1e3
+
+
+def alltoall_observation(
+    scale: ExperimentScale,
+    system: str,
+    flow_kb: int = 30,
+    runner: SweepRunner | None = None,
+):
     """(wanted Gbps, relayed Gbps at the receiver) for Fig 18."""
-    flows = all_to_all_workload(
-        scale.num_tors, flow_bytes=flow_kb * KB, at_ns=INJECT_NS
-    )
-    runner = run_oblivious if system == "oblivious" else run_negotiator
-    kind = "thinclos" if system in ("oblivious", "thinclos") else "parallel"
-    artifacts = runner(
-        scale, kind, flows,
-        until_complete=True, max_ns=200_000_000.0, bandwidth_bin_ns=BIN_NS,
-    )
-    sim = artifacts.simulator
-    finish_ns = max(f.completed_ns for f in sim.tracker.flows)
-    duration = finish_ns - INJECT_NS
-    dst = 0
-    wanted = artifacts.bandwidth.total_bytes(("rx", dst)) * 8.0 / duration
-    relayed = artifacts.bandwidth.total_bytes(("relay", dst)) * 8.0 / duration
-    return wanted, relayed
+    runner = runner if runner is not None else SweepRunner()
+    spec = alltoall_spec(scale, system, flow_kb)
+    split = runner.run([spec])[spec.content_hash].extra["rx_relay_split_gbps"]
+    return split["wanted"], split["relayed"]
 
 
-def run(scale: ExperimentScale | None = None) -> ExperimentResult:
+def run(
+    scale: ExperimentScale | None = None,
+    runner: SweepRunner | None = None,
+) -> ExperimentResult:
     """Regenerate Figs 17 and 18 as summary statistics."""
     scale = scale or current_scale()
+    runner = runner if runner is not None else SweepRunner()
     result = ExperimentResult(
         experiment="Fig 17/18",
         title="receiver bandwidth micro-observations",
@@ -84,11 +112,17 @@ def run(scale: ExperimentScale | None = None) -> ExperimentResult:
             "relayed rx (Gbps)",
         ],
     )
-    for system in ("parallel", "thinclos", "oblivious"):
-        first_byte_us, _series = incast_observation(scale, system)
+    # Batch-warm the runner so both panels fan out together; the per-point
+    # reads below are pure cache hits through the shared helpers.
+    runner.run(
+        [incast_spec(scale, s) for s in SYSTEMS]
+        + [alltoall_spec(scale, s) for s in SYSTEMS]
+    )
+    for system in SYSTEMS:
+        first_byte_us = incast_observation(scale, system, runner=runner)
         result.add_row("17: incast deg 15", system, first_byte_us, "", "")
-    for system in ("parallel", "thinclos", "oblivious"):
-        wanted, relayed = alltoall_observation(scale, system)
+    for system in SYSTEMS:
+        wanted, relayed = alltoall_observation(scale, system, runner=runner)
         result.add_row("18: all-to-all 30KB", system, "", wanted, relayed)
     result.notes.append(
         "paper: NegotiaToR's incast destination hears data within the first "

@@ -7,21 +7,18 @@ and *some* epochs show zero occupation — the epochs whose rotating
 round-robin rule put the pair's scheduling messages on a dead fiber, so no
 grant arrived.  Because the rule rotates, the zeros are intermittent rather
 than permanent.
+
+Each failure level is declared as a :class:`~repro.sweep.spec.RunSpec`
+using the ``single-pair`` scenario, an ``egress-ports`` failure plan with
+detection disabled, and the ``pair_gbps_series`` collector.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..sim.failures import Direction, FailurePlan, LinkFailureModel, LinkRef
-from ..workloads.generators import single_pair_stream
-from .common import (
-    ExperimentResult,
-    ExperimentScale,
-    current_scale,
-    make_topology,
-    run_negotiator,
-)
+from ..sweep import RunSpec, SweepRunner, scale_spec_fields
+from .common import ExperimentResult, ExperimentScale, current_scale, make_topology
 
 
 def _epoch_ns(scale: ExperimentScale) -> float:
@@ -31,39 +28,59 @@ def _epoch_ns(scale: ExperimentScale) -> float:
     return EpochTiming.derive(EpochConfig(), 100.0, slots).epoch_ns
 
 
-def pair_bandwidth_trace(
+def pair_failure_spec(
     scale: ExperimentScale, failed_ports: int, epochs: int = 150
-):
-    """Per-epoch Gbps of pair (0, 1) with ``failed_ports`` egress fibers down.
+) -> RunSpec:
+    """Declare one Fig 19 run: pair (0, 1) with dead egress fibers at ToR 0.
 
     Detection is disabled (huge lag) to observe the raw pre-detection
     behaviour the paper's Fig 19 shows.
     """
     epoch_ns = _epoch_ns(scale)
-    stream = single_pair_stream(0, 1, total_bytes=10**9)
-    plan = FailurePlan()
-    for port in range(failed_ports):
-        plan.add_failure(0.0, LinkRef(0, port, Direction.EGRESS))
-    model = LinkFailureModel(
-        scale.num_tors, scale.ports_per_tor, detect_epochs=10**6
-    )
-    artifacts = run_negotiator(
-        scale, "parallel", stream,
+    return RunSpec(
+        **scale_spec_fields(scale),
+        topology="parallel",
+        scenario="single-pair",
+        scenario_params={"src": 0, "dst": 1, "total_bytes": 10**9},
+        load=1.0,
+        seed=scale.seed,
         duration_ns=epochs * epoch_ns,
-        failure_model=model,
-        failure_plan=plan,
-        bandwidth_bin_ns=epoch_ns,
-        record_pair_bandwidth=True,
+        failure_params=(
+            {
+                "plan": "egress-ports",
+                "tor": 0,
+                "ports": failed_ports,
+                "at_ns": 0.0,
+                "detect_epochs": 10**6,
+            }
+            if failed_ports
+            else {}
+        ),
+        instrument={"bandwidth_bin_ns": epoch_ns, "pair_bandwidth": True},
+        collect=("pair_gbps_series",),
     )
-    _times, gbps = artifacts.bandwidth.series_gbps(
-        ("pair", 0, 1), until_ns=epochs * epoch_ns
-    )
-    return gbps[5:]  # skip pipeline warm-up
 
 
-def run(scale: ExperimentScale | None = None) -> ExperimentResult:
+def pair_bandwidth_trace(
+    scale: ExperimentScale,
+    failed_ports: int,
+    epochs: int = 150,
+    runner: SweepRunner | None = None,
+):
+    """Per-epoch Gbps of pair (0, 1) with ``failed_ports`` egress fibers down."""
+    runner = runner if runner is not None else SweepRunner()
+    spec = pair_failure_spec(scale, failed_ports, epochs=epochs)
+    series = runner.run([spec])[spec.content_hash].extra["pair_gbps_series"]
+    return series[5:]  # skip pipeline warm-up
+
+
+def run(
+    scale: ExperimentScale | None = None,
+    runner: SweepRunner | None = None,
+) -> ExperimentResult:
     """Regenerate Fig 19 as occupancy statistics per failure level."""
     scale = scale or current_scale()
+    runner = runner if runner is not None else SweepRunner()
     result = ExperimentResult(
         experiment="Fig 19",
         title="single pair bandwidth occupation under egress link failures",
@@ -74,8 +91,13 @@ def run(scale: ExperimentScale | None = None) -> ExperimentResult:
             "active-epoch mean Gbps",
         ],
     )
-    for failed in (0, 1, scale.ports_per_tor // 2):
-        gbps = pair_bandwidth_trace(scale, failed)
+    # dict.fromkeys dedupes (micro's 2 ports make half-ports == 1 port)
+    levels = tuple(dict.fromkeys((0, 1, scale.ports_per_tor // 2)))
+    # Batch-warm the runner so the levels fan out; the per-level reads
+    # below are pure cache hits through the shared helper.
+    runner.run(pair_failure_spec(scale, failed) for failed in levels)
+    for failed in levels:
+        gbps = pair_bandwidth_trace(scale, failed, runner=runner)
         zeros = float(np.mean(np.asarray(gbps) == 0.0))
         active = [v for v in gbps if v > 0]
         result.add_row(

@@ -5,20 +5,16 @@ shape: FCT barely moves (only lowest-band elephants are relayed) and goodput
 improves marginally at best — at light loads the 2x speedup already delivers
 near-optimal goodput, at heavy loads there are no idle links to exploit.
 That null result is the paper's argument for "no data relay".
+
+Each point is declared as a :class:`~repro.sweep.spec.RunSpec`; the relay
+rows use the ``relay`` system (the
+:class:`~repro.core.relay.SelectiveRelaySimulator` on thin-clos).
 """
 
 from __future__ import annotations
 
-from ..core.relay import RelayPolicy, SelectiveRelaySimulator
-from .common import (
-    ExperimentResult,
-    ExperimentScale,
-    current_scale,
-    fct_us,
-    make_topology,
-    sim_config,
-    workload_for,
-)
+from ..sweep import RunSpec, SweepRunner, scale_spec_fields, system_spec_fields
+from .common import ExperimentResult, ExperimentScale, current_scale, fct_us
 
 PAPER_REFERENCE = {
     # load -> (base FCT us / goodput, relay FCT us / goodput)
@@ -30,28 +26,40 @@ PAPER_REFERENCE = {
 }
 
 
-def run_point(scale: ExperimentScale, load: float, relay: bool):
-    """(99p mice FCT us, goodput) on thin-clos with/without relay."""
-    config = sim_config(scale)
-    topology = make_topology(scale, "thinclos")
-    flows = workload_for(scale, load)
-    if relay:
-        sim = SelectiveRelaySimulator(
-            config, topology, flows, relay_policy=RelayPolicy()
-        )
-    else:
-        from ..sim.network import NegotiaToRSimulator
+def relay_spec(scale: ExperimentScale, load: float, relay: bool) -> RunSpec:
+    """Declare one thin-clos run with or without selective relay."""
+    return RunSpec(
+        **scale_spec_fields(scale),
+        **system_spec_fields("relay" if relay else "thinclos"),
+        scenario="poisson",
+        scenario_params={"trace": "hadoop"},
+        load=load,
+        seed=scale.seed,
+    )
 
-        sim = NegotiaToRSimulator(config, topology, flows)
-    sim.run(scale.duration_ns)
-    summary = sim.summary(scale.duration_ns)
+
+def run_point(
+    scale: ExperimentScale,
+    load: float,
+    relay: bool,
+    runner: SweepRunner | None = None,
+):
+    """(99p mice FCT us, goodput) on thin-clos with/without relay."""
+    runner = runner if runner is not None else SweepRunner()
+    spec = relay_spec(scale, load, relay)
+    summary = runner.run([spec])[spec.content_hash]
     return fct_us(summary), summary.goodput_normalized
 
 
-def run(scale: ExperimentScale | None = None, loads=None) -> ExperimentResult:
+def run(
+    scale: ExperimentScale | None = None,
+    loads=None,
+    runner: SweepRunner | None = None,
+) -> ExperimentResult:
     """Regenerate Table 3."""
     scale = scale or current_scale()
     loads = loads if loads is not None else scale.loads
+    runner = runner if runner is not None else SweepRunner()
     result = ExperimentResult(
         experiment="Table 3",
         title="selective relay on thin-clos: 99p mice FCT (us) / goodput",
@@ -65,16 +73,23 @@ def run(scale: ExperimentScale | None = None, loads=None) -> ExperimentResult:
             "paper relay",
         ],
     )
+    specs = {
+        (relay, load): relay_spec(scale, load, relay)
+        for load in loads
+        for relay in (False, True)
+    }
+    summaries = runner.run(specs.values())
     for load in loads:
-        base_fct, base_gput = run_point(scale, load, relay=False)
-        relay_fct, relay_gput = run_point(scale, load, relay=True)
+        base = summaries[specs[(False, load)].content_hash]
+        relay = summaries[specs[(True, load)].content_hash]
+        base_fct, relay_fct = fct_us(base), fct_us(relay)
         reference = PAPER_REFERENCE.get(round(load, 2))
         result.add_row(
             f"{load:.0%}",
             base_fct if base_fct is not None else "n/a",
-            base_gput,
+            base.goodput_normalized,
             relay_fct if relay_fct is not None else "n/a",
-            relay_gput,
+            relay.goodput_normalized,
             f"{reference[0][0]}/{reference[0][1]:.1%}" if reference else "-",
             f"{reference[1][0]}/{reference[1][1]:.1%}" if reference else "-",
         )

@@ -5,18 +5,15 @@ head-of-line-delay-prioritized requests (alpha = 0.001).  Expected shape:
 the data-size approach buys almost no goodput and *hurts* FCT (mice pairs
 lose grants to big backlogs); the HoL-delay approach trims tail FCT at full
 load but is neutral elsewhere — neither justifies the added complexity.
+
+Each (variant, load) point is declared as a
+:class:`~repro.sweep.spec.RunSpec` naming the scheduler variant.
 """
 
 from __future__ import annotations
 
-from .common import (
-    ExperimentResult,
-    ExperimentScale,
-    current_scale,
-    fct_us,
-    run_negotiator,
-    workload_for,
-)
+from ..sweep import RunSpec, SweepRunner, scale_spec_fields
+from .common import ExperimentResult, ExperimentScale, current_scale, fct_us
 
 PAPER_REFERENCE = {
     # load -> {variant: (FCT us, goodput)}
@@ -30,20 +27,43 @@ PAPER_REFERENCE = {
 VARIANTS = ("base", "data-size", "hol-delay")
 
 
-def run_point(scale: ExperimentScale, load: float, variant: str):
-    """(99p mice FCT us, goodput) for one request-content policy."""
-    flows = workload_for(scale, load)
-    artifacts = run_negotiator(
-        scale, "parallel", flows, scheduler_name=variant
+def variant_spec(
+    scale: ExperimentScale, load: float, variant: str
+) -> RunSpec:
+    """Declare one request-content-policy run (parallel network)."""
+    return RunSpec(
+        **scale_spec_fields(scale),
+        topology="parallel",
+        scheduler=variant,
+        scenario="poisson",
+        scenario_params={"trace": "hadoop"},
+        load=load,
+        seed=scale.seed,
     )
-    summary = artifacts.summary
+
+
+def run_point(
+    scale: ExperimentScale,
+    load: float,
+    variant: str,
+    runner: SweepRunner | None = None,
+):
+    """(99p mice FCT us, goodput) for one request-content policy."""
+    runner = runner if runner is not None else SweepRunner()
+    spec = variant_spec(scale, load, variant)
+    summary = runner.run([spec])[spec.content_hash]
     return fct_us(summary), summary.goodput_normalized
 
 
-def run(scale: ExperimentScale | None = None, loads=None) -> ExperimentResult:
+def run(
+    scale: ExperimentScale | None = None,
+    loads=None,
+    runner: SweepRunner | None = None,
+) -> ExperimentResult:
     """Regenerate Table 4."""
     scale = scale or current_scale()
     loads = loads if loads is not None else scale.loads
+    runner = runner if runner is not None else SweepRunner()
     result = ExperimentResult(
         experiment="Table 4",
         title="informative requests: 99p mice FCT (us) / goodput (parallel)",
@@ -52,12 +72,19 @@ def run(scale: ExperimentScale | None = None, loads=None) -> ExperimentResult:
         + [f"{v} gput" for v in VARIANTS]
         + ["paper (base/size/hol FCT)"],
     )
+    specs = {
+        (variant, load): variant_spec(scale, load, variant)
+        for load in loads
+        for variant in VARIANTS
+    }
+    summaries = runner.run(specs.values())
     for load in loads:
         fcts, gputs = [], []
         for variant in VARIANTS:
-            fct, goodput = run_point(scale, load, variant)
+            summary = summaries[specs[(variant, load)].content_hash]
+            fct = fct_us(summary)
             fcts.append(fct if fct is not None else "n/a")
-            gputs.append(goodput)
+            gputs.append(summary.goodput_normalized)
         reference = PAPER_REFERENCE.get(round(load, 2))
         paper_cell = (
             "/".join(str(reference[v][0]) for v in VARIANTS) if reference else "-"

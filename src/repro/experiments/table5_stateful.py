@@ -6,18 +6,15 @@ difference is negligible at every load — duplicate grants only waste links
 that nothing else wanted (light load) or that are immediately refilled by
 continuously arriving data (heavy load).  That is the paper's argument for
 stateless scheduling.
+
+Each (variant, load) point is declared as a
+:class:`~repro.sweep.spec.RunSpec` naming the scheduler variant.
 """
 
 from __future__ import annotations
 
-from .common import (
-    ExperimentResult,
-    ExperimentScale,
-    current_scale,
-    fct_us,
-    run_negotiator,
-    workload_for,
-)
+from ..sweep import RunSpec, SweepRunner, scale_spec_fields
+from .common import ExperimentResult, ExperimentScale, current_scale, fct_us
 
 PAPER_REFERENCE = {
     0.10: ((15.3, 0.091), (13.5, 0.091)),
@@ -28,23 +25,43 @@ PAPER_REFERENCE = {
 }
 
 
-def run_point(scale: ExperimentScale, load: float, stateful: bool):
-    """(99p mice FCT us, goodput) with or without demand matrices."""
-    flows = workload_for(scale, load)
-    artifacts = run_negotiator(
-        scale,
-        "parallel",
-        flows,
-        scheduler_name="stateful" if stateful else "base",
+def variant_spec(
+    scale: ExperimentScale, load: float, stateful: bool
+) -> RunSpec:
+    """Declare one run with or without demand matrices (parallel network)."""
+    return RunSpec(
+        **scale_spec_fields(scale),
+        topology="parallel",
+        scheduler="stateful" if stateful else "base",
+        scenario="poisson",
+        scenario_params={"trace": "hadoop"},
+        load=load,
+        seed=scale.seed,
     )
-    summary = artifacts.summary
+
+
+def run_point(
+    scale: ExperimentScale,
+    load: float,
+    stateful: bool,
+    runner: SweepRunner | None = None,
+):
+    """(99p mice FCT us, goodput) with or without demand matrices."""
+    runner = runner if runner is not None else SweepRunner()
+    spec = variant_spec(scale, load, stateful)
+    summary = runner.run([spec])[spec.content_hash]
     return fct_us(summary), summary.goodput_normalized
 
 
-def run(scale: ExperimentScale | None = None, loads=None) -> ExperimentResult:
+def run(
+    scale: ExperimentScale | None = None,
+    loads=None,
+    runner: SweepRunner | None = None,
+) -> ExperimentResult:
     """Regenerate Table 5."""
     scale = scale or current_scale()
     loads = loads if loads is not None else scale.loads
+    runner = runner if runner is not None else SweepRunner()
     result = ExperimentResult(
         experiment="Table 5",
         title="stateful vs stateless scheduling: 99p mice FCT (us) / goodput",
@@ -58,16 +75,23 @@ def run(scale: ExperimentScale | None = None, loads=None) -> ExperimentResult:
             "paper stateful",
         ],
     )
+    specs = {
+        (stateful, load): variant_spec(scale, load, stateful)
+        for load in loads
+        for stateful in (False, True)
+    }
+    summaries = runner.run(specs.values())
     for load in loads:
-        base_fct, base_gput = run_point(scale, load, stateful=False)
-        stateful_fct, stateful_gput = run_point(scale, load, stateful=True)
+        base = summaries[specs[(False, load)].content_hash]
+        stateful = summaries[specs[(True, load)].content_hash]
+        base_fct, stateful_fct = fct_us(base), fct_us(stateful)
         reference = PAPER_REFERENCE.get(round(load, 2))
         result.add_row(
             f"{load:.0%}",
             base_fct if base_fct is not None else "n/a",
-            base_gput,
+            base.goodput_normalized,
             stateful_fct if stateful_fct is not None else "n/a",
-            stateful_gput,
+            stateful.goodput_normalized,
             f"{reference[0][0]}/{reference[0][1]:.1%}" if reference else "-",
             f"{reference[1][0]}/{reference[1][1]:.1%}" if reference else "-",
         )

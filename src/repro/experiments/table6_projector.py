@@ -5,18 +5,15 @@ Expected shape: despite the extra complexity (delay logging, per-port
 bundles), it loses to NegotiaToR Matching in both FCT and goodput — pinning
 a request to a port before the negotiation forfeits the port flexibility
 that lets binary ToR-level requests fill every port.
+
+Each (variant, load) point is declared as a
+:class:`~repro.sweep.spec.RunSpec` naming the scheduler variant.
 """
 
 from __future__ import annotations
 
-from .common import (
-    ExperimentResult,
-    ExperimentScale,
-    current_scale,
-    fct_us,
-    run_negotiator,
-    workload_for,
-)
+from ..sweep import RunSpec, SweepRunner, scale_spec_fields
+from .common import ExperimentResult, ExperimentScale, current_scale, fct_us
 
 PAPER_REFERENCE = {
     0.10: ((15.3, 0.091), (16.3, 0.091)),
@@ -26,19 +23,46 @@ PAPER_REFERENCE = {
     1.00: ((22.0, 0.890), (54.4, 0.847)),
 }
 
+VARIANTS = ("base", "projector")
 
-def run_point(scale: ExperimentScale, load: float, variant: str):
+
+def variant_spec(
+    scale: ExperimentScale, load: float, variant: str
+) -> RunSpec:
+    """Declare one base-or-projector run (parallel network)."""
+    return RunSpec(
+        **scale_spec_fields(scale),
+        topology="parallel",
+        scheduler=variant,
+        scenario="poisson",
+        scenario_params={"trace": "hadoop"},
+        load=load,
+        seed=scale.seed,
+    )
+
+
+def run_point(
+    scale: ExperimentScale,
+    load: float,
+    variant: str,
+    runner: SweepRunner | None = None,
+):
     """(99p mice FCT us, goodput) for base or projector scheduling."""
-    flows = workload_for(scale, load)
-    artifacts = run_negotiator(scale, "parallel", flows, scheduler_name=variant)
-    summary = artifacts.summary
+    runner = runner if runner is not None else SweepRunner()
+    spec = variant_spec(scale, load, variant)
+    summary = runner.run([spec])[spec.content_hash]
     return fct_us(summary), summary.goodput_normalized
 
 
-def run(scale: ExperimentScale | None = None, loads=None) -> ExperimentResult:
+def run(
+    scale: ExperimentScale | None = None,
+    loads=None,
+    runner: SweepRunner | None = None,
+) -> ExperimentResult:
     """Regenerate Table 6."""
     scale = scale or current_scale()
     loads = loads if loads is not None else scale.loads
+    runner = runner if runner is not None else SweepRunner()
     result = ExperimentResult(
         experiment="Table 6",
         title="ProjecToR-style scheduling: 99p mice FCT (us) / goodput",
@@ -52,16 +76,23 @@ def run(scale: ExperimentScale | None = None, loads=None) -> ExperimentResult:
             "paper projector",
         ],
     )
+    specs = {
+        (variant, load): variant_spec(scale, load, variant)
+        for load in loads
+        for variant in VARIANTS
+    }
+    summaries = runner.run(specs.values())
     for load in loads:
-        base_fct, base_gput = run_point(scale, load, "base")
-        proj_fct, proj_gput = run_point(scale, load, "projector")
+        base = summaries[specs[("base", load)].content_hash]
+        projector = summaries[specs[("projector", load)].content_hash]
+        base_fct, proj_fct = fct_us(base), fct_us(projector)
         reference = PAPER_REFERENCE.get(round(load, 2))
         result.add_row(
             f"{load:.0%}",
             base_fct if base_fct is not None else "n/a",
-            base_gput,
+            base.goodput_normalized,
             proj_fct if proj_fct is not None else "n/a",
-            proj_gput,
+            projector.goodput_normalized,
             f"{reference[0][0]}/{reference[0][1]:.1%}" if reference else "-",
             f"{reference[1][0]}/{reference[1][1]:.1%}" if reference else "-",
         )

@@ -1,0 +1,121 @@
+"""Golden-baseline digests: pin every experiment's output at micro scale.
+
+Each experiment's :class:`~repro.experiments.common.ExperimentResult` is
+serialized to canonical JSON (sorted keys, compact separators) and hashed
+with SHA-256.  The digest — plus the full result payload, for diffing when
+a digest mismatches — lives in ``tests/golden/<experiment>.json``.  The
+suite in tests/test_golden_outputs.py recomputes every digest at the
+``micro`` scale on each run, so any change to an engine, workload
+generator, scheduler variant, or collector that shifts a single bit of any
+table shows up as a test failure.
+
+Intentional changes are re-recorded with::
+
+    PYTHONPATH=src python -m repro golden --record
+
+which is also how this file's baselines were produced.  ``python -m repro
+golden`` (no flag) verifies out-of-band, mirroring the test suite.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from .experiments import EXPERIMENT_MODULES, ExperimentScale, load_experiment
+from .experiments.common import ExperimentResult
+
+GOLDEN_SCALE = "micro"
+"""Digests are recorded at the micro scale: small enough that the whole
+suite re-runs in seconds, large enough that every code path executes."""
+
+GOLDEN_VERSION = 1
+
+
+def canonical_json(payload) -> str:
+    """The byte-stable JSON form digests are taken over."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def result_digest(result: ExperimentResult) -> str:
+    """SHA-256 over an experiment result's canonical JSON form."""
+    return hashlib.sha256(canonical_json(result.to_dict()).encode()).hexdigest()
+
+
+def compute_result(
+    name: str, scale: ExperimentScale, runner=None
+) -> ExperimentResult:
+    """Run one experiment the way the golden suite does (shared runner)."""
+    module = load_experiment(name)
+    if runner is not None and (
+        "runner" in inspect.signature(module.run).parameters
+    ):
+        return module.run(scale, runner=runner)
+    return module.run(scale)
+
+
+def golden_path(golden_dir: str | Path, name: str) -> Path:
+    """The baseline file for one experiment."""
+    return Path(golden_dir) / f"{name}.json"
+
+
+@dataclass
+class GoldenCheck:
+    """Outcome of verifying one experiment against its baseline."""
+
+    name: str
+    digest: str
+    expected: str | None  # None: no baseline recorded yet
+
+    @property
+    def ok(self) -> bool:
+        return self.digest == self.expected
+
+
+def load_golden(golden_dir: str | Path, name: str) -> dict | None:
+    """The recorded baseline for one experiment, or None if absent."""
+    path = golden_path(golden_dir, name)
+    if not path.exists():
+        return None
+    with path.open() as handle:
+        return json.load(handle)
+
+
+def record_golden(
+    golden_dir: str | Path, name: str, result: ExperimentResult
+) -> str:
+    """Write one experiment's baseline; returns the digest."""
+    digest = result_digest(result)
+    path = golden_path(golden_dir, name)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "golden_version": GOLDEN_VERSION,
+        "experiment": name,
+        "scale": GOLDEN_SCALE,
+        "digest": digest,
+        "result": result.to_dict(),
+    }
+    with path.open("w") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return digest
+
+
+def check_golden(
+    golden_dir: str | Path, name: str, result: ExperimentResult
+) -> GoldenCheck:
+    """Compare one freshly-computed result against its recorded baseline."""
+    baseline = load_golden(golden_dir, name)
+    return GoldenCheck(
+        name=name,
+        digest=result_digest(result),
+        expected=baseline["digest"] if baseline else None,
+    )
+
+
+def experiment_names() -> list[str]:
+    """Every experiment the golden suite covers, in stable order."""
+    return sorted(EXPERIMENT_MODULES)

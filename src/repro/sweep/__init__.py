@@ -18,6 +18,8 @@ from .runner import (
     COLLECTORS,
     SweepRunner,
     execute_spec,
+    resolve_epoch,
+    resolve_failures,
     resolve_scale,
     scale_spec_fields,
 )
@@ -37,6 +39,8 @@ __all__ = [
     "build_workload",
     "execute_spec",
     "freeze_params",
+    "resolve_epoch",
+    "resolve_failures",
     "resolve_scale",
     "scale_spec_fields",
     "system_spec_fields",

@@ -16,6 +16,8 @@ tests/test_sweep.py asserts exactly that.
 
 from __future__ import annotations
 
+import dataclasses
+import random
 import time
 from collections.abc import Callable, Iterable
 from concurrent.futures import ProcessPoolExecutor
@@ -23,9 +25,23 @@ from concurrent.futures import ProcessPoolExecutor
 from ..experiments.common import (
     SCALES,
     ExperimentScale,
+    make_topology,
     run_negotiator,
     run_oblivious,
+    run_relay,
     sim_config,
+)
+from ..sim.config import (
+    EpochConfig,
+    epoch_config_for_reconfiguration_delay,
+    epoch_config_without_piggyback,
+)
+from ..sim.failures import (
+    Direction,
+    FailurePlan,
+    LinkFailureModel,
+    LinkRef,
+    random_failure_plan,
 )
 from ..sim.flows import FlowTracker
 from ..sim.metrics import RunSummary
@@ -69,8 +85,112 @@ def resolve_scale(spec: RunSpec) -> ExperimentScale:
             "or embed scale_params (see scale_spec_fields)"
         ) from None
 
+
+UPLINK_GBPS = 100.0
+"""Every scale runs 100 Gbps uplinks (sim_config pins the same value)."""
+
+
+def resolve_epoch(
+    spec: RunSpec, scale: ExperimentScale
+) -> EpochConfig | None:
+    """The epoch configuration a spec's ``epoch_params`` describe.
+
+    Plain keys replace :class:`EpochConfig` fields directly; the derived
+    knobs ``reconfiguration_delay_ns`` (Fig 8) and ``piggyback=False``
+    (Table 2) need the fabric's predefined-phase length and are applied on
+    top, in that order.  Returns None when the spec has no overrides.
+    """
+    params = dict(spec.epoch_params)
+    if not params:
+        return None
+    piggyback = params.pop("piggyback", True)
+    reconfiguration_ns = params.pop("reconfiguration_delay_ns", None)
+    unknown = set(params) - {
+        f.name for f in dataclasses.fields(EpochConfig)
+    }
+    if unknown:
+        raise ValueError(
+            f"unknown epoch_params key(s): {sorted(unknown)}"
+        )
+    epoch = dataclasses.replace(EpochConfig(), **params)
+    if reconfiguration_ns is not None or not piggyback:
+        slots = make_topology(scale, spec.topology).predefined_slots
+        if reconfiguration_ns is not None:
+            epoch = epoch_config_for_reconfiguration_delay(
+                epoch, reconfiguration_ns, UPLINK_GBPS, slots
+            )
+        if not piggyback:
+            epoch = epoch_config_without_piggyback(epoch, UPLINK_GBPS, slots)
+    return epoch
+
+
+def resolve_failures(
+    spec: RunSpec, scale: ExperimentScale
+) -> tuple[LinkFailureModel | None, FailurePlan | None]:
+    """(failure model, failure plan) from a spec's ``failure_params``.
+
+    ``plan="random"`` fails a fraction of all directed fibers at one instant
+    and repairs them later (Fig 10); ``plan="egress-ports"`` kills the first
+    ``ports`` egress fibers of one ToR (Fig 19).  ``detect_epochs`` sets the
+    model's detection lag.
+    """
+    params = dict(spec.failure_params)
+    if not params:
+        return None, None
+    try:
+        kind = params.pop("plan")
+    except KeyError:
+        raise ValueError("failure_params needs a 'plan' key") from None
+    model = LinkFailureModel(
+        scale.num_tors,
+        scale.ports_per_tor,
+        detect_epochs=params.pop("detect_epochs", 3),
+    )
+    if kind == "random":
+        required = {"ratio", "fail_at_ns", "repair_at_ns"}
+        unknown = set(params) - required - {"seed"}
+        if unknown:
+            raise ValueError(
+                f"unknown failure_params key(s) for 'random': "
+                f"{sorted(unknown)}"
+            )
+        missing = required - set(params)
+        if missing:
+            raise ValueError(
+                f"failure_params plan 'random' needs {sorted(missing)}"
+            )
+        plan, _failed = random_failure_plan(
+            scale.num_tors,
+            scale.ports_per_tor,
+            params["ratio"],
+            params["fail_at_ns"],
+            params["repair_at_ns"],
+            random.Random(params.get("seed", 0)),
+        )
+    elif kind == "egress-ports":
+        unknown = set(params) - {"tor", "ports", "at_ns"}
+        if unknown:
+            raise ValueError(
+                f"unknown failure_params key(s) for 'egress-ports': "
+                f"{sorted(unknown)}"
+            )
+        if "ports" not in params:
+            raise ValueError("failure_params plan 'egress-ports' needs 'ports'")
+        plan = FailurePlan()
+        tor = params.get("tor", 0)
+        for port in range(params["ports"]):
+            plan.add_failure(
+                params.get("at_ns", 0.0), LinkRef(tor, port, Direction.EGRESS)
+            )
+    else:
+        raise ValueError(
+            f"unknown failure plan {kind!r}; choose 'random' or 'egress-ports'"
+        )
+    return model, plan
+
+
 # ---------------------------------------------------------------------------
-# collectors: extra metrics computed from the finished simulator
+# collectors: extra metrics computed from the finished run's artifacts
 # ---------------------------------------------------------------------------
 
 Collector = Callable[..., object]
@@ -79,7 +199,7 @@ COLLECTORS: dict[str, Collector] = {}
 
 
 def collector(name: str):
-    """Register a ``collect`` metric: (sim, spec, scale, params) -> JSONable."""
+    """Register a ``collect`` metric: (artifacts, spec, scale, params) -> JSONable."""
 
     def wrap(fn: Collector) -> Collector:
         if name in COLLECTORS:
@@ -91,8 +211,9 @@ def collector(name: str):
 
 
 @collector("mice_cdf")
-def _collect_mice_cdf(sim, spec, scale, params) -> dict:
+def _collect_mice_cdf(artifacts, spec, scale, params) -> dict:
     """The Fig 6 observable: empirical mice-FCT CDF plus the epoch length."""
+    sim = artifacts.simulator
     mice = sim.tracker.mice_flows(sim.config.mice_threshold_bytes)
     values_ns, fractions = FlowTracker.fct_cdf(mice)
     return {
@@ -103,16 +224,19 @@ def _collect_mice_cdf(sim, spec, scale, params) -> dict:
 
 
 @collector("incast_finish_ns")
-def _collect_incast_finish(sim, spec, scale, params) -> float:
+def _collect_incast_finish(artifacts, spec, scale, params) -> float:
     """The Fig 7a observable: last incast flow completion minus injection."""
     from ..workloads.incast import incast_finish_time_ns
 
-    return float(incast_finish_time_ns(sim.tracker.flows, params["at_ns"]))
+    return float(
+        incast_finish_time_ns(artifacts.simulator.tracker.flows, params["at_ns"])
+    )
 
 
 @collector("alltoall_goodput_gbps")
-def _collect_alltoall_goodput(sim, spec, scale, params) -> float:
+def _collect_alltoall_goodput(artifacts, spec, scale, params) -> float:
     """The Fig 7b observable: per-ToR received goodput over the transfer."""
+    sim = artifacts.simulator
     if not sim.tracker.all_complete:
         raise RuntimeError("all-to-all transfer did not finish")
     finish_ns = max(f.completed_ns for f in sim.tracker.flows)
@@ -121,14 +245,126 @@ def _collect_alltoall_goodput(sim, spec, scale, params) -> float:
 
 
 @collector("tag_finish_ns")
-def _collect_tag_finish(sim, spec, scale, params) -> dict:
+def _collect_tag_finish(artifacts, spec, scale, params) -> dict:
     """Per-tag last completion time — collective phase/round finish times."""
     finish: dict[str, float] = {}
-    for flow in sim.tracker.flows:
+    for flow in artifacts.simulator.tracker.flows:
         if flow.completed:
             tag = flow.tag or "untagged"
             finish[tag] = max(finish.get(tag, 0.0), flow.completed_ns)
     return finish
+
+
+@collector("fault_bw_ratios")
+def _collect_fault_bw_ratios(artifacts, spec, scale, params) -> dict:
+    """The Fig 10 observables: bandwidth through failure and recovery.
+
+    Windowed delivered bytes per ns around the spec's failure plan:
+    ``drop`` = during-failure / pre-failure, ``recovery`` = during-failure /
+    post-recovery.  ``margin_ns`` (instrument) trims the transients around
+    each transition.
+    """
+    recorder = artifacts.bandwidth
+    failure = dict(spec.failure_params)
+    margin = dict(spec.instrument)["margin_ns"]
+    fail_at = failure["fail_at_ns"]
+    repair_at = failure["repair_at_ns"]
+    duration = spec.duration_ns
+
+    def window(start: float, end: float) -> float:
+        return sum(
+            recorder.window_bytes(("rx", dst), start, end)
+            for dst in range(scale.num_tors)
+        ) / (end - start)
+
+    pre = window(margin, fail_at)
+    during = window(fail_at + margin, repair_at)
+    post = window(repair_at + margin, duration - margin)
+    return {"drop": during / pre, "recovery": during / post}
+
+
+@collector("match_ratio_series")
+def _collect_match_ratio_series(artifacts, spec, scale, params) -> dict:
+    """The Fig 14 observable: per-epoch match ratios (finite) plus the mean."""
+    recorder = artifacts.match_recorder
+    ratios = recorder.ratios()
+    import numpy as np
+
+    finite = ratios[~np.isnan(ratios)]
+    return {
+        "ratios": [float(r) for r in finite],
+        "mean": recorder.mean_ratio(),
+    }
+
+
+@collector("first_rx_byte_ns")
+def _collect_first_rx_byte(artifacts, spec, scale, params) -> float | None:
+    """The Fig 17 observable: when the destination first hears payload."""
+    dst = params.get("dst", 0)
+    at_ns = params["at_ns"]
+    bin_ns = dict(spec.instrument)["bandwidth_bin_ns"]
+    times, gbps = artifacts.bandwidth.series_gbps(("rx", dst))
+    for t, v in zip(times, gbps):
+        if v > 0 and t >= at_ns - bin_ns:
+            return float(t)
+    return None
+
+
+@collector("rx_relay_split_gbps")
+def _collect_rx_relay_split(artifacts, spec, scale, params) -> dict:
+    """The Fig 18 observable: wanted vs relayed Gbps at receiver ToR 0."""
+    sim = artifacts.simulator
+    finish_ns = max(f.completed_ns for f in sim.tracker.flows)
+    duration = finish_ns - params["at_ns"]
+    dst = 0
+    recorder = artifacts.bandwidth
+    return {
+        "wanted": recorder.total_bytes(("rx", dst)) * 8.0 / duration,
+        "relayed": recorder.total_bytes(("relay", dst)) * 8.0 / duration,
+    }
+
+
+@collector("pair_gbps_series")
+def _collect_pair_gbps_series(artifacts, spec, scale, params) -> list[float]:
+    """The Fig 19 observable: one pair's per-bin bandwidth occupation."""
+    _times, gbps = artifacts.bandwidth.series_gbps(
+        ("pair", params["src"], params["dst"]), until_ns=spec.duration_ns
+    )
+    return [float(v) for v in gbps]
+
+
+@collector("incast_mix_stats")
+def _collect_incast_mix_stats(artifacts, spec, scale, params) -> dict:
+    """The Fig 13a observables: background mice FCT and incast finish times."""
+    from collections import defaultdict
+
+    import numpy as np
+
+    from ..workloads.incast import BACKGROUND_TAG, INCAST_TAG
+
+    sim = artifacts.simulator
+    tracker = sim.tracker
+    background_mice = tracker.mice_flows(
+        sim.config.mice_threshold_bytes, tag=BACKGROUND_TAG
+    )
+    bg_p99_ns = (
+        float(FlowTracker.fct_percentile_ns(background_mice, 99))
+        if background_mice
+        else None
+    )
+    events = defaultdict(list)
+    for flow in tracker.flows_with_tag(INCAST_TAG):
+        events[flow.arrival_ns].append(flow)
+    finish_times = [
+        max(f.completed_ns for f in group) - at
+        for at, group in events.items()
+        if all(f.completed for f in group)
+    ]
+    mean_finish_ns = float(np.mean(finish_times)) if finish_times else None
+    return {
+        "bg_mice_fct_p99_ns": bg_p99_ns,
+        "incast_mean_finish_ns": mean_finish_ns,
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -136,12 +372,22 @@ def _collect_tag_finish(sim, spec, scale, params) -> dict:
 # ---------------------------------------------------------------------------
 
 
+INSTRUMENT_KEYS = {
+    "bandwidth_bin_ns",
+    "pair_bandwidth",
+    "match_ratio",
+    "margin_ns",
+}
+"""Valid ``instrument`` keys: recorder attachments plus measurement knobs
+(``margin_ns``) that collectors read back from the spec."""
+
+
 def execute_spec(spec: RunSpec) -> RunSummary:
     """Run one spec to completion and return its summary.
 
     Delegates the actual run to the experiments' reference helpers
-    (``run_negotiator``/``run_oblivious``), so sweep results can never
-    diverge from a directly-run experiment.  Module-level (and
+    (``run_negotiator``/``run_oblivious``/``run_relay``), so sweep results
+    can never diverge from a directly-run experiment.  Module-level (and
     argument-picklable) so a process pool can ship it to workers unchanged.
     """
     scale = resolve_scale(spec)
@@ -153,15 +399,42 @@ def execute_spec(spec: RunSpec) -> RunSummary:
                 f"unknown collect metric {name!r}; "
                 f"choose from {sorted(COLLECTORS)}"
             )
+    instrument = dict(spec.instrument)
+    unknown = set(instrument) - INSTRUMENT_KEYS
+    if unknown:
+        raise ValueError(
+            f"unknown instrument key(s): {sorted(unknown)}; "
+            f"choose from {sorted(INSTRUMENT_KEYS)}"
+        )
 
     flows = scenarios.build_workload(spec, scale, params)
-    config = sim_config(scale, priority_queue_enabled=spec.priority_queue)
+    epoch = resolve_epoch(spec, scale)
+    overrides: dict = {"priority_queue_enabled": spec.priority_queue}
+    if epoch is not None:
+        overrides["epoch"] = epoch
+    config = sim_config(scale, **overrides)
     if spec.without_speedup:
         config = config.without_speedup()
     duration = spec.duration_ns if spec.duration_ns else scale.duration_ns
+    failure_model, failure_plan = resolve_failures(spec, scale)
+
+    if spec.system != "negotiator":
+        if spec.scheduler != "base":
+            raise ValueError(
+                "scheduler variants apply to the negotiator system only"
+            )
+        if failure_model is not None:
+            raise ValueError(
+                "failure plans apply to the negotiator system only"
+            )
+        if instrument.get("pair_bandwidth") or instrument.get("match_ratio"):
+            raise ValueError(
+                "pair_bandwidth/match_ratio instrumentation applies to the "
+                "negotiator system only"
+            )
 
     if spec.system == "oblivious":
-        if spec.scheduler != "base" or spec.scheduler_params:
+        if spec.scheduler_params:
             raise ValueError(
                 "scheduler variants apply to the negotiator system only"
             )
@@ -171,6 +444,28 @@ def execute_spec(spec: RunSpec) -> RunSummary:
             flows,
             duration_ns=duration,
             config=config,
+            bandwidth_bin_ns=instrument.get("bandwidth_bin_ns"),
+            until_complete=spec.until_complete,
+            max_ns=spec.max_ns,
+        )
+    elif spec.system == "relay":
+        from ..core.relay import RelayPolicy
+
+        if spec.topology != "thinclos":
+            raise ValueError("the relay system runs on thin-clos only")
+        if instrument.get("bandwidth_bin_ns") is not None:
+            raise ValueError("the relay system supports no instrumentation")
+        policy = (
+            RelayPolicy(**dict(spec.scheduler_params))
+            if spec.scheduler_params
+            else None
+        )
+        artifacts = run_relay(
+            scale,
+            flows,
+            duration_ns=duration,
+            config=config,
+            relay_policy=policy,
             until_complete=spec.until_complete,
             max_ns=spec.max_ns,
         )
@@ -183,15 +478,18 @@ def execute_spec(spec: RunSpec) -> RunSummary:
             config=config,
             scheduler_name=spec.scheduler,
             scheduler_kwargs=dict(spec.scheduler_params),
+            record_match_ratio=bool(instrument.get("match_ratio")),
+            bandwidth_bin_ns=instrument.get("bandwidth_bin_ns"),
+            record_pair_bandwidth=bool(instrument.get("pair_bandwidth")),
+            failure_model=failure_model,
+            failure_plan=failure_plan,
             until_complete=spec.until_complete,
             max_ns=spec.max_ns,
         )
 
     summary = artifacts.summary
     for name in spec.collect:
-        summary.extra[name] = COLLECTORS[name](
-            artifacts.simulator, spec, scale, params
-        )
+        summary.extra[name] = COLLECTORS[name](artifacts, spec, scale, params)
     return summary
 
 
@@ -215,10 +513,17 @@ class SweepRunner:
     specs whose content hash is already stored are served from the store
     without running a simulation.
 
+    Every result this runner computes or fetches is also memoized
+    in-process, so a spec shared by several experiments (``repro run
+    --all`` hands one runner to every experiment) executes exactly once
+    even without a store.
+
     After (any number of) :meth:`run` calls, ``executed`` counts the
-    simulations actually performed and ``cached`` the store hits — the
-    observability the "--resume executes zero simulations" contract is
-    tested against.
+    simulations actually performed and ``cached`` the store/memo hits —
+    the observability the "--resume executes zero simulations" contract is
+    tested against.  ``requested`` holds every hash this runner was asked
+    for; :meth:`stale_stored_hashes` diffs the store against it to surface
+    rows stranded by spec changes.
     """
 
     def __init__(
@@ -238,6 +543,9 @@ class SweepRunner:
         self.verbose = verbose
         self.executed = 0
         self.cached = 0
+        self.requested: set[str] = set()
+        self._memo: dict[str, RunSummary] = {}
+        self._stored: dict[str, RunSummary] | None = None
 
     def run(self, specs: Iterable[RunSpec]) -> dict[str, RunSummary]:
         """Run (or fetch) every spec; returns {content_hash: summary}.
@@ -251,14 +559,24 @@ class SweepRunner:
             if spec.content_hash not in seen:
                 seen.add(spec.content_hash)
                 ordered.append(spec)
+        self.requested.update(seen)
 
         results: dict[str, RunSummary] = {}
         pending: list[RunSpec] = []
-        stored = self.store.load() if (self.resume and self.store) else {}
+        # The store is parsed once per runner, not once per run() call —
+        # `repro run --all` issues one call per experiment against a store
+        # that only this runner appends to (appends land in the memo, which
+        # is consulted first, so the snapshot never goes stale).
+        if self.resume and self._stored is None:
+            self._stored = self.store.load()
+        stored = self._stored if self.resume else {}
         for spec in ordered:
-            hit = stored.get(spec.content_hash)
+            hit = self._memo.get(spec.content_hash)
+            if hit is None:
+                hit = stored.get(spec.content_hash)
             if hit is not None:
                 results[spec.content_hash] = hit
+                self._memo[spec.content_hash] = hit
                 self.cached += 1
                 self._log(spec, "cached")
             else:
@@ -274,14 +592,28 @@ class SweepRunner:
                     pending, pool.map(_timed_execute, pending)
                 ):
                     results[spec_hash] = summary
+                    self._memo[spec_hash] = summary
                     self.executed += 1
                     if self.store is not None:
                         self.store.put(spec, summary, elapsed_s=elapsed)
                     self._log(spec, f"ran in {elapsed:.2f}s")
         return results
 
+    def stale_stored_hashes(self) -> set[str]:
+        """Stored hashes no :meth:`run` call ever requested.
+
+        After a resumed sweep, these are rows stranded by changed scenario
+        parameters (or schema bumps) — they can never be served again by
+        the grid that was just run, so callers should report them rather
+        than let the re-runs pass silently.
+        """
+        if self.store is None:
+            return set()
+        return self.store.completed_hashes() - self.requested
+
     def _run_one(self, spec: RunSpec) -> RunSummary:
         spec_hash, summary, elapsed = _timed_execute(spec)
+        self._memo[spec_hash] = summary
         self.executed += 1
         if self.store is not None:
             self.store.put(spec, summary, elapsed_s=elapsed)

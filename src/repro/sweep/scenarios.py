@@ -23,7 +23,12 @@ from dataclasses import dataclass, field
 from ..experiments.common import sized_distribution, workload_for
 from ..sim.config import KB
 from ..sim.flows import Flow
-from ..workloads.incast import all_to_all_workload, incast_workload
+from ..workloads.generators import single_pair_stream
+from ..workloads.incast import (
+    all_to_all_workload,
+    incast_workload,
+    mixed_incast_workload,
+)
 from ..workloads.patterns import (
     bursty_workload,
     hotspot_workload,
@@ -158,6 +163,51 @@ def _incast(scale, load, duration_ns, rng, *, degree, dst, flow_bytes, at_ns):
 )
 def _alltoall(scale, load, duration_ns, rng, *, flow_bytes, at_ns):
     return all_to_all_workload(scale.num_tors, flow_bytes, at_ns=at_ns)
+
+
+@register(
+    "mixed-incast",
+    "Poisson background traffic with synchronized incasts mixed in (Fig 13a)",
+    trace="hadoop",
+    incast_degree=20,
+    incast_flow_bytes=1 * KB,
+    incast_bandwidth_fraction=0.02,
+)
+def _mixed_incast(
+    scale,
+    load,
+    duration_ns,
+    rng,
+    *,
+    trace,
+    incast_degree,
+    incast_flow_bytes,
+    incast_bandwidth_fraction,
+):
+    return mixed_incast_workload(
+        sized_distribution(scale, trace),
+        load,
+        scale.num_tors,
+        scale.host_aggregate_gbps,
+        duration_ns,
+        rng,
+        incast_degree=incast_degree,
+        incast_flow_bytes=incast_flow_bytes,
+        incast_bandwidth_fraction=incast_bandwidth_fraction,
+    )
+
+
+@register(
+    "single-pair",
+    "one ToR pair streams continuously (Fig 19's failure microscope)",
+    synchronous=True,
+    src=0,
+    dst=1,
+    total_bytes=10**9,
+    at_ns=0.0,
+)
+def _single_pair(scale, load, duration_ns, rng, *, src, dst, total_bytes, at_ns):
+    return single_pair_stream(src, dst, total_bytes, start_ns=at_ns)
 
 
 # ---------------------------------------------------------------------------

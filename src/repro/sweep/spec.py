@@ -22,13 +22,27 @@ import json
 from collections.abc import Mapping
 from dataclasses import dataclass, fields, replace
 
-SPEC_VERSION = 1
+SPEC_VERSION = 2
 """Bump when the spec schema or run semantics change incompatibly; the
-version participates in the hash, so stale store entries stop matching."""
+version participates in the hash, so stale store entries stop matching.
+
+Version history: 1 — the original PR 2 schema; 2 — adds ``epoch_params``,
+``failure_params``, ``instrument`` and the ``relay`` system (the full
+experiment migration)."""
 
 Params = tuple[tuple[str, object], ...]
 
-SYSTEMS = ("negotiator", "oblivious")
+PARAM_FIELDS = (
+    "scale_params",
+    "scheduler_params",
+    "scenario_params",
+    "epoch_params",
+    "failure_params",
+    "instrument",
+)
+"""RunSpec fields holding frozen key/value parameter tuples."""
+
+SYSTEMS = ("negotiator", "oblivious", "relay")
 TOPOLOGIES = ("parallel", "thinclos")
 
 
@@ -49,12 +63,13 @@ def system_spec_fields(kind: str) -> dict:
     """Map an experiment "system" label to RunSpec system/topology fields.
 
     Experiments label their curves ``parallel``/``thinclos`` (NegotiaToR on
-    that fabric) or ``oblivious`` — and the oblivious baseline always runs
-    on thin-clos, whose AWGR structure its rotor schedule needs.  This
-    helper is that invariant's single home.
+    that fabric), ``oblivious``, or ``relay`` — and both the oblivious
+    baseline and the selective-relay variant always run on thin-clos, whose
+    AWGR structure their schemes need.  This helper is that invariant's
+    single home.
     """
-    if kind == "oblivious":
-        return {"system": "oblivious", "topology": "thinclos"}
+    if kind in ("oblivious", "relay"):
+        return {"system": kind, "topology": "thinclos"}
     return {"system": "negotiator", "topology": kind}
 
 
@@ -69,11 +84,28 @@ class RunSpec:
     there.  ``collect`` names extra metrics the runner computes into
     ``RunSummary.extra`` (see :mod:`repro.sweep.runner`).
 
-    ``scale`` normally names a registered scale (tiny/small/paper); an
-    ad-hoc :class:`~repro.experiments.common.ExperimentScale` is pinned by
-    also setting ``scale_params`` to its fabric shape (use
+    ``scale`` normally names a registered scale (micro/tiny/small/paper);
+    an ad-hoc :class:`~repro.experiments.common.ExperimentScale` is pinned
+    by also setting ``scale_params`` to its fabric shape (use
     :func:`repro.sweep.runner.scale_spec_fields`), so the content hash
     covers the actual fabric rather than an unregistered name.
+
+    ``epoch_params`` overrides the epoch configuration: any
+    :class:`~repro.sim.config.EpochConfig` field by name, plus the derived
+    knobs ``piggyback`` (False applies the Table 2 no-piggyback protocol)
+    and ``reconfiguration_delay_ns`` (the Fig 8 guardband stretch).
+
+    ``failure_params`` declares a link-failure plan (``plan`` is ``random``
+    or ``egress-ports`` plus that plan's arguments; negotiator only).
+
+    ``instrument`` attaches recorders the ``collect`` metrics read:
+    ``bandwidth_bin_ns`` (a :class:`~repro.sim.metrics.BandwidthRecorder`),
+    ``pair_bandwidth`` (per-pair keys; negotiator only), ``match_ratio``
+    (a :class:`~repro.sim.metrics.MatchRatioRecorder`; negotiator only).
+
+    The ``relay`` system is the selective-relay variant of appendix A.2.2;
+    it runs on thin-clos and interprets ``scheduler_params`` as
+    :class:`~repro.core.relay.RelayPolicy` overrides.
     """
 
     scale: str
@@ -91,6 +123,9 @@ class RunSpec:
     without_speedup: bool = False
     until_complete: bool = False
     max_ns: float | None = None
+    epoch_params: Params = ()
+    failure_params: Params = ()
+    instrument: Params = ()
     collect: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
@@ -107,18 +142,11 @@ class RunSpec:
         if self.duration_ns is not None and self.duration_ns <= 0:
             raise ValueError("duration_ns must be positive")
         # Normalize params passed as dicts so hashing never sees a dict.
-        if isinstance(self.scale_params, Mapping):
-            object.__setattr__(
-                self, "scale_params", freeze_params(self.scale_params)
-            )
-        if isinstance(self.scheduler_params, Mapping):
-            object.__setattr__(
-                self, "scheduler_params", freeze_params(self.scheduler_params)
-            )
-        if isinstance(self.scenario_params, Mapping):
-            object.__setattr__(
-                self, "scenario_params", freeze_params(self.scenario_params)
-            )
+        for name in PARAM_FIELDS:
+            if isinstance(getattr(self, name), Mapping):
+                object.__setattr__(
+                    self, name, freeze_params(getattr(self, name))
+                )
         object.__setattr__(self, "collect", tuple(self.collect))
 
     # ------------------------------------------------------------------
@@ -143,6 +171,9 @@ class RunSpec:
             "without_speedup": self.without_speedup,
             "until_complete": self.until_complete,
             "max_ns": self.max_ns,
+            "epoch_params": [list(kv) for kv in self.epoch_params],
+            "failure_params": [list(kv) for kv in self.failure_params],
+            "instrument": [list(kv) for kv in self.instrument],
             "collect": list(self.collect),
         }
 
@@ -154,7 +185,7 @@ class RunSpec:
         if unknown:
             raise ValueError(f"unknown RunSpec fields: {sorted(unknown)}")
         kwargs = dict(data)
-        for name in ("scale_params", "scheduler_params", "scenario_params"):
+        for name in PARAM_FIELDS:
             kwargs[name] = tuple(
                 (str(k), v) for k, v in kwargs.get(name, ())
             )

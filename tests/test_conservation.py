@@ -1,0 +1,135 @@
+"""Byte-conservation invariant across both engines.
+
+At every epoch (NegotiaToR) or slot (oblivious) boundary, every byte a
+flow has injected must be accounted for exactly once::
+
+    bytes injected == bytes delivered + bytes still queued in the network
+
+where "queued" includes the oblivious baseline's staged and relay buffers
+(``total_queued_bytes`` spans them all).  The engines maintain the queued
+total incrementally on the hot path (DESIGN.md section 6), so this test
+also guards that bookkeeping against drift — a single dropped or
+double-counted segment anywhere in the delivery paths breaks the equality.
+
+Randomized traces over several seeds, loads, and scenario shapes; stepped
+manually (no fast-forward) so the invariant is checked at every boundary.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.experiments.common import MICRO, make_topology, sim_config
+from repro.sweep import RunSpec, build_workload, scale_spec_fields
+from repro.sim.network import NegotiaToRSimulator
+from repro.sim.oblivious import ObliviousSimulator
+
+DURATION_NS = 60_000.0
+
+
+def _randomized_flows(scenario: str, seed: int, load: float):
+    spec = RunSpec(
+        **scale_spec_fields(MICRO),
+        scenario=scenario,
+        scenario_params=(
+            {"mean_on_ns": 10_000.0, "mean_off_ns": 20_000.0}
+            if scenario == "bursty"
+            else {}
+        ),
+        load=load,
+        seed=seed,
+        duration_ns=DURATION_NS,
+    )
+    return build_workload(spec, MICRO)
+
+
+def _injected_bytes(flows, now_ns: float) -> int:
+    return sum(f.size_bytes for f in flows if f.arrival_ns <= now_ns)
+
+
+CASES = [
+    ("poisson", 1, 1.0),
+    ("poisson", 2, 0.5),
+    ("hotspot", 3, 1.0),
+    ("bursty", 4, 0.8),
+    ("permutation", 5, 1.0),
+]
+
+
+@pytest.mark.parametrize("scenario,seed,load", CASES)
+def test_negotiator_conserves_bytes_at_every_epoch(scenario, seed, load):
+    flows = _randomized_flows(scenario, seed, load)
+    assert flows, "empty workload would make the test vacuous"
+    sim = NegotiaToRSimulator(
+        sim_config(MICRO), make_topology(MICRO, "parallel"), flows
+    )
+    boundaries = 0
+    while sim.now_ns < DURATION_NS:
+        sim.step_epoch()
+        injected = _injected_bytes(sim.tracker.flows, sim.now_ns)
+        accounted = sim.tracker.delivered_bytes + sim.total_queued_bytes
+        assert accounted == injected, (
+            f"epoch {sim.epoch}: injected {injected} != delivered "
+            f"{sim.tracker.delivered_bytes} + queued {sim.total_queued_bytes}"
+        )
+        boundaries += 1
+    assert boundaries > 10
+    assert sim.tracker.delivered_bytes > 0
+
+
+@pytest.mark.parametrize("scenario,seed,load", CASES)
+def test_oblivious_conserves_bytes_at_every_slot(scenario, seed, load):
+    flows = _randomized_flows(scenario, seed, load)
+    sim = ObliviousSimulator(
+        sim_config(MICRO), make_topology(MICRO, "thinclos"), flows
+    )
+    boundaries = 0
+    while sim.now_ns < DURATION_NS:
+        # The oblivious engine injects at slot *start*; bytes arriving
+        # mid-slot enter the network at the next boundary.
+        boundary_ns = sim.now_ns
+        sim.step_slot()
+        injected = _injected_bytes(sim.tracker.flows, boundary_ns)
+        accounted = sim.tracker.delivered_bytes + sim.total_queued_bytes
+        assert accounted == injected, (
+            f"slot at {sim.now_ns:.0f} ns: injected {injected} != delivered "
+            f"{sim.tracker.delivered_bytes} + queued {sim.total_queued_bytes}"
+        )
+        boundaries += 1
+    assert boundaries > 10
+    assert sim.tracker.delivered_bytes > 0
+
+
+def test_negotiator_conservation_survives_link_failures():
+    """Failures drop matches, never bytes: the equality must still hold."""
+    from repro.sim.failures import (
+        Direction,
+        FailurePlan,
+        LinkFailureModel,
+        LinkRef,
+    )
+
+    flows = _randomized_flows("poisson", 6, 1.0)
+    plan = FailurePlan()
+    plan.add_failure(5_000.0, LinkRef(0, 0, Direction.EGRESS))
+    plan.add_failure(10_000.0, LinkRef(1, 1, Direction.INGRESS))
+    plan.add_repair(40_000.0, LinkRef(0, 0, Direction.EGRESS))
+    model = LinkFailureModel(
+        MICRO.num_tors, MICRO.ports_per_tor, detect_epochs=2
+    )
+    sim = NegotiaToRSimulator(
+        sim_config(MICRO),
+        make_topology(MICRO, "parallel"),
+        flows,
+        failure_model=model,
+        failure_plan=plan,
+    )
+    while sim.now_ns < DURATION_NS:
+        sim.step_epoch()
+        injected = _injected_bytes(sim.tracker.flows, sim.now_ns)
+        assert (
+            sim.tracker.delivered_bytes + sim.total_queued_bytes == injected
+        )
+    assert sim.tracker.delivered_bytes > 0

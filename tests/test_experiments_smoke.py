@@ -7,21 +7,8 @@ variants, failure plans, recorders, rendering — not the paper's numbers
 
 import pytest
 
-from repro.experiments import EXPERIMENT_MODULES, load_experiment
-from repro.experiments.common import ExperimentResult, ExperimentScale
-
-MICRO = ExperimentScale(
-    name="micro",
-    num_tors=8,
-    ports_per_tor=2,
-    awgr_ports=4,
-    duration_ns=80_000.0,
-    loads=(0.5, 1.0),
-    incast_degrees=(1, 3),
-    alltoall_flow_kb=(1, 5),
-    max_flow_bytes=100_000,
-    seed=99,
-)
+from repro.experiments import EXPERIMENT_MODULES, MICRO, load_experiment
+from repro.experiments.common import ExperimentResult
 
 # Experiments whose default sweeps are too heavy for a micro smoke run get
 # reduced arguments.

@@ -1,0 +1,138 @@
+"""Property-based tests (hypothesis) for the matcher's structural invariants.
+
+Whatever requests arrive — and whatever links have failed — a GRANT/ACCEPT
+round must produce a valid *partial permutation* of the fabric's ports:
+
+* no (src, port) transmits twice and no (dst, port) receives twice;
+* every match answers a request that was actually issued (no spurious
+  grants surviving to ACCEPT);
+* thin-clos matches ride the single port the topology connects the pair
+  through;
+* matches never touch a port whose link is marked failed;
+* the grant count bounds the accept count (ACCEPT only filters).
+
+Hypothesis drives random fabrics, request sets, and failure sets through
+``run_epoch`` (GRANT + ACCEPT back to back) on both topologies.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.core.matching import NegotiaToRMatcher, validate_matching
+from repro.topology.parallel import ParallelNetwork
+from repro.topology.thinclos import ThinClos
+
+# (num_tors, ports_per_tor[, awgr_ports]) shapes small enough to exhaust.
+PARALLEL_SHAPES = ((4, 2), (6, 3), (8, 4))
+THINCLOS_SHAPES = ((4, 2, 2), (8, 2, 4), (8, 4, 2))
+
+
+def _build(topology_kind: str, shape) -> tuple:
+    if topology_kind == "parallel":
+        num_tors, ports = shape
+        topology = ParallelNetwork(num_tors, ports)
+    else:
+        num_tors, ports, awgr = shape
+        topology = ThinClos(num_tors, ports, awgr)
+    return topology, num_tors, topology.ports_per_tor
+
+
+@st.composite
+def matcher_case(draw, topology_kind: str):
+    """(shape, requested pairs, failed (tor, port) sets, rng seed)."""
+    shapes = PARALLEL_SHAPES if topology_kind == "parallel" else THINCLOS_SHAPES
+    shape = draw(st.sampled_from(shapes))
+    num_tors = shape[0]
+    ports = shape[1]
+    pairs = draw(
+        st.sets(
+            st.tuples(
+                st.integers(0, num_tors - 1), st.integers(0, num_tors - 1)
+            ).filter(lambda p: p[0] != p[1]),
+            max_size=num_tors * 4,
+        )
+    )
+    tor_ports = st.tuples(
+        st.integers(0, num_tors - 1), st.integers(0, ports - 1)
+    )
+    failed_rx = draw(st.sets(tor_ports, max_size=num_tors))
+    failed_tx = draw(st.sets(tor_ports, max_size=num_tors))
+    seed = draw(st.integers(0, 2**16))
+    return shape, pairs, failed_rx, failed_tx, seed
+
+
+def _check_epoch(topology_kind, shape, pairs, failed_rx, failed_tx, seed):
+    topology, num_tors, ports = _build(topology_kind, shape)
+    matcher = NegotiaToRMatcher(topology, random.Random(seed))
+    requests_by_dst: dict[int, dict[int, object]] = {}
+    for src, dst in pairs:
+        requests_by_dst.setdefault(dst, {})[src] = None
+    rx_usable = (
+        (lambda tor, port: (tor, port) not in failed_rx) if failed_rx else None
+    )
+    tx_usable = (
+        (lambda tor, port: (tor, port) not in failed_tx) if failed_tx else None
+    )
+
+    outcome = matcher.run_epoch(requests_by_dst, rx_usable, tx_usable)
+
+    # Structural partial permutation (raises on any port used twice or any
+    # topology-unreachable pairing).
+    validate_matching(outcome.matches, topology)
+    assert outcome.num_accepts <= outcome.num_grants
+    for match in outcome.matches:
+        # Only requesting pairs get matched.
+        assert (match.src, match.dst) in pairs
+        assert match.src != match.dst
+        assert 0 <= match.port < ports
+        # Failed links carry no match.
+        assert (match.dst, match.port) not in failed_rx
+        assert (match.src, match.port) not in failed_tx
+    if topology_kind == "thinclos":
+        # One path per pair on thin-clos -> at most one match per pair.
+        # (The parallel network may legitimately match a pair on several
+        # planes at once; there per-port uniqueness is the invariant.)
+        matched_pairs = [(m.src, m.dst) for m in outcome.matches]
+        assert len(matched_pairs) == len(set(matched_pairs))
+
+
+@settings(max_examples=120, deadline=None)
+@given(case=matcher_case("parallel"))
+def test_parallel_matching_is_valid_partial_permutation(case):
+    _check_epoch("parallel", *case)
+
+
+@settings(max_examples=120, deadline=None)
+@given(case=matcher_case("thinclos"))
+def test_thinclos_matching_is_valid_partial_permutation(case):
+    _check_epoch("thinclos", *case)
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=matcher_case("parallel"))
+def test_failure_free_predicates_match_none_fast_path(case):
+    """Passing all-True predicates must equal the None fast path bit-for-bit."""
+    shape, pairs, _rx, _tx, seed = case
+    topology, _n, _p = _build("parallel", shape)
+    requests_by_dst: dict[int, dict[int, object]] = {}
+    for src, dst in pairs:
+        requests_by_dst.setdefault(dst, {})[src] = None
+
+    fast = NegotiaToRMatcher(topology, random.Random(seed)).run_epoch(
+        requests_by_dst
+    )
+    slow = NegotiaToRMatcher(topology, random.Random(seed)).run_epoch(
+        requests_by_dst,
+        rx_usable=lambda tor, port: True,
+        tx_usable=lambda tor, port: True,
+    )
+    assert fast.num_grants == slow.num_grants
+    assert [(m.src, m.port, m.dst) for m in fast.matches] == [
+        (m.src, m.port, m.dst) for m in slow.matches
+    ]

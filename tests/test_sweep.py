@@ -78,6 +78,14 @@ class TestSpecHash:
             tiny_spec(scenario="hotspot"),
             tiny_spec(scenario_params={"trace": "websearch"}),
             tiny_spec(collect=("mice_cdf",)),
+            tiny_spec(epoch_params={"scheduled_slots": 10}),
+            tiny_spec(
+                failure_params={
+                    "plan": "egress-ports", "ports": 1, "at_ns": 0.0,
+                }
+            ),
+            tiny_spec(instrument={"match_ratio": True}),
+            tiny_spec(system="relay", topology="thinclos"),
         ]
         hashes = {spec.content_hash for spec in variants}
         assert len(hashes) == len(variants)
@@ -270,6 +278,76 @@ class TestExecuteSpec:
         summary = execute_spec(tiny_spec(scheduler="data-size"))
         assert summary.num_flows > 0
 
+    def test_relay_system_runs_and_differs_from_base(self):
+        base = execute_spec(tiny_spec(topology="thinclos", load=1.0))
+        relay = execute_spec(
+            tiny_spec(system="relay", topology="thinclos", load=1.0)
+        )
+        assert relay.num_flows == base.num_flows
+        # Same workload, different forwarding: results need not match, but
+        # the relay path must at least run to completion and deliver.
+        assert relay.goodput_normalized > 0
+
+    def test_relay_rejects_parallel_topology(self):
+        with pytest.raises(ValueError, match="thin-clos"):
+            execute_spec(tiny_spec(system="relay", topology="parallel"))
+
+    def test_epoch_params_match_reference_helpers(self):
+        """piggyback=False reproduces epoch_config_without_piggyback."""
+        from repro.experiments.common import (
+            make_topology, run_negotiator, sim_config, workload_for,
+        )
+        from repro.sim.config import EpochConfig, epoch_config_without_piggyback
+
+        spec = tiny_spec(epoch_params={"piggyback": False})
+        summary = execute_spec(spec)
+        slots = make_topology(TINY, "parallel").predefined_slots
+        epoch = epoch_config_without_piggyback(EpochConfig(), 100.0, slots)
+        flows = workload_for(TINY, 0.25, duration_ns=SHORT_NS)
+        reference = run_negotiator(
+            TINY, "parallel", flows,
+            duration_ns=SHORT_NS,
+            config=sim_config(TINY, epoch=epoch),
+        ).summary
+        assert summary.to_dict() == reference.to_dict()
+
+    def test_unknown_epoch_param_rejected(self):
+        with pytest.raises(ValueError, match="epoch_params"):
+            execute_spec(tiny_spec(epoch_params={"warp_factor": 9}))
+
+    def test_unknown_failure_plan_rejected(self):
+        with pytest.raises(ValueError, match="failure plan"):
+            execute_spec(tiny_spec(failure_params={"plan": "meteor"}))
+
+    def test_unknown_instrument_key_rejected(self):
+        with pytest.raises(ValueError, match="instrument"):
+            execute_spec(tiny_spec(instrument={"telescope": True}))
+
+    def test_failures_rejected_on_oblivious(self):
+        spec = tiny_spec(
+            system="oblivious",
+            topology="thinclos",
+            failure_params={"plan": "egress-ports", "ports": 1},
+        )
+        with pytest.raises(ValueError, match="negotiator"):
+            execute_spec(spec)
+
+    def test_failure_spec_degrades_goodput(self):
+        healthy = execute_spec(tiny_spec(load=1.0))
+        failed = execute_spec(
+            tiny_spec(
+                load=1.0,
+                failure_params={
+                    "plan": "random",
+                    "ratio": 0.2,
+                    "fail_at_ns": 0.0,
+                    "repair_at_ns": SHORT_NS * 10,
+                    "seed": 5,
+                },
+            )
+        )
+        assert failed.goodput_normalized < healthy.goodput_normalized
+
 
 # ---------------------------------------------------------------------------
 # the store
@@ -297,6 +375,25 @@ class TestResultStore:
         assert store.get(spec).extra == {"marker": 1}
         assert store.compact() == 1
         assert len(store.rows()) == 1
+
+    def test_compact_keeps_stale_hashes(self, tmp_path):
+        """compact() dedupes per hash but must not drop rows whose spec no
+        longer matches the current grid — the store is append-only history,
+        and an old grid may be re-requested later."""
+        store = ResultStore(tmp_path / "results.jsonl")
+        old = tiny_spec(scenario="hotspot")
+        new = tiny_spec(
+            scenario="hotspot", scenario_params={"hot_weight": 0.9}
+        )
+        old_summary = execute_spec(old)
+        store.put(old, old_summary)
+        store.put(old, old_summary)  # duplicate to give compact work
+        store.put(new, execute_spec(new))
+        assert store.compact() == 1  # only the duplicate drops
+        hashes = store.completed_hashes()
+        assert hashes == {old.content_hash, new.content_hash}
+        # The stale row still resolves after compaction.
+        assert store.get(old).to_dict() == old_summary.to_dict()
 
     def test_missing_file_is_empty(self, tmp_path):
         store = ResultStore(tmp_path / "absent.jsonl")
@@ -371,9 +468,45 @@ class TestSweepRunner:
         assert runner.executed == 1
         assert len(results) == 1
 
+    def test_memo_spans_run_calls_without_a_store(self):
+        """One runner handed to several experiments executes shared specs
+        once — the `repro run --all` cross-experiment dedupe contract."""
+        runner = SweepRunner()
+        first = runner.run([tiny_spec()])
+        second = runner.run([tiny_spec(), tiny_spec(load=0.5)])
+        assert runner.executed == 2  # the shared spec ran only once
+        assert runner.cached == 1
+        spec_hash = tiny_spec().content_hash
+        assert second[spec_hash].to_dict() == first[spec_hash].to_dict()
+
     def test_resume_without_store_rejected(self):
         with pytest.raises(ValueError, match="store"):
             SweepRunner(resume=True)
+
+    def test_stale_store_rows_are_reported_not_served(self, tmp_path):
+        """Changing scenario params strands the old rows: the new spec
+        re-runs (correctness) and the stale rows are surfaced (telemetry),
+        instead of either silently re-running or wrongly cache-hitting."""
+        store = ResultStore(tmp_path / "sweep.jsonl")
+        old = tiny_spec(scenario="hotspot")
+        SweepRunner(store=store).run([old])
+
+        new = tiny_spec(
+            scenario="hotspot", scenario_params={"hot_weight": 0.9}
+        )
+        assert new.content_hash != old.content_hash
+        runner = SweepRunner(store=store, resume=True)
+        runner.run([new])
+        assert runner.executed == 1  # params changed -> must re-run
+        assert runner.cached == 0
+        assert runner.stale_stored_hashes() == {old.content_hash}
+
+        # Re-requesting the old grid clears its staleness.
+        runner.run([old])
+        assert runner.stale_stored_hashes() == set()
+
+    def test_stale_hashes_empty_without_store(self):
+        assert SweepRunner().stale_stored_hashes() == set()
 
 
 # ---------------------------------------------------------------------------
@@ -523,3 +656,44 @@ class TestSweepCli:
         payload = json.loads(proc.stdout)
         assert payload["results"][0]["experiment"] == "Fig 7a"
         assert payload["results"][0]["rows"]
+
+    def test_resume_reports_stale_rows(self, tmp_path):
+        store = str(tmp_path / "s.jsonl")
+        base = (
+            "sweep", "--scale", "tiny", "--load", "0.1",
+            "--duration-ms", "0.15", "--store", store,
+        )
+        first = run_cli(*base, "--scenario", "hotspot")
+        assert first.returncode == 0, first.stderr
+        # Same grid with a changed parameter: old row goes stale.
+        second = run_cli(
+            *base, "--scenario", "hotspot:hot_weight=0.9", "--resume"
+        )
+        assert second.returncode == 0, second.stderr
+        assert "1 executed, 0 cached" in second.stdout
+        assert "1 stored rows ignored (stale spec hashes" in second.stdout
+
+    def test_run_requires_experiments_or_all(self):
+        proc = run_cli("run")
+        assert proc.returncode == 2
+        assert "--all" in proc.stderr
+
+    def test_run_all_rejects_explicit_names(self):
+        proc = run_cli("run", "fig6", "--all")
+        assert proc.returncode == 2
+
+    def test_run_with_store_is_resumable(self, tmp_path):
+        """The reproduce-all contract at experiment granularity: a second
+        invocation against the same store executes zero simulations."""
+        store = str(tmp_path / "repro.jsonl")
+        args = (
+            "run", "fig6", "fig7a", "--scale", "micro",
+            "--store", store, "--json",
+        )
+        first = run_cli(*args)
+        assert first.returncode == 0, first.stderr
+        assert "0 simulations executed" not in first.stderr
+        second = run_cli(*args)
+        assert second.returncode == 0, second.stderr
+        assert "0 simulations executed" in second.stderr
+        assert json.loads(second.stdout) == json.loads(first.stdout)
