@@ -75,6 +75,11 @@ from .workloads.incast import (
     incast_workload,
     mixed_incast_workload,
 )
+from .workloads.streams import (
+    heavy_poisson_stream,
+    merge_workload_streams,
+    poisson_flow_stream,
+)
 from .workloads.traces import google, hadoop, websearch
 
 __version__ = "1.0.0"
@@ -125,10 +130,13 @@ __all__ = [
     "hadoop",
     "incast_finish_time_ns",
     "incast_workload",
+    "heavy_poisson_stream",
     "make_scheduler",
+    "merge_workload_streams",
     "merge_workloads",
     "mixed_incast_workload",
     "network_arrival_rate_per_ns",
+    "poisson_flow_stream",
     "poisson_workload",
     "random_failure_plan",
     "single_pair_stream",

@@ -166,6 +166,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-pq", action="store_true", help="disable PIAS priority queues"
     )
     sweep.add_argument(
+        "--stream",
+        action="store_true",
+        help="run specs through the streaming path: lazy workloads and a "
+        "bounded-memory tracker (headline summaries only)",
+    )
+    sweep.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -265,7 +271,42 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--seed", type=int, default=None)
 
     bench = sub.add_parser(
-        "bench", help="run the engine hot-path benchmark suite"
+        "bench",
+        help="run the engine hot-path benchmark suite (or, with --scale, "
+        "the streaming million-flow scale benchmark)",
+    )
+    bench.add_argument(
+        "--scale",
+        action="store_true",
+        help="run the streaming scale benchmark (heavy-poisson flows pulled "
+        "lazily through the bounded-memory engine) instead of the "
+        "hot-path suite, tracking BENCH_scale.json",
+    )
+    bench.add_argument(
+        "--flows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="scale-bench trace size in flows (default 1,000,000)",
+    )
+    bench.add_argument(
+        "--scale-load",
+        type=float,
+        default=None,
+        metavar="L",
+        help="scale-bench offered load (default 0.5)",
+    )
+    bench.add_argument(
+        "--scale-file",
+        default="BENCH_scale.json",
+        help="tracked scale baseline file (default: BENCH_scale.json)",
+    )
+    bench.add_argument(
+        "--budget-s",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="exit non-zero if the scale run exceeds this wall-clock budget",
     )
     bench.add_argument(
         "--scenario",
@@ -281,7 +322,8 @@ def build_parser() -> argparse.ArgumentParser:
         dest="fabrics",
         metavar="TORSxPORTS",
         default=None,
-        help="fabric to run, e.g. 64x8 (repeatable; default: 16x4 64x8 128x8)",
+        help="fabric to run, e.g. 64x8 (repeatable; default: 16x4 64x8 "
+        "128x8 — with --scale: one fabric, default 8x2)",
     )
     bench.add_argument(
         "--no-fast-forward",
@@ -614,6 +656,7 @@ def cmd_sweep(args) -> int:
                                 seed=seed,
                                 duration_ns=duration_ns,
                                 priority_queue=not args.no_pq,
+                                stream=args.stream,
                             )
                             if spec.content_hash not in seen_hashes:
                                 seen_hashes.add(spec.content_hash)
@@ -747,6 +790,97 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def cmd_bench_scale(args, fabrics) -> int:
+    """The streaming million-flow scale benchmark (``bench --scale``)."""
+    from . import perf, scalebench
+
+    if fabrics and len(fabrics) > 1:
+        print("--scale runs one fabric; pass a single --fabric",
+              file=sys.stderr)
+        return 2
+    if args.scenarios:
+        print("--scenario names hot-path suites; --scale always runs "
+              "heavy-poisson", file=sys.stderr)
+        return 2
+    if args.bench_file != "BENCH_engine.json":
+        print("--bench-file tracks the hot-path suite; with --scale use "
+              "--scale-file", file=sys.stderr)
+        return 2
+    tors, ports = fabrics[0] if fabrics else (
+        scalebench.DEFAULT_TORS, scalebench.DEFAULT_PORTS
+    )
+    try:
+        result = scalebench.run_scale_bench(
+            args.flows if args.flows is not None else scalebench.DEFAULT_FLOWS,
+            tors,
+            ports,
+            load=(
+                args.scale_load
+                if args.scale_load is not None
+                else scalebench.DEFAULT_LOAD
+            ),
+            fast_forward=not args.no_fast_forward,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(scalebench.format_result(result))
+    if not result.completed:
+        print("scale bench hit its simulated-time cap before all flows "
+              "completed (overloaded point?)", file=sys.stderr)
+        return 1
+
+    bench = perf.BenchFile.load(args.scale_file)
+    # --check compares against the baseline that existed when the run
+    # started (--update-baseline must not blind it), while the recorded
+    # speedup tracks the stored baseline — 1.0 when both are recorded in
+    # one invocation, mirroring the hot-path suite.
+    baseline_before = bench.entries.get(result.key, {}).get("baseline")
+    dirty = False
+    if args.update_baseline:
+        bench.record_baseline(result)
+        dirty = True
+    if args.record:
+        bench.record_current(result)
+        # BenchFile derives speedup from epochs/sec (the hot-path metric);
+        # the scale gate is flows/sec, so keep the recorded trajectory
+        # consistent with what --check enforces.
+        stored = bench.entries[result.key].get("baseline")
+        if stored and stored.get("flows_per_sec"):
+            bench.entries[result.key]["speedup"] = round(
+                result.flows_per_sec / stored["flows_per_sec"], 3
+            )
+        dirty = True
+    if dirty:
+        bench.write()
+        print(f"wrote {args.scale_file}")
+
+    status = 0
+    if args.budget_s is not None and result.wall_s > args.budget_s:
+        print(
+            f"scale bench blew its wall-clock budget: {result.wall_s:.1f}s "
+            f"> {args.budget_s:g}s",
+            file=sys.stderr,
+        )
+        status = 1
+    if args.check is not None:
+        if baseline_before is None:
+            print(
+                f"warning: no scale baseline for {result.key} "
+                f"in {args.scale_file}; not checked",
+                file=sys.stderr,
+            )
+        elif result.flows_per_sec < args.check * baseline_before["flows_per_sec"]:
+            print(
+                f"perf regression: {result.flows_per_sec:,.0f} flows/s < "
+                f"{args.check:g} x baseline "
+                f"{baseline_before['flows_per_sec']:,.0f}",
+                file=sys.stderr,
+            )
+            status = 1
+    return status
+
+
 def cmd_bench(args) -> int:
     from . import perf
 
@@ -761,6 +895,16 @@ def cmd_bench(args) -> int:
                       file=sys.stderr)
                 return 2
             fabrics.append((tors, ports))
+    if args.scale:
+        return cmd_bench_scale(args, fabrics)
+    for flag, name in ((args.flows, "--flows"), (args.budget_s, "--budget-s"),
+                       (args.scale_load, "--scale-load")):
+        if flag is not None:
+            print(f"{name} only applies with --scale", file=sys.stderr)
+            return 2
+    if args.scale_file != "BENCH_scale.json":
+        print("--scale-file only applies with --scale", file=sys.stderr)
+        return 2
     unknown = [s for s in (args.scenarios or []) if s not in perf.SCENARIOS]
     if unknown:
         print(

@@ -174,8 +174,13 @@ def run_negotiator(
     failure_plan=None,
     until_complete: bool = False,
     max_ns: float | None = None,
+    stream: bool = False,
 ) -> RunArtifacts:
-    """Run NegotiaToR on a pre-generated workload and collect artifacts."""
+    """Run NegotiaToR on a workload and collect artifacts.
+
+    ``stream=True`` consumes ``flows`` as a lazy arrival-ordered iterator
+    with a bounded-memory tracker (DESIGN.md §11).
+    """
     if config is None:
         overrides: dict = {"priority_queue_enabled": priority_queue}
         if epoch is not None:
@@ -204,6 +209,7 @@ def run_negotiator(
         match_recorder=match_recorder,
         bandwidth_recorder=bandwidth,
         record_pair_bandwidth=record_pair_bandwidth,
+        stream=stream,
     )
     duration = duration_ns if duration_ns is not None else scale.duration_ns
     if until_complete:
@@ -260,15 +266,22 @@ def run_oblivious(
     bandwidth_bin_ns: float | None = None,
     until_complete: bool = False,
     max_ns: float | None = None,
+    stream: bool = False,
 ) -> RunArtifacts:
-    """Run the traffic-oblivious baseline on a pre-generated workload."""
+    """Run the traffic-oblivious baseline on a workload.
+
+    ``stream=True`` consumes ``flows`` as a lazy arrival-ordered iterator
+    with a bounded-memory tracker (DESIGN.md §11).
+    """
     if config is None:
         config = sim_config(scale, priority_queue_enabled=priority_queue)
     topology = make_topology(scale, topology_kind)
     bandwidth = (
         BandwidthRecorder(bandwidth_bin_ns) if bandwidth_bin_ns else None
     )
-    sim = ObliviousSimulator(config, topology, flows, bandwidth_recorder=bandwidth)
+    sim = ObliviousSimulator(
+        config, topology, flows, bandwidth_recorder=bandwidth, stream=stream
+    )
     duration = duration_ns if duration_ns is not None else scale.duration_ns
     if until_complete:
         sim.run_until_complete(max_ns=max_ns or 100 * duration)

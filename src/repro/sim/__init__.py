@@ -18,16 +18,18 @@ from .failures import (
     LinkRef,
     random_failure_plan,
 )
-from .flows import Flow, FlowTracker
+from .flows import DEFAULT_RESERVOIR_SIZE, Flow, FlowTracker, ReservoirSampler
 from .metrics import BandwidthRecorder, MatchRatioRecorder, RunSummary
 from .buffers import ReceiverBuffer
 from .network import NegotiaToRSimulator
 from .observability import EpochStats, EpochStatsRecorder
 from .oblivious import ObliviousSimulator
 from .queues import PiasDestQueue, Segment
+from .source import MaterializedFlowSource, StreamingFlowSource
 
 __all__ = [
     "BandwidthRecorder",
+    "DEFAULT_RESERVOIR_SIZE",
     "Direction",
     "EpochConfig",
     "EpochTiming",
@@ -40,15 +42,18 @@ __all__ = [
     "LinkRef",
     "MICE_THRESHOLD_BYTES",
     "MatchRatioRecorder",
+    "MaterializedFlowSource",
     "EpochStats",
     "EpochStatsRecorder",
     "NegotiaToRSimulator",
     "ReceiverBuffer",
     "ObliviousSimulator",
     "PiasDestQueue",
+    "ReservoirSampler",
     "RunSummary",
     "Segment",
     "SimConfig",
+    "StreamingFlowSource",
     "epoch_config_for_reconfiguration_delay",
     "epoch_config_without_piggyback",
     "random_failure_plan",

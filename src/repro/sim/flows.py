@@ -4,15 +4,37 @@ The paper measures the network from the ToRs' perspective: a flow starts when
 it is enqueued at its source ToR and completes when its last byte reaches the
 destination ToR (section 4.1).  ``FlowTracker`` is the single sink for both
 FCT statistics and delivered-byte (goodput) accounting.
+
+The tracker runs in one of two modes (DESIGN.md section 11):
+
+* **materialized** (``retain_flows=True``, the default) — every registered
+  :class:`Flow` is kept forever, and all statistics are computed exactly
+  from the retained list.  This is the reference mode every golden baseline
+  is recorded in.
+* **bounded** (``retain_flows=False``) — completed flows are folded into
+  online accumulators (exact counts, exact delivered bytes, exact FCT sums,
+  and fixed-size FCT reservoirs for percentiles) and the ``Flow`` objects
+  are never retained, so memory stays O(flows in flight) on million-flow
+  streaming runs.  Percentiles are exact while the completed count fits the
+  reservoir and are unbiased estimates beyond it.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from .config import MICE_THRESHOLD_BYTES
+
+DEFAULT_RESERVOIR_SIZE = 65536
+"""Default FCT reservoir capacity of a bounded-memory tracker.
+
+Percentile estimates are *exact* while the number of folded completions is
+at most this, which covers every scale's golden workloads; beyond it the
+reservoir is a uniform sample (Vitter's algorithm R), so a percentile
+estimate converges at the usual O(1/sqrt(capacity)) quantile error."""
 
 
 @dataclass
@@ -52,21 +74,122 @@ class Flow:
         return self.size_bytes < threshold_bytes
 
 
-class FlowTracker:
-    """Registers flows and accounts for byte deliveries at destinations."""
+class ReservoirSampler:
+    """Fixed-size uniform sample of a value stream (Vitter's algorithm R).
 
-    def __init__(self, num_tors: int) -> None:
+    Holds every value while ``count <= capacity`` (so order statistics over
+    the sample are *exact*), then replaces entries uniformly at random.  The
+    running sum and count are always exact, whatever the capacity.
+    """
+
+    __slots__ = ("_capacity", "_rng", "_values", "_count", "_sum")
+
+    def __init__(self, capacity: int, rng: random.Random) -> None:
+        if capacity <= 0:
+            raise ValueError("reservoir capacity must be positive")
+        self._capacity = capacity
+        self._rng = rng
+        self._values: list[float] = []
+        self._count = 0
+        self._sum = 0.0
+
+    def add(self, value: float) -> None:
+        """Fold one value into the sample and the exact running totals."""
+        self._count += 1
+        self._sum += value
+        if len(self._values) < self._capacity:
+            self._values.append(value)
+        else:
+            slot = self._rng.randrange(self._count)
+            if slot < self._capacity:
+                self._values[slot] = value
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained values."""
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Exact number of values folded in so far."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Exact running sum of all folded values."""
+        return self._sum
+
+    @property
+    def exact(self) -> bool:
+        """Whether the sample still holds every folded value."""
+        return self._count <= self._capacity
+
+    def mean(self) -> float:
+        """Exact mean of all folded values (raises when empty)."""
+        if self._count == 0:
+            raise ValueError("no values to average")
+        return self._sum / self._count
+
+    def percentile(self, q: float) -> float:
+        """Percentile over the sample: exact while :attr:`exact` holds."""
+        if not self._values:
+            raise ValueError("no values to take a percentile of")
+        return float(np.percentile(self._values, q))
+
+
+class FlowTracker:
+    """Registers flows and accounts for byte deliveries at destinations.
+
+    With ``retain_flows=False`` the tracker runs in bounded-memory mode:
+    completed flows are folded into online accumulators (mice and all-flow
+    FCT reservoirs, seeded from ``reservoir_seed``) instead of being kept,
+    and the flow-list views raise.  ``mice_threshold_bytes`` must then be
+    fixed at construction, because the mice split happens at fold time.
+    """
+
+    def __init__(
+        self,
+        num_tors: int,
+        *,
+        retain_flows: bool = True,
+        mice_threshold_bytes: int = MICE_THRESHOLD_BYTES,
+        reservoir_size: int = DEFAULT_RESERVOIR_SIZE,
+        reservoir_seed: int = 0,
+    ) -> None:
         self._num_tors = num_tors
+        self._retain = retain_flows
+        self._mice_threshold = mice_threshold_bytes
         self._flows: list[Flow] = []
         self._delivered_total = 0
         self._delivered_per_dst = [0] * num_tors
         self._num_completed = 0
+        self._num_registered = 0
+        self._live_flows = 0
+        self._peak_live_flows = 0
+        if retain_flows:
+            self._mice_fct: ReservoirSampler | None = None
+            self._all_fct: ReservoirSampler | None = None
+        else:
+            self._mice_fct = ReservoirSampler(
+                reservoir_size, random.Random(reservoir_seed)
+            )
+            self._all_fct = ReservoirSampler(
+                reservoir_size, random.Random(reservoir_seed + 1)
+            )
 
     def register(self, flow: Flow) -> Flow:
         """Start tracking a flow (called on arrival at the source ToR)."""
-        self._flows.append(flow)
+        self._num_registered += 1
+        if self._retain:
+            self._flows.append(flow)
         if flow.completed:
             self._num_completed += 1
+            if not self._retain:
+                self._fold_completed(flow)
+        else:
+            self._live_flows += 1
+            if self._live_flows > self._peak_live_flows:
+                self._peak_live_flows = self._live_flows
         return flow
 
     def register_all(self, flows) -> None:
@@ -94,29 +217,53 @@ class FlowTracker:
         if flow.remaining_bytes == 0:
             flow.completed_ns = time_ns
             self._num_completed += 1
+            self._live_flows -= 1
+            if not self._retain:
+                # The tracker holds no reference: once the engine's queues
+                # drop theirs (the last byte just drained), the Flow object
+                # is garbage — that is the bounded-memory contract.
+                self._fold_completed(flow)
+
+    def _fold_completed(self, flow: Flow) -> None:
+        fct = flow.fct_ns
+        self._all_fct.add(fct)
+        if flow.is_mice(self._mice_threshold):
+            self._mice_fct.add(fct)
 
     # ------------------------------------------------------------------
-    # flow views
+    # flow views (materialized mode only)
     # ------------------------------------------------------------------
+
+    def _require_retained(self, what: str) -> None:
+        if not self._retain:
+            raise ValueError(
+                f"{what} is unavailable: this tracker runs in bounded-memory "
+                "mode and evicts completed flows (read the streaming "
+                "accumulators instead)"
+            )
 
     @property
     def flows(self) -> list[Flow]:
         """All registered flows."""
+        self._require_retained("the flow list")
         return self._flows
 
     @property
     def completed_flows(self) -> list[Flow]:
         """Flows whose last byte has been delivered."""
+        self._require_retained("the completed-flow list")
         return [f for f in self._flows if f.completed]
 
     def flows_with_tag(self, tag: str) -> list[Flow]:
         """Flows carrying a workload tag (e.g. 'incast' in mixed workloads)."""
+        self._require_retained("per-tag flow filtering")
         return [f for f in self._flows if f.tag == tag]
 
     def mice_flows(
         self, threshold_bytes: int = MICE_THRESHOLD_BYTES, tag: str | None = None
     ) -> list[Flow]:
         """Completed mice flows, optionally restricted to one tag."""
+        self._require_retained("the mice-flow list")
         return [
             f
             for f in self._flows
@@ -125,6 +272,79 @@ class FlowTracker:
             and (tag is None or f.tag == tag)
         ]
 
+    # ------------------------------------------------------------------
+    # mode-independent counters
+    # ------------------------------------------------------------------
+
+    @property
+    def retains_flows(self) -> bool:
+        """False when this tracker evicts completed flows (bounded mode)."""
+        return self._retain
+
+    @property
+    def num_flows(self) -> int:
+        """Number of flows registered so far (exact in both modes)."""
+        return self._num_registered
+
+    @property
+    def num_completed(self) -> int:
+        """Number of completed flows (exact in both modes)."""
+        return self._num_completed
+
+    @property
+    def live_flows(self) -> int:
+        """Registered flows still in flight."""
+        return self._live_flows
+
+    @property
+    def peak_live_flows(self) -> int:
+        """High-water mark of in-flight flows — the bounded-memory witness."""
+        return self._peak_live_flows
+
+    @property
+    def mice_threshold_bytes(self) -> int:
+        """The mice split a bounded tracker folds statistics at."""
+        return self._mice_threshold
+
+    @property
+    def mice_fct_sample(self) -> ReservoirSampler | None:
+        """The mice-FCT reservoir (bounded mode only, else None)."""
+        return self._mice_fct
+
+    @property
+    def all_fct_sample(self) -> ReservoirSampler | None:
+        """The all-completions FCT reservoir (bounded mode only, else None)."""
+        return self._all_fct
+
+    def mice_fct_summary(
+        self, threshold_bytes: int = MICE_THRESHOLD_BYTES
+    ) -> tuple[float | None, float | None]:
+        """(p99 ns, mean ns) over completed mice, or (None, None) when none.
+
+        Materialized mode computes both exactly from the retained flows —
+        bit-identical to the historical ``fct_percentile_ns``/``fct_mean_ns``
+        calls the golden baselines were recorded with.  Bounded mode answers
+        from the accumulators: the mean is an exact running sum (modulo
+        float addition order) and the percentile is reservoir-exact while
+        the completed-mice count fits the capacity.
+        """
+        if self._retain:
+            mice = self.mice_flows(threshold_bytes)
+            if not mice:
+                return None, None
+            return (
+                FlowTracker.fct_percentile_ns(mice, 99),
+                FlowTracker.fct_mean_ns(mice),
+            )
+        if threshold_bytes != self._mice_threshold:
+            raise ValueError(
+                f"bounded tracker folded mice at {self._mice_threshold} "
+                f"bytes; cannot re-split at {threshold_bytes}"
+            )
+        if self._mice_fct.count == 0:
+            return None, None
+        return self._mice_fct.percentile(99), self._mice_fct.mean()
+
     @property
     def all_complete(self) -> bool:
         """Whether every registered flow has completed.
@@ -132,7 +352,7 @@ class FlowTracker:
         O(1): completions are counted as they happen, so the per-epoch
         ``run_until_complete`` check does not rescan the flow list.
         """
-        return self._num_completed == len(self._flows)
+        return self._num_completed == self._num_registered
 
     # ------------------------------------------------------------------
     # statistics

@@ -22,6 +22,12 @@ queue backlog and request-readiness are maintained as running counters
 updated on enqueue/drain rather than re-summed per epoch, and the run loops
 fast-forward over epochs in which provably nothing can happen.  Both are
 exact: a fixed seed produces bit-identical results with them on or off.
+
+Traffic enters through a flow source (DESIGN.md section 11): the default
+materialized source holds the whole workload sorted in memory, while
+``stream=True`` pulls arrivals lazily from an arrival-ordered iterator and
+pairs with a bounded-memory tracker, so million-flow traces run at
+O(flows in flight) residency.
 """
 
 from __future__ import annotations
@@ -40,6 +46,7 @@ from .flows import Flow, FlowTracker
 from .metrics import BandwidthRecorder, MatchRatioRecorder, RunSummary
 from .observability import EpochStats, EpochStatsRecorder
 from .queues import PiasDestQueue
+from .source import MaterializedFlowSource, StreamingFlowSource
 
 
 class NegotiaToRSimulator:
@@ -56,6 +63,7 @@ class NegotiaToRSimulator:
         match_recorder: MatchRatioRecorder | None = None,
         bandwidth_recorder: BandwidthRecorder | None = None,
         record_pair_bandwidth: bool = False,
+        stream: bool = False,
     ) -> None:
         if topology.num_tors != config.num_tors:
             raise ValueError("topology and config disagree on num_tors")
@@ -96,10 +104,23 @@ class NegotiaToRSimulator:
         self.bandwidth = bandwidth_recorder
         self._record_pairs = record_pair_bandwidth
 
-        self.tracker = FlowTracker(config.num_tors)
-        self._pending_flows = sorted(flows, key=lambda f: f.arrival_ns)
-        self.tracker.register_all(self._pending_flows)
-        self._next_flow = 0
+        # Streaming mode (DESIGN.md section 11): arrivals are pulled from an
+        # iterator on demand and the tracker folds completions into online
+        # accumulators instead of retaining Flow objects, so memory stays
+        # O(flows in flight) however long the trace is.
+        self._stream = stream
+        if stream:
+            self.tracker = FlowTracker(
+                config.num_tors,
+                retain_flows=False,
+                mice_threshold_bytes=config.mice_threshold_bytes,
+                reservoir_seed=config.seed,
+            )
+            self._source = StreamingFlowSource(flows)
+        else:
+            self.tracker = FlowTracker(config.num_tors)
+            self._source = MaterializedFlowSource(flows)
+            self.tracker.register_all(self._source.flows)
 
         n = config.num_tors
         self._queues: list[list[PiasDestQueue | None]] = [
@@ -193,11 +214,16 @@ class NegotiaToRSimulator:
             self.step_epoch()
 
     def run_until_complete(self, max_ns: float) -> bool:
-        """Simulate until every registered flow completes (or ``max_ns``).
+        """Simulate until every flow completes (or ``max_ns``).
 
-        Returns True when all flows completed.
+        Returns True when all flows completed.  In streaming mode the
+        source must also be exhausted — flows the engine has not pulled yet
+        are still outstanding work.
         """
-        while not self.tracker.all_complete:
+        while (
+            self._source.next_arrival_ns is not None
+            or not self.tracker.all_complete
+        ):
             if self.now_ns >= max_ns:
                 return False
             self._maybe_fast_forward(max_ns)
@@ -267,9 +293,8 @@ class NegotiaToRSimulator:
         """
         epoch_ns = self.timing.epoch_ns
         target = limit_epoch
-        flows = self._pending_flows
-        if self._next_flow < len(flows):
-            arrival = flows[self._next_flow].arrival_ns
+        arrival = self._source.next_arrival_ns
+        if arrival is not None:
             # Keep every epoch whose injection bound reaches the arrival.
             # The bound must be the exact float expression step_epoch uses —
             # (epoch * epoch_ns) + epoch_ns — because for non-dyadic epoch
@@ -362,13 +387,18 @@ class NegotiaToRSimulator:
     def _inject_arrivals(self, before_ns: float) -> None:
         # Inclusive bound: a flow arriving exactly at an epoch boundary is
         # visible to that epoch's REQUEST decision.
-        flows = self._pending_flows
+        source = self._source
+        arrival = source.next_arrival_ns
+        if arrival is None or arrival > before_ns:
+            return
         threshold = self._request_threshold
-        while (
-            self._next_flow < len(flows)
-            and flows[self._next_flow].arrival_ns <= before_ns
-        ):
-            flow = flows[self._next_flow]
+        # Streaming flows are only known to the tracker once they enter the
+        # fabric; materialized flows were all registered at construction.
+        register = self.tracker.register if self._stream else None
+        while arrival is not None and arrival <= before_ns:
+            flow = source.pop()
+            if register is not None:
+                register(flow)
             queue = self._queues[flow.src][flow.dst]
             queue.enqueue_flow(flow)
             pair = (flow.src, flow.dst)
@@ -376,7 +406,7 @@ class NegotiaToRSimulator:
             self._queued_bytes += flow.size_bytes
             if queue.pending_bytes > threshold:
                 self._request_ready.add(pair)
-            self._next_flow += 1
+            arrival = source.next_arrival_ns
 
     def _compute_requests(self, now_ns: float) -> dict[int, dict[int, object]]:
         """REQUEST step: binary demand above the piggyback threshold.
@@ -680,20 +710,26 @@ class NegotiaToRSimulator:
     # ------------------------------------------------------------------
 
     def summary(self, duration_ns: float | None = None) -> RunSummary:
-        """Headline metrics over ``duration_ns`` (default: simulated time)."""
+        """Headline metrics over ``duration_ns`` (default: simulated time).
+
+        Works in both tracker modes; in streaming mode ``num_flows`` counts
+        the flows that entered the fabric (equal to the trace size once the
+        run has covered every arrival) and the mice FCT stats come from the
+        online accumulators (see :meth:`FlowTracker.mice_fct_summary`).
+        """
         duration = duration_ns if duration_ns is not None else self.now_ns
-        mice = self.tracker.mice_flows(self.config.mice_threshold_bytes)
+        mice_p99, mice_mean = self.tracker.mice_fct_summary(
+            self.config.mice_threshold_bytes
+        )
         return RunSummary(
             duration_ns=duration,
             epoch_ns=self.timing.epoch_ns,
-            num_flows=len(self.tracker.flows),
-            num_completed=len(self.tracker.completed_flows),
+            num_flows=self.tracker.num_flows,
+            num_completed=self.tracker.num_completed,
             goodput_normalized=self.tracker.goodput_normalized(
                 duration, self.config.host_aggregate_gbps
             ),
             goodput_gbps=self.tracker.goodput_gbps(duration),
-            mice_fct_p99_ns=(
-                FlowTracker.fct_percentile_ns(mice, 99) if mice else None
-            ),
-            mice_fct_mean_ns=(FlowTracker.fct_mean_ns(mice) if mice else None),
+            mice_fct_p99_ns=mice_p99,
+            mice_fct_mean_ns=mice_mean,
         )

@@ -37,10 +37,16 @@ from .config import SimConfig, transmit_ns
 from .flows import Flow, FlowTracker
 from .metrics import BandwidthRecorder, RunSummary
 from .queues import PiasDestQueue
+from .source import MaterializedFlowSource, StreamingFlowSource
 
 
 class ObliviousSimulator:
-    """Slot-driven rotor + VLB simulator over a finite set of flows."""
+    """Slot-driven rotor + VLB simulator over a finite set of flows.
+
+    ``stream=True`` consumes ``flows`` lazily from an arrival-ordered
+    iterator with a bounded-memory tracker, mirroring
+    :class:`~repro.sim.network.NegotiaToRSimulator`'s streaming mode.
+    """
 
     def __init__(
         self,
@@ -48,6 +54,7 @@ class ObliviousSimulator:
         topology: FlatTopology,
         flows: Iterable[Flow],
         bandwidth_recorder: BandwidthRecorder | None = None,
+        stream: bool = False,
     ) -> None:
         if topology.num_tors != config.num_tors:
             raise ValueError("topology and config disagree on num_tors")
@@ -66,10 +73,19 @@ class ObliviousSimulator:
         self.payload_bytes = config.epoch.data_payload_bytes
         self.cycle_slots = topology.predefined_slots
 
-        self.tracker = FlowTracker(config.num_tors)
-        self._pending_flows = sorted(flows, key=lambda f: f.arrival_ns)
-        self.tracker.register_all(self._pending_flows)
-        self._next_flow = 0
+        self._stream = stream
+        if stream:
+            self.tracker = FlowTracker(
+                config.num_tors,
+                retain_flows=False,
+                mice_threshold_bytes=config.mice_threshold_bytes,
+                reservoir_seed=config.seed,
+            )
+            self._source = StreamingFlowSource(flows)
+        else:
+            self.tracker = FlowTracker(config.num_tors)
+            self._source = MaterializedFlowSource(flows)
+            self.tracker.register_all(self._source.flows)
 
         n = config.num_tors
         # Per (source, intermediate) VLB stage queues with PIAS bands: a
@@ -121,8 +137,15 @@ class ObliviousSimulator:
             self.step_slot()
 
     def run_until_complete(self, max_ns: float) -> bool:
-        """Simulate until every flow completes (or ``max_ns``)."""
-        while not self.tracker.all_complete:
+        """Simulate until every flow completes (or ``max_ns``).
+
+        In streaming mode the source must also be exhausted — flows the
+        engine has not pulled yet are still outstanding work.
+        """
+        while (
+            self._source.next_arrival_ns is not None
+            or not self.tracker.all_complete
+        ):
             if self.now_ns >= max_ns:
                 return False
             self.step_slot()
@@ -159,13 +182,15 @@ class ObliviousSimulator:
     # ------------------------------------------------------------------
 
     def _inject_arrivals(self, before_ns: float) -> None:
-        flows = self._pending_flows
-        while (
-            self._next_flow < len(flows)
-            and flows[self._next_flow].arrival_ns <= before_ns
-        ):
-            self._spread_flow(flows[self._next_flow])
-            self._next_flow += 1
+        source = self._source
+        arrival = source.next_arrival_ns
+        register = self.tracker.register if self._stream else None
+        while arrival is not None and arrival <= before_ns:
+            flow = source.pop()
+            if register is not None:
+                register(flow)
+            self._spread_flow(flow)
+            arrival = source.next_arrival_ns
 
     def _band_chunks(self, size_bytes: int):
         """Split a flow's bytes into (band, bytes) per the PIAS thresholds."""
@@ -279,18 +304,18 @@ class ObliviousSimulator:
     def summary(self, duration_ns: float | None = None) -> RunSummary:
         """Headline metrics over ``duration_ns`` (default: simulated time)."""
         duration = duration_ns if duration_ns is not None else self.now_ns
-        mice = self.tracker.mice_flows(self.config.mice_threshold_bytes)
+        mice_p99, mice_mean = self.tracker.mice_fct_summary(
+            self.config.mice_threshold_bytes
+        )
         return RunSummary(
             duration_ns=duration,
             epoch_ns=None,
-            num_flows=len(self.tracker.flows),
-            num_completed=len(self.tracker.completed_flows),
+            num_flows=self.tracker.num_flows,
+            num_completed=self.tracker.num_completed,
             goodput_normalized=self.tracker.goodput_normalized(
                 duration, self.config.host_aggregate_gbps
             ),
             goodput_gbps=self.tracker.goodput_gbps(duration),
-            mice_fct_p99_ns=(
-                FlowTracker.fct_percentile_ns(mice, 99) if mice else None
-            ),
-            mice_fct_mean_ns=(FlowTracker.fct_mean_ns(mice) if mice else None),
+            mice_fct_p99_ns=mice_p99,
+            mice_fct_mean_ns=mice_mean,
         )

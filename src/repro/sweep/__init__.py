@@ -23,7 +23,7 @@ from .runner import (
     resolve_scale,
     scale_spec_fields,
 )
-from .scenarios import SCENARIOS, Scenario, build_workload
+from .scenarios import SCENARIOS, Scenario, build_workload, build_workload_iter
 from .spec import SPEC_VERSION, RunSpec, freeze_params, system_spec_fields
 from .store import ResultStore, StoreError
 
@@ -37,6 +37,7 @@ __all__ = [
     "StoreError",
     "SweepRunner",
     "build_workload",
+    "build_workload_iter",
     "execute_spec",
     "freeze_params",
     "resolve_epoch",

@@ -406,8 +406,27 @@ def execute_spec(spec: RunSpec) -> RunSummary:
             f"unknown instrument key(s): {sorted(unknown)}; "
             f"choose from {sorted(INSTRUMENT_KEYS)}"
         )
+    if spec.stream:
+        # Collectors and instrumentation read retained per-flow state,
+        # which the bounded-memory tracker evicts by design.
+        if spec.collect:
+            raise ValueError(
+                "streaming specs compute headline summaries only; "
+                f"drop collect={sorted(spec.collect)} or run materialized"
+            )
+        if instrument:
+            raise ValueError(
+                "instrumentation is not supported with stream=True; "
+                f"drop instrument key(s) {sorted(instrument)}"
+            )
+        if spec.system == "relay":
+            raise ValueError("the relay system does not support stream=True")
 
-    flows = scenarios.build_workload(spec, scale, params)
+    flows = (
+        scenarios.build_workload_iter(spec, scale, params)
+        if spec.stream
+        else scenarios.build_workload(spec, scale, params)
+    )
     epoch = resolve_epoch(spec, scale)
     overrides: dict = {"priority_queue_enabled": spec.priority_queue}
     if epoch is not None:
@@ -447,6 +466,7 @@ def execute_spec(spec: RunSpec) -> RunSummary:
             bandwidth_bin_ns=instrument.get("bandwidth_bin_ns"),
             until_complete=spec.until_complete,
             max_ns=spec.max_ns,
+            stream=spec.stream,
         )
     elif spec.system == "relay":
         from ..core.relay import RelayPolicy
@@ -485,6 +505,7 @@ def execute_spec(spec: RunSpec) -> RunSummary:
             failure_plan=failure_plan,
             until_complete=spec.until_complete,
             max_ns=spec.max_ns,
+            stream=spec.stream,
         )
 
     summary = artifacts.summary

@@ -1,13 +1,19 @@
 """The scenario registry: named, parameterized workload builders.
 
-A *scenario* turns ``(scale, load, duration, rng, **params)`` into a flow
-list.  Scenarios are the workload half of a :class:`~repro.sweep.spec.RunSpec`
+A *scenario* turns ``(scale, load, duration, rng, **params)`` into flows.
+Scenarios are the workload half of a :class:`~repro.sweep.spec.RunSpec`
 — the spec names one plus its parameter overrides, and the runner resolves
 it here.  The registry spans the paper's own workloads (``poisson``,
 ``incast``, ``alltoall``) and the extended patterns of
 :mod:`repro.workloads.patterns` (hotspot, permutation, bursty, and the ML
 collectives), so sweeps can range over traffic shapes the paper never
 evaluated without touching experiment code.
+
+A builder may return a list (most do) or a lazy arrival-ordered generator
+(``heavy-poisson``): :meth:`Scenario.build_list` and
+:meth:`Scenario.build_iter` normalize either shape, so every scenario runs
+in both the materialized and the streaming execution mode, and both modes
+see the exact same flows.
 
 Builders must draw randomness only from the ``rng`` argument; the runner
 seeds it from the spec, which is what makes parallel sweeps bit-identical
@@ -17,13 +23,15 @@ to serial ones.
 from __future__ import annotations
 
 import random
-from collections.abc import Callable, Mapping
+from collections.abc import Callable, Iterator, Mapping
 from dataclasses import dataclass, field
 
 from ..experiments.common import sized_distribution, workload_for
 from ..sim.config import KB
 from ..sim.flows import Flow
+from ..workloads.distributions import FixedSize
 from ..workloads.generators import single_pair_stream
+from ..workloads.streams import heavy_poisson_stream
 from ..workloads.incast import (
     all_to_all_workload,
     incast_workload,
@@ -62,6 +70,20 @@ class Scenario:
         params = dict(self.defaults)
         params.update(overrides)
         return params
+
+    def build_list(self, *args, **params) -> list[Flow]:
+        """The workload as a materialized list (the classic shape)."""
+        flows = self.build(*args, **params)
+        return flows if isinstance(flows, list) else list(flows)
+
+    def build_iter(self, *args, **params) -> Iterator[Flow]:
+        """The workload as a lazy iterator for streaming execution.
+
+        Generator-backed scenarios stay lazy end to end; list-backed ones
+        are materialized and then iterated — same flows, no memory win.
+        """
+        flows = self.build(*args, **params)
+        return iter(flows)
 
 
 SCENARIOS: dict[str, Scenario] = {}
@@ -114,7 +136,22 @@ def build_workload(spec, scale, params: dict | None = None) -> list[Flow]:
         params = scenario.resolve_params(dict(spec.scenario_params))
     duration = spec.duration_ns if spec.duration_ns else scale.duration_ns
     rng = random.Random(spec.seed)
-    return scenario.build(scale, spec.load, duration, rng, **params)
+    return scenario.build_list(scale, spec.load, duration, rng, **params)
+
+
+def build_workload_iter(spec, scale, params: dict | None = None) -> Iterator[Flow]:
+    """Lazy counterpart of :func:`build_workload` for streaming specs.
+
+    Seeding is identical, so the iterator yields exactly the flows the
+    materialized build would return — which is what makes a streaming
+    re-run of a materialized spec comparable field by field.
+    """
+    scenario = get(spec.scenario)
+    if params is None:
+        params = scenario.resolve_params(dict(spec.scenario_params))
+    duration = spec.duration_ns if spec.duration_ns else scale.duration_ns
+    rng = random.Random(spec.seed)
+    return scenario.build_iter(scale, spec.load, duration, rng, **params)
 
 
 # ---------------------------------------------------------------------------
@@ -208,6 +245,31 @@ def _mixed_incast(
 )
 def _single_pair(scale, load, duration_ns, rng, *, src, dst, total_bytes, at_ns):
     return single_pair_stream(src, dst, total_bytes, start_ns=at_ns)
+
+
+@register(
+    "heavy-poisson",
+    "Poisson arrivals sized by a target flow count (streaming scale runs)",
+    num_flows=1_000_000,
+    flow_bytes=1000,
+    trace="",
+)
+def _heavy_poisson(scale, load, duration_ns, rng, *, num_flows, flow_bytes, trace):
+    # Sized by count, not duration: the workload for "how fast can the
+    # engine chew through N flows" benchmarks.  Returns a lazy generator —
+    # with stream=True the trace never materializes.  The default fixed
+    # 1000-byte mice keep per-flow slot waste low so moderate loads stay
+    # stable (bounded in-flight backlog); pass a trace name for realistic
+    # size mixes instead.
+    dist = sized_distribution(scale, trace) if trace else FixedSize(flow_bytes)
+    return heavy_poisson_stream(
+        dist,
+        load,
+        scale.num_tors,
+        scale.host_aggregate_gbps,
+        num_flows,
+        rng,
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -28,7 +28,9 @@ version participates in the hash, so stale store entries stop matching.
 
 Version history: 1 — the original PR 2 schema; 2 — adds ``epoch_params``,
 ``failure_params``, ``instrument`` and the ``relay`` system (the full
-experiment migration)."""
+experiment migration).  The ``stream`` field (streaming execution) was added
+hash-neutrally within version 2: it only enters the canonical JSON when
+True, so every pre-existing spec keeps its hash."""
 
 Params = tuple[tuple[str, object], ...]
 
@@ -98,6 +100,14 @@ class RunSpec:
     ``failure_params`` declares a link-failure plan (``plan`` is ``random``
     or ``egress-ports`` plus that plan's arguments; negotiator only).
 
+    ``stream=True`` runs the spec through the streaming path (DESIGN.md
+    §11): the workload is generated lazily and the tracker evicts completed
+    flows into online accumulators, so memory stays bounded however long
+    the trace.  Exact summary fields (counts, goodput) match the
+    materialized run; FCT percentiles are reservoir-exact up to the
+    reservoir capacity.  Streaming specs cannot request ``collect`` or
+    ``instrument`` (those read retained per-flow state).
+
     ``instrument`` attaches recorders the ``collect`` metrics read:
     ``bandwidth_bin_ns`` (a :class:`~repro.sim.metrics.BandwidthRecorder`),
     ``pair_bandwidth`` (per-pair keys; negotiator only), ``match_ratio``
@@ -127,6 +137,7 @@ class RunSpec:
     failure_params: Params = ()
     instrument: Params = ()
     collect: tuple[str, ...] = ()
+    stream: bool = False
 
     def __post_init__(self) -> None:
         if self.system not in SYSTEMS:
@@ -154,8 +165,14 @@ class RunSpec:
     # ------------------------------------------------------------------
 
     def to_dict(self) -> dict:
-        """JSON-serializable form (tuples become lists)."""
-        return {
+        """JSON-serializable form (tuples become lists).
+
+        ``stream`` is emitted only when True: the field joined the schema
+        after stores and baselines existed, and omitting the default keeps
+        the canonical JSON — and therefore every stored content hash — of
+        all pre-existing specs unchanged.
+        """
+        payload = {
             "scale": self.scale,
             "scale_params": [list(kv) for kv in self.scale_params],
             "system": self.system,
@@ -176,6 +193,9 @@ class RunSpec:
             "instrument": [list(kv) for kv in self.instrument],
             "collect": list(self.collect),
         }
+        if self.stream:
+            payload["stream"] = True
+        return payload
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "RunSpec":
@@ -230,4 +250,6 @@ class RunSpec:
             parts.append("no-pq")
         if self.without_speedup:
             parts.append("1x")
+        if self.stream:
+            parts.append("stream")
         return " ".join(parts)

@@ -24,6 +24,12 @@ from .patterns import (
     ring_allreduce_workload,
     shuffle_workload,
 )
+from .streams import (
+    heavy_poisson_span_ns,
+    heavy_poisson_stream,
+    merge_workload_streams,
+    poisson_flow_stream,
+)
 from .traces import TRACES, by_name, google, hadoop, websearch
 
 __all__ = [
@@ -37,13 +43,17 @@ __all__ = [
     "by_name",
     "google",
     "hadoop",
+    "heavy_poisson_span_ns",
+    "heavy_poisson_stream",
     "hotspot_workload",
     "incast_finish_time_ns",
     "incast_workload",
+    "merge_workload_streams",
     "merge_workloads",
     "mixed_incast_workload",
     "network_arrival_rate_per_ns",
     "permutation_workload",
+    "poisson_flow_stream",
     "poisson_workload",
     "ring_allreduce_workload",
     "shuffle_workload",

@@ -128,14 +128,21 @@ def single_pair_stream(
 
 
 def merge_workloads(*workloads: list[Flow]) -> list[Flow]:
-    """Merge several workloads into one arrival-ordered flow list.
+    """Merge several arrival-ordered workloads into one flow list.
 
-    Flow ids must already be unique across the inputs (share one ``fids``
-    counter between generators to guarantee that).
+    A lazy heap merge keyed on ``(arrival_ns, fid)`` — no full re-sort —
+    so equal-arrival flows from different workloads land in deterministic
+    fid order regardless of argument order.  This ordering feeds spec
+    hashes and golden digests, so it is part of the reproducibility
+    contract.  Inputs must already be sorted by that key (every generator
+    in this package is); unsorted input raises rather than silently
+    misordering.  Flow ids must be unique across the inputs (share one
+    ``fids`` counter between generators to guarantee that).
     """
-    merged = [flow for workload in workloads for flow in workload]
-    fids = [flow.fid for flow in merged]
-    if len(set(fids)) != len(fids):
+    from .streams import merge_workload_streams
+
+    merged = list(merge_workload_streams(*workloads))
+    fids = {flow.fid for flow in merged}
+    if len(fids) != len(merged):
         raise ValueError("flow ids collide across merged workloads")
-    merged.sort(key=lambda f: f.arrival_ns)
     return merged

@@ -1,0 +1,161 @@
+"""Generator-based workload streams: lazy traffic for million-flow runs.
+
+The materialized generators in :mod:`repro.workloads.generators` build the
+whole flow list up front — fine for the paper's figures, fatal for the
+ROADMAP's "heavy traffic from millions of users" regime where the trace
+alone would dwarf memory.  This module is the lazy counterpart (DESIGN.md
+section 11):
+
+* :func:`poisson_flow_stream` yields the *exact same flows* as
+  :func:`~repro.workloads.generators.poisson_workload` (identical RNG draw
+  order), one at a time, in arrival order.
+* :func:`heavy_poisson_stream` sizes the trace by a target **flow count**
+  instead of a duration — the shape of a sustained heavy-load benchmark,
+  where the question is "how fast can the engine chew through N flows", not
+  "what happens in T nanoseconds".
+* :func:`merge_workload_streams` lazily merges arrival-ordered streams with
+  a heap, keyed on ``(arrival_ns, fid)`` so equal-arrival flows interleave
+  in deterministic fid order whatever the stream boundaries were.
+
+Every stream yields flows with non-decreasing arrival times, which is what
+the engines' ``stream=True`` mode requires.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Iterable, Iterator
+
+from ..sim.flows import Flow
+from .generators import network_arrival_rate_per_ns, uniform_pair
+
+
+def _arrival_key(flow: Flow) -> tuple[float, int]:
+    return (flow.arrival_ns, flow.fid)
+
+
+def _checked_order(stream: Iterable[Flow]) -> Iterator[Flow]:
+    """Pass flows through, raising if the (arrival, fid) key ever drops."""
+    last: tuple[float, int] | None = None
+    for flow in stream:
+        key = (flow.arrival_ns, flow.fid)
+        if last is not None and key < last:
+            raise ValueError(
+                f"flow {flow.fid} (arrival {flow.arrival_ns} ns) is out of "
+                f"order after (arrival {last[0]} ns, fid {last[1]}); merge "
+                "inputs must be sorted by (arrival_ns, fid)"
+            )
+        last = key
+        yield flow
+
+
+def merge_workload_streams(*streams: Iterable[Flow]) -> Iterator[Flow]:
+    """Lazily merge arrival-ordered flow streams into one ordered stream.
+
+    A ``heapq.merge`` keyed on ``(arrival_ns, fid)``: memory is O(number of
+    streams), never O(flows), and equal-arrival flows from different streams
+    come out in fid order — a deterministic tiebreak that does not depend on
+    how the workload was split into streams.  Each input must itself be
+    sorted by that key (every generator in this package is, because fids
+    increase in generation order); a violation raises mid-stream naming the
+    offending flow.  Flow-id uniqueness across streams is the caller's
+    contract (share one ``fids`` counter), exactly as for
+    :func:`~repro.workloads.generators.merge_workloads`.
+    """
+    return heapq.merge(
+        *(_checked_order(s) for s in streams), key=_arrival_key
+    )
+
+
+def poisson_flow_stream(
+    size_dist,
+    load: float,
+    num_tors: int,
+    host_aggregate_gbps: float,
+    duration_ns: float,
+    rng,
+    tag: str = "",
+    fids: Iterator[int] | None = None,
+) -> Iterator[Flow]:
+    """Lazy Poisson arrivals over ``duration_ns`` at a target network load.
+
+    Yields exactly the flows :func:`~repro.workloads.generators
+    .poisson_workload` would return, in the same order, from the same RNG
+    draws — ``list(poisson_flow_stream(...))`` is that function.
+    """
+    if duration_ns <= 0:
+        raise ValueError("duration must be positive")
+    rate = network_arrival_rate_per_ns(
+        load, size_dist.mean(), num_tors, host_aggregate_gbps
+    )
+    if fids is None:
+        fids = itertools.count()
+    t = rng.expovariate(rate)
+    while t < duration_ns:
+        src, dst = uniform_pair(num_tors, rng)
+        yield Flow(
+            fid=next(fids),
+            src=src,
+            dst=dst,
+            size_bytes=size_dist.sample(rng),
+            arrival_ns=t,
+            tag=tag,
+        )
+        t += rng.expovariate(rate)
+
+
+def heavy_poisson_stream(
+    size_dist,
+    load: float,
+    num_tors: int,
+    host_aggregate_gbps: float,
+    num_flows: int,
+    rng,
+    tag: str = "",
+    fids: Iterator[int] | None = None,
+) -> Iterator[Flow]:
+    """Lazy Poisson arrivals sized by a target flow count, not a duration.
+
+    The heavy-load benchmark workload: arrivals keep coming at the load's
+    rate until exactly ``num_flows`` flows have been emitted.  Per-flow RNG
+    draw order matches :func:`poisson_flow_stream`, so a duration-bounded
+    stream at the same seed is a prefix of this one.
+    """
+    if num_flows <= 0:
+        raise ValueError("flow count must be positive")
+    rate = network_arrival_rate_per_ns(
+        load, size_dist.mean(), num_tors, host_aggregate_gbps
+    )
+    if fids is None:
+        fids = itertools.count()
+    t = 0.0
+    for _ in range(num_flows):
+        t += rng.expovariate(rate)
+        src, dst = uniform_pair(num_tors, rng)
+        yield Flow(
+            fid=next(fids),
+            src=src,
+            dst=dst,
+            size_bytes=size_dist.sample(rng),
+            arrival_ns=t,
+            tag=tag,
+        )
+
+
+def heavy_poisson_span_ns(
+    size_dist,
+    load: float,
+    num_tors: int,
+    host_aggregate_gbps: float,
+    num_flows: int,
+) -> float:
+    """Expected arrival span of a :func:`heavy_poisson_stream` trace.
+
+    ``num_flows / rate`` — what a caller should budget (plus drain margin)
+    when running the stream to completion.
+    """
+    rate = network_arrival_rate_per_ns(
+        load, size_dist.mean(), num_tors, host_aggregate_gbps
+    )
+    return num_flows / rate

@@ -6,18 +6,30 @@ replayed through either simulator, and generated workloads can be archived
 for exact reruns.  The format round-trips everything a
 :class:`~repro.sim.flows.Flow` carries at arrival time (completion state is
 simulation output, not workload input).
+
+Two readers share one row validator:
+
+* :func:`loads`/:func:`load` — eager: parse everything, sort by arrival.
+* :func:`stream`/:func:`stream_chunks` — chunked: the file is consumed
+  incrementally and flows are yielded as they parse, so a million-flow
+  trace never materializes.  Streaming cannot sort for you, so rows must
+  already be arrival-ordered; validation errors keep their line numbers
+  even when they surface mid-stream, after earlier flows were yielded.
 """
 
 from __future__ import annotations
 
 import csv
 import io
-from collections.abc import Iterable
+from collections.abc import Iterable, Iterator
 from pathlib import Path
 
 from ..sim.flows import Flow
 
 HEADER = ["fid", "src", "dst", "size_bytes", "arrival_ns", "tag"]
+
+DEFAULT_CHUNK_ROWS = 4096
+"""How many flows :func:`stream_chunks` batches per yielded list."""
 
 
 def dumps(flows: Iterable[Flow]) -> str:
@@ -44,6 +56,70 @@ def _parse_field(line_number: int, name: str, raw: str, cast):
         ) from None
 
 
+def _check_header(reader) -> None:
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise ValueError("empty workload file") from None
+    if header != HEADER:
+        raise ValueError(
+            f"unexpected workload header {header!r}; expected {HEADER!r}"
+        )
+
+
+def _flow_from_row(
+    line_number: int, row: list[str], seen_fids: dict[int, int] | None
+) -> Flow:
+    """Validate one CSV row into a Flow, raising line-numbered errors."""
+    if len(row) != len(HEADER):
+        raise ValueError(
+            f"line {line_number}: expected {len(HEADER)} fields, "
+            f"got {len(row)}"
+        )
+    raw_fid, raw_src, raw_dst, raw_size, raw_arrival, tag = row
+    fid = _parse_field(line_number, "fid", raw_fid, int)
+    src = _parse_field(line_number, "src", raw_src, int)
+    dst = _parse_field(line_number, "dst", raw_dst, int)
+    size_bytes = _parse_field(line_number, "size_bytes", raw_size, int)
+    arrival_ns = _parse_field(line_number, "arrival_ns", raw_arrival, float)
+    if fid < 0:
+        raise ValueError(f"line {line_number}: flow id must be non-negative")
+    if src < 0 or dst < 0:
+        raise ValueError(
+            f"line {line_number}: ToR indices must be non-negative "
+            f"(got src={src}, dst={dst})"
+        )
+    if size_bytes <= 0:
+        raise ValueError(
+            f"line {line_number}: flow size must be positive, "
+            f"got {size_bytes}"
+        )
+    if not arrival_ns >= 0:
+        raise ValueError(
+            f"line {line_number}: arrival time must be non-negative, "
+            f"got {raw_arrival}"
+        )
+    if src == dst:
+        raise ValueError(
+            f"line {line_number}: flow {fid} has src == dst == {src}"
+        )
+    if seen_fids is not None:
+        if fid in seen_fids:
+            raise ValueError(
+                f"line {line_number}: duplicate flow id {fid} "
+                f"(first used on line {seen_fids[fid]})"
+            )
+        seen_fids[fid] = line_number
+    return Flow(
+        fid=fid,
+        src=src,
+        dst=dst,
+        size_bytes=size_bytes,
+        arrival_ns=arrival_ns,
+        tag=tag,
+    )
+
+
 def loads(text: str) -> list[Flow]:
     """Parse and validate flows from CSV text.
 
@@ -56,67 +132,13 @@ def loads(text: str) -> list[Flow]:
     replays identically.
     """
     reader = csv.reader(io.StringIO(text))
-    try:
-        header = next(reader)
-    except StopIteration:
-        raise ValueError("empty workload file") from None
-    if header != HEADER:
-        raise ValueError(
-            f"unexpected workload header {header!r}; expected {HEADER!r}"
-        )
+    _check_header(reader)
     flows = []
     seen_fids: dict[int, int] = {}
     for line_number, row in enumerate(reader, start=2):
         if not row:
             continue
-        if len(row) != len(HEADER):
-            raise ValueError(
-                f"line {line_number}: expected {len(HEADER)} fields, "
-                f"got {len(row)}"
-            )
-        raw_fid, raw_src, raw_dst, raw_size, raw_arrival, tag = row
-        fid = _parse_field(line_number, "fid", raw_fid, int)
-        src = _parse_field(line_number, "src", raw_src, int)
-        dst = _parse_field(line_number, "dst", raw_dst, int)
-        size_bytes = _parse_field(line_number, "size_bytes", raw_size, int)
-        arrival_ns = _parse_field(line_number, "arrival_ns", raw_arrival, float)
-        if fid < 0:
-            raise ValueError(f"line {line_number}: flow id must be non-negative")
-        if src < 0 or dst < 0:
-            raise ValueError(
-                f"line {line_number}: ToR indices must be non-negative "
-                f"(got src={src}, dst={dst})"
-            )
-        if size_bytes <= 0:
-            raise ValueError(
-                f"line {line_number}: flow size must be positive, "
-                f"got {size_bytes}"
-            )
-        if not arrival_ns >= 0:
-            raise ValueError(
-                f"line {line_number}: arrival time must be non-negative, "
-                f"got {raw_arrival}"
-            )
-        if src == dst:
-            raise ValueError(
-                f"line {line_number}: flow {fid} has src == dst == {src}"
-            )
-        if fid in seen_fids:
-            raise ValueError(
-                f"line {line_number}: duplicate flow id {fid} "
-                f"(first used on line {seen_fids[fid]})"
-            )
-        seen_fids[fid] = line_number
-        flows.append(
-            Flow(
-                fid=fid,
-                src=src,
-                dst=dst,
-                size_bytes=size_bytes,
-                arrival_ns=arrival_ns,
-                tag=tag,
-            )
-        )
+        flows.append(_flow_from_row(line_number, row, seen_fids))
     flows.sort(key=lambda f: f.arrival_ns)
     return flows
 
@@ -129,6 +151,71 @@ def save(flows: Iterable[Flow], path: str | Path) -> None:
 def load(path: str | Path) -> list[Flow]:
     """Read a workload file."""
     return loads(Path(path).read_text())
+
+
+def stream(
+    path: str | Path, *, check_duplicate_fids: bool = True
+) -> Iterator[Flow]:
+    """Read a workload file incrementally, never holding the whole trace.
+
+    Yields validated flows one at a time while the file is consumed through
+    the OS read buffer — memory stays O(1) in the trace length.  The same
+    line-numbered validation as :func:`loads` applies; an invalid row
+    raises when the stream reaches it, *after* earlier flows were yielded,
+    so a replay that began is cut off with the offending line named.
+
+    Unlike the eager loader, streaming cannot sort: rows must already be
+    non-decreasing in ``arrival_ns``, and a backwards arrival raises with
+    its line number (sort the file once with :func:`load`/:func:`save`).
+    ``check_duplicate_fids=False`` drops the duplicate-id guard and with it
+    the reader's only O(flows) side structure (an int-keyed dict), for
+    traces whose producer already guarantees unique ids.
+    """
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        _check_header(reader)
+        seen_fids: dict[int, int] | None = (
+            {} if check_duplicate_fids else None
+        )
+        last_arrival = 0.0
+        for line_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            flow = _flow_from_row(line_number, row, seen_fids)
+            if flow.arrival_ns < last_arrival:
+                raise ValueError(
+                    f"line {line_number}: arrival {flow.arrival_ns} ns goes "
+                    f"backwards (previous row arrived at {last_arrival} ns); "
+                    "streaming replay needs an arrival-sorted file — load() "
+                    "sorts eagerly"
+                )
+            last_arrival = flow.arrival_ns
+            yield flow
+
+
+def stream_chunks(
+    path: str | Path,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    *,
+    check_duplicate_fids: bool = True,
+) -> Iterator[list[Flow]]:
+    """Read a workload file as bounded-size flow batches.
+
+    Batching amortizes per-flow call overhead for consumers that process
+    flows in bulk (bulk registration, format conversion) while keeping
+    residency at ``chunk_rows`` flows.  The final chunk may be short; the
+    validation and ordering rules are :func:`stream`'s.
+    """
+    if chunk_rows <= 0:
+        raise ValueError("chunk_rows must be positive")
+    chunk: list[Flow] = []
+    for flow in stream(path, check_duplicate_fids=check_duplicate_fids):
+        chunk.append(flow)
+        if len(chunk) >= chunk_rows:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
 
 
 def validate_for_fabric(flows: Iterable[Flow], num_tors: int) -> None:

@@ -1,0 +1,165 @@
+"""The streaming-scale benchmark behind ``repro bench --scale``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf import BenchFile
+from repro.scalebench import format_result, run_scale_bench
+
+SMOKE_FLOWS = 3000
+
+
+class TestRunScaleBench:
+    def test_smoke_run_is_consistent(self):
+        result = run_scale_bench(SMOKE_FLOWS)
+        assert result.completed
+        assert result.completed_flows == SMOKE_FLOWS
+        assert result.delivered_bytes == SMOKE_FLOWS * result.flow_bytes
+        assert 0 < result.peak_live_flows < SMOKE_FLOWS
+        assert result.final_live_flows == 0
+        assert result.flows_per_sec > 0
+        assert result.epochs_per_sec > 0
+        assert result.key == f"heavy-poisson/t8p2/f{SMOKE_FLOWS}/l0.5/b1000"
+        # Streaming mice stats exist: every flow is a 1000-byte mouse.
+        assert result.mice_fct_p99_ns is not None
+
+    def test_format_mentions_the_witnesses(self):
+        text = format_result(run_scale_bench(SMOKE_FLOWS))
+        assert "flows/s" in text
+        assert "in flight" in text
+        assert "reservoir" in text
+
+    def test_rejects_bad_flow_count(self):
+        with pytest.raises(ValueError, match="num_flows"):
+            run_scale_bench(0)
+
+
+class TestScaleBenchCli:
+    def test_scale_run_records_and_checks(self, tmp_path, capsys):
+        scale_file = str(tmp_path / "BENCH_scale.json")
+        code = main([
+            "bench", "--scale",
+            "--flows", str(SMOKE_FLOWS),
+            "--scale-file", scale_file,
+            "--budget-s", "120",
+            "--update-baseline", "--record",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "streaming scale bench" in out
+        entries = BenchFile.load(scale_file).entries
+        entry = entries[f"heavy-poisson/t8p2/f{SMOKE_FLOWS}/l0.5/b1000"]
+        assert entry["baseline"]["completed_flows"] == SMOKE_FLOWS
+        assert entry["current"]["peak_live_flows"] < SMOKE_FLOWS
+
+        # --check against its own baseline passes.
+        code = main([
+            "bench", "--scale",
+            "--flows", str(SMOKE_FLOWS),
+            "--scale-file", scale_file,
+            "--check", "0.05",
+        ])
+        assert code == 0
+
+    def test_blown_budget_fails(self, tmp_path, capsys):
+        code = main([
+            "bench", "--scale",
+            "--flows", str(SMOKE_FLOWS),
+            "--scale-file", str(tmp_path / "b.json"),
+            "--budget-s", "0.000001",
+        ])
+        assert code == 1
+        assert "wall-clock budget" in capsys.readouterr().err
+
+    def test_check_regression_fails(self, tmp_path, capsys):
+        scale_file = tmp_path / "b.json"
+        key = f"heavy-poisson/t8p2/f{SMOKE_FLOWS}/l0.5/b1000"
+        scale_file.write_text(json.dumps({
+            "schema": 1,
+            "scenarios": {
+                "unrelated": {},
+                key: {"baseline": {"flows_per_sec": 1e12,
+                                   "epochs_per_sec": 1e12}},
+            },
+        }))
+        code = main([
+            "bench", "--scale",
+            "--flows", str(SMOKE_FLOWS),
+            "--scale-file", str(scale_file),
+            "--check", "0.5",
+        ])
+        assert code == 1
+        assert "perf regression" in capsys.readouterr().err
+
+    def test_custom_fabric_single_only(self, capsys):
+        code = main([
+            "bench", "--scale", "--fabric", "8x2", "--fabric", "16x4",
+        ])
+        assert code == 2
+        assert "single --fabric" in capsys.readouterr().err
+
+    def test_scale_flags_require_scale(self, capsys):
+        code = main(["bench", "--flows", "10"])
+        assert code == 2
+        assert "--flows only applies with --scale" in capsys.readouterr().err
+        code = main(["bench", "--scale-file", "other.json"])
+        assert code == 2
+        assert "--scale-file only applies" in capsys.readouterr().err
+
+    def test_combined_record_and_update_baseline_is_consistent(self, tmp_path):
+        scale_file = str(tmp_path / "b.json")
+        code = main([
+            "bench", "--scale",
+            "--flows", str(SMOKE_FLOWS),
+            "--scale-file", scale_file,
+            "--update-baseline", "--record",
+        ])
+        assert code == 0
+        entry = BenchFile.load(scale_file).entries[
+            f"heavy-poisson/t8p2/f{SMOKE_FLOWS}/l0.5/b1000"
+        ]
+        # Baseline and current come from the same run, so the recorded
+        # speedup must be exactly 1.0 — not a ratio vs a stale baseline.
+        assert entry["baseline"] == entry["current"]
+        assert entry["speedup"] == 1.0
+
+    def test_hotpath_flags_rejected_with_scale(self, capsys):
+        code = main(["bench", "--scale", "--scenario", "sparse"])
+        assert code == 2
+        assert "--scenario" in capsys.readouterr().err
+        code = main(["bench", "--scale", "--bench-file", "other.json"])
+        assert code == 2
+        assert "--scale-file" in capsys.readouterr().err
+
+    def test_bad_flow_count_exits_cleanly(self, capsys):
+        code = main(["bench", "--scale", "--flows", "0"])
+        assert code == 2
+        assert "num_flows must be positive" in capsys.readouterr().err
+
+    def test_recorded_speedup_tracks_flows_per_sec(self, tmp_path):
+        scale_file = tmp_path / "b.json"
+        key = f"heavy-poisson/t8p2/f{SMOKE_FLOWS}/l0.5/b1000"
+        # A baseline twice as fast in flows/sec but equal in epochs/sec:
+        # the recorded speedup must follow the flows/sec gate (~0.5), not
+        # BenchFile's epochs/sec default.
+        probe = run_scale_bench(SMOKE_FLOWS)
+        scale_file.write_text(json.dumps({
+            "schema": 1,
+            "scenarios": {key: {"baseline": {
+                "flows_per_sec": 2.0 * probe.flows_per_sec,
+                "epochs_per_sec": probe.epochs_per_sec,
+            }}},
+        }))
+        code = main([
+            "bench", "--scale",
+            "--flows", str(SMOKE_FLOWS),
+            "--scale-file", str(scale_file),
+            "--record",
+        ])
+        assert code == 0
+        entry = BenchFile.load(str(scale_file)).entries[key]
+        assert entry["speedup"] < 0.9

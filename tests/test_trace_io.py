@@ -145,3 +145,70 @@ class TestValidation:
         with pytest.raises(ValueError, match="destination"):
             trace_io.validate_for_fabric(flows, num_tors=4)
         trace_io.validate_for_fabric(flows, num_tors=16)
+
+
+class TestChunkedStream:
+    """The chunked reader: lazy parsing with mid-stream located errors."""
+
+    def _big_trace(self, tmp_path, n=500):
+        rng = random.Random(9)
+        flows = poisson_workload(
+            hadoop(), 0.5, 8, 100.0, 500_000.0, rng
+        )[:n]
+        path = tmp_path / "trace.csv"
+        trace_io.save(flows, path)
+        return path, flows
+
+    def test_stream_round_trips_the_eager_loader(self, tmp_path):
+        path, _ = self._big_trace(tmp_path)
+        eager = trace_io.load(path)
+        assert list(trace_io.stream(path)) == eager
+
+    def test_chunks_round_trip_on_multi_chunk_files(self, tmp_path):
+        path, flows = self._big_trace(tmp_path)
+        chunks = list(trace_io.stream_chunks(path, chunk_rows=64))
+        assert len(chunks) == -(-len(flows) // 64)  # spans many chunks
+        assert all(len(chunk) == 64 for chunk in chunks[:-1])
+        assert [f for chunk in chunks for f in chunk] == trace_io.load(path)
+
+    def test_midstream_error_keeps_its_line_number(self, tmp_path):
+        path, flows = self._big_trace(tmp_path, n=100)
+        with open(path, "a") as handle:
+            handle.write("666,0,0,100,9e9,self-loop\n")
+        reader = trace_io.stream(path)
+        # Every valid flow is yielded before the bad row raises, and the
+        # error names the file line the row sits on.
+        good = []
+        with pytest.raises(
+            ValueError, match=f"line {len(flows) + 2}: .*src == dst"
+        ):
+            for flow in reader:
+                good.append(flow)
+        assert len(good) == len(flows)
+
+    def test_stream_rejects_backwards_arrivals(self, tmp_path):
+        text = (
+            ",".join(trace_io.HEADER)
+            + "\n0,0,1,100,50.0,\n1,1,2,100,10.0,\n"
+        )
+        path = tmp_path / "unsorted.csv"
+        path.write_text(text)
+        with pytest.raises(ValueError, match="line 3: .*goes backwards"):
+            list(trace_io.stream(path))
+
+    def test_stream_duplicate_fid_guard_is_optional(self, tmp_path):
+        text = (
+            ",".join(trace_io.HEADER)
+            + "\n7,0,1,100,10.0,\n7,1,2,100,20.0,\n"
+        )
+        path = tmp_path / "dups.csv"
+        path.write_text(text)
+        with pytest.raises(ValueError, match="line 3: duplicate flow id 7"):
+            list(trace_io.stream(path))
+        flows = list(trace_io.stream(path, check_duplicate_fids=False))
+        assert [f.fid for f in flows] == [7, 7]
+
+    def test_bad_chunk_rows(self, tmp_path):
+        path, _ = self._big_trace(tmp_path, n=10)
+        with pytest.raises(ValueError, match="chunk_rows"):
+            list(trace_io.stream_chunks(path, chunk_rows=0))

@@ -7,6 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.sim.flows import Flow
 from repro.workloads.distributions import EmpiricalCDF, FixedSize
 from repro.workloads.generators import (
     merge_workloads,
@@ -258,3 +259,24 @@ class TestStreamsAndMerge:
         b = single_pair_stream(1, 2, 100)
         with pytest.raises(ValueError):
             merge_workloads(a, b)
+
+    def test_merge_orders_equal_arrivals_by_fid(self):
+        # Equal-arrival flows from different workloads interleave in fid
+        # order, whatever the argument order — this ordering feeds spec
+        # hashes and golden digests, so it is pinned.
+        import itertools
+
+        fids = itertools.count()
+        a = single_pair_stream(0, 1, 300, chunk_bytes=100, fids=fids)  # 0,1,2
+        b = single_pair_stream(1, 2, 300, chunk_bytes=100, fids=fids)  # 3,4,5
+        assert [f.fid for f in merge_workloads(a, b)] == [0, 1, 2, 3, 4, 5]
+        assert [f.fid for f in merge_workloads(b, a)] == [0, 1, 2, 3, 4, 5]
+
+    def test_merge_is_a_heap_merge_not_a_sort(self):
+        # Unsorted inputs raise instead of being silently re-sorted.
+        unsorted = [
+            Flow(fid=0, src=0, dst=1, size_bytes=100, arrival_ns=50.0),
+            Flow(fid=1, src=1, dst=2, size_bytes=100, arrival_ns=10.0),
+        ]
+        with pytest.raises(ValueError, match="out of order"):
+            merge_workloads(unsorted)
