@@ -125,7 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--system",
         action="append",
         dest="systems",
-        choices=["negotiator", "oblivious"],
+        choices=["negotiator", "oblivious", "rotor"],
         default=None,
         help="system to sweep (repeatable; default: negotiator)",
     )
@@ -244,7 +244,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument(
         "--system",
-        choices=["negotiator", "oblivious"],
+        choices=["negotiator", "oblivious", "rotor"],
         default="negotiator",
     )
     simulate.add_argument(
@@ -288,6 +288,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="scale-bench trace size in flows (default 1,000,000)",
+    )
+    bench.add_argument(
+        "--engine",
+        choices=["negotiator", "rotor"],
+        default=None,
+        help="scale-bench engine under test (default negotiator; rotor runs "
+        "the RotorNet-style baseline on thin-clos)",
     )
     bench.add_argument(
         "--scale-load",
@@ -362,6 +369,24 @@ def resolve_scale(name: str | None):
     return SCALES[name]
 
 
+def _reject_unknown(names, registry, kind: str) -> bool:
+    """Report names missing from a registry; True when any was unknown.
+
+    The single home of the CLI's unknown-name diagnostics: every command
+    that validates user-supplied experiment/scenario names goes through
+    here, so all of them emit the identical exit-2 message shape.
+    """
+    unknown = [n for n in names if n not in registry]
+    if not unknown:
+        return False
+    print(
+        f"unknown {kind}(s): {', '.join(unknown)} "
+        f"(choose from {', '.join(sorted(registry))})",
+        file=sys.stderr,
+    )
+    return True
+
+
 def cmd_list() -> int:
     print("experiments:")
     for name in sorted(EXPERIMENT_MODULES):
@@ -401,13 +426,7 @@ def cmd_run(
         )
         return 2
     scale = resolve_scale(scale_name)
-    unknown = [n for n in names if n not in EXPERIMENT_MODULES]
-    if unknown:
-        print(
-            f"unknown experiment(s): {', '.join(unknown)} "
-            f"(try: python -m repro list)",
-            file=sys.stderr,
-        )
+    if _reject_unknown(names, EXPERIMENT_MODULES, "experiment"):
         return 2
     store = ResultStore(store_path) if store_path is not None else None
     # One runner for every experiment: specs common to several figures
@@ -454,13 +473,7 @@ def cmd_golden(args) -> int:
         return 2
     scale = SCALES[args.scale] if args.scale else SCALES[golden.GOLDEN_SCALE]
     names = args.experiments or golden.experiment_names()
-    unknown = [n for n in names if n not in EXPERIMENT_MODULES]
-    if unknown:
-        print(
-            f"unknown experiment(s): {', '.join(unknown)} "
-            f"(try: python -m repro list)",
-            file=sys.stderr,
-        )
+    if _reject_unknown(names, EXPERIMENT_MODULES, "experiment"):
         return 2
     if args.scale and args.scale != golden.GOLDEN_SCALE:
         if args.record:
@@ -596,13 +609,7 @@ def cmd_sweep(args) -> int:
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    unknown = [name for name, _ in scenarios if name not in SCENARIOS]
-    if unknown:
-        print(
-            f"unknown scenario(s): {', '.join(unknown)} "
-            f"(choose from {', '.join(sorted(SCENARIOS))})",
-            file=sys.stderr,
-        )
+    if _reject_unknown([name for name, _ in scenarios], SCENARIOS, "scenario"):
         return 2
     # Resolve parameter overrides up front: --dry-run approves only grids
     # the real run would accept, workers never see bad params, and the
@@ -636,12 +643,13 @@ def cmd_sweep(args) -> int:
             )
             for system in systems:
                 for topology in topologies:
-                    # The oblivious baseline only runs on thin-clos (its
-                    # rotor schedule needs the AWGR structure), whatever
-                    # the --topology axis says; duplicates dedupe below.
+                    # The oblivious and rotor baselines only run on
+                    # thin-clos (their round-robin schedules need the AWGR
+                    # structure), whatever the --topology axis says;
+                    # duplicates dedupe below.
                     fields = (
-                        system_spec_fields("oblivious")
-                        if system == "oblivious"
+                        system_spec_fields(system)
+                        if system in ("oblivious", "rotor")
                         else {"system": system, "topology": topology}
                     )
                     for load in point_loads:
@@ -738,7 +746,12 @@ def cmd_sweep(args) -> int:
 def cmd_simulate(args) -> int:
     import random
 
-    from .experiments.common import run_negotiator, run_oblivious, sim_config
+    from .experiments.common import (
+        run_negotiator,
+        run_oblivious,
+        run_rotor,
+        sim_config,
+    )
     from .workloads import by_name, poisson_workload, trace_io
 
     scale = resolve_scale(args.scale)
@@ -768,7 +781,9 @@ def cmd_simulate(args) -> int:
             random.Random(config.seed),
         )
 
-    run = run_oblivious if args.system == "oblivious" else run_negotiator
+    run = {"oblivious": run_oblivious, "rotor": run_rotor}.get(
+        args.system, run_negotiator
+    )
     summary = run(
         scale, args.topology, flows, duration_ns=duration_ns, config=config
     ).summary
@@ -820,6 +835,7 @@ def cmd_bench_scale(args, fabrics) -> int:
                 else scalebench.DEFAULT_LOAD
             ),
             fast_forward=not args.no_fast_forward,
+            engine=args.engine or "negotiator",
         )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
@@ -898,20 +914,15 @@ def cmd_bench(args) -> int:
     if args.scale:
         return cmd_bench_scale(args, fabrics)
     for flag, name in ((args.flows, "--flows"), (args.budget_s, "--budget-s"),
-                       (args.scale_load, "--scale-load")):
+                       (args.scale_load, "--scale-load"),
+                       (args.engine, "--engine")):
         if flag is not None:
             print(f"{name} only applies with --scale", file=sys.stderr)
             return 2
     if args.scale_file != "BENCH_scale.json":
         print("--scale-file only applies with --scale", file=sys.stderr)
         return 2
-    unknown = [s for s in (args.scenarios or []) if s not in perf.SCENARIOS]
-    if unknown:
-        print(
-            f"unknown scenario(s): {', '.join(unknown)} "
-            f"(choose from {', '.join(sorted(perf.SCENARIOS))})",
-            file=sys.stderr,
-        )
+    if _reject_unknown(args.scenarios or [], perf.SCENARIOS, "scenario"):
         return 2
 
     bench = perf.BenchFile.load(args.bench_file)

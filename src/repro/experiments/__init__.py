@@ -24,6 +24,7 @@ from .common import (
     run_negotiator,
     run_oblivious,
     run_relay,
+    run_rotor,
     sim_config,
     workload_for,
 )
@@ -39,6 +40,7 @@ EXPERIMENT_MODULES = {
     "fig7b": "fig7_alltoall",
     "fig8": "fig8_reconfig_delay",
     "fig9": "fig9_main_results",
+    "fig9_rotor_baseline": "fig9_rotor_baseline",
     "fig10": "fig10_fault_tolerance",
     "fig11": "fig11_no_speedup",
     "fig12": "fig12_sensitivity",
@@ -77,6 +79,7 @@ __all__ = [
     "run_negotiator",
     "run_oblivious",
     "run_relay",
+    "run_rotor",
     "sim_config",
     "workload_for",
 ]

@@ -292,6 +292,57 @@ def run_oblivious(
     return RunArtifacts(summary=summary, simulator=sim, bandwidth=bandwidth)
 
 
+def run_rotor(
+    scale: ExperimentScale,
+    topology_kind: str,
+    flows,
+    *,
+    duration_ns: float | None = None,
+    config: SimConfig | None = None,
+    priority_queue: bool = True,
+    rotor=None,
+    bandwidth_bin_ns: float | None = None,
+    failure_model=None,
+    failure_plan=None,
+    until_complete: bool = False,
+    max_ns: float | None = None,
+    stream: bool = False,
+) -> RunArtifacts:
+    """Run the RotorNet-style rotor baseline on a workload.
+
+    ``rotor`` is a :class:`~repro.sim.config.RotorConfig` (default
+    timing/relay knobs when None).  ``stream=True`` consumes ``flows`` as a
+    lazy arrival-ordered iterator with a bounded-memory tracker (DESIGN.md
+    §11).
+    """
+    from ..sim.rotor import RotorSimulator
+
+    if config is None:
+        config = sim_config(scale, priority_queue_enabled=priority_queue)
+    topology = make_topology(scale, topology_kind)
+    bandwidth = (
+        BandwidthRecorder(bandwidth_bin_ns) if bandwidth_bin_ns else None
+    )
+    sim = RotorSimulator(
+        config,
+        topology,
+        flows,
+        rotor=rotor,
+        failure_model=failure_model,
+        failure_plan=failure_plan,
+        bandwidth_recorder=bandwidth,
+        stream=stream,
+    )
+    duration = duration_ns if duration_ns is not None else scale.duration_ns
+    if until_complete:
+        sim.run_until_complete(max_ns=max_ns or 100 * duration)
+        summary = sim.summary(sim.now_ns)
+    else:
+        sim.run(duration)
+        summary = sim.summary(duration)
+    return RunArtifacts(summary=summary, simulator=sim, bandwidth=bandwidth)
+
+
 def sized_distribution(scale: ExperimentScale, trace: str = "hadoop"):
     """A flow-size distribution truncated to the scale's cap.
 

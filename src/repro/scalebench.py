@@ -32,6 +32,7 @@ from dataclasses import dataclass, fields
 from .perf import Stopwatch, fabric_config
 from .sim.network import NegotiaToRSimulator
 from .topology.parallel import ParallelNetwork
+from .topology.thinclos import ThinClos
 from .workloads.distributions import FixedSize
 from .workloads.streams import heavy_poisson_span_ns, heavy_poisson_stream
 
@@ -47,7 +48,11 @@ SCALE_BENCH_FILE = "BENCH_scale.json"
 
 @dataclass(frozen=True)
 class ScaleBenchResult:
-    """One streaming scale run's throughput and residency counters."""
+    """One streaming scale run's throughput and residency counters.
+
+    ``epochs`` counts the engine's own steps — NegotiaToR epochs for the
+    negotiator engine, rotor slices for the rotor engine.
+    """
 
     num_flows: int
     num_tors: int
@@ -66,16 +71,24 @@ class ScaleBenchResult:
     max_rss_kb: int
     mice_fct_p99_ns: float | None
     mice_fct_mean_ns: float | None
+    engine: str = "negotiator"
 
     @property
     def key(self) -> str:
         """Stable identifier used in BENCH_scale.json.
 
         Every knob that changes the workload participates, so baselines
-        recorded at different loads or flow sizes never collide.
+        recorded at different loads or flow sizes never collide.  The
+        negotiator engine keeps the historical unprefixed key so existing
+        baselines stay comparable; other engines prefix their name.
         """
+        prefix = (
+            "heavy-poisson"
+            if self.engine == "negotiator"
+            else f"{self.engine}-heavy-poisson"
+        )
         return (
-            f"heavy-poisson/t{self.num_tors}p{self.ports_per_tor}"
+            f"{prefix}/t{self.num_tors}p{self.ports_per_tor}"
             f"/f{self.num_flows}/l{self.load:g}/b{self.flow_bytes}"
         )
 
@@ -92,16 +105,24 @@ def run_scale_bench(
     flow_bytes: int = DEFAULT_FLOW_BYTES,
     seed: int = _BENCH_SEED,
     fast_forward: bool = True,
+    engine: str = "negotiator",
 ) -> ScaleBenchResult:
     """Stream ``num_flows`` Poisson flows through the engine and time it.
 
     The run goes to completion (generous time cap: 4x the expected arrival
     span, which a stable load never approaches), so flows/sec covers the
     whole lifecycle — lazy generation, injection, scheduling, delivery,
-    and eviction into the online accumulators.
+    and eviction into the online accumulators.  ``engine`` selects the
+    bounded-memory engine under test: ``negotiator`` (the default, on the
+    parallel network) or ``rotor`` (the RotorNet-style baseline on
+    thin-clos, its reference fabric).
     """
     if num_flows <= 0:
         raise ValueError("num_flows must be positive")
+    if engine not in ("negotiator", "rotor"):
+        raise ValueError(
+            f"unknown engine {engine!r}; choose 'negotiator' or 'rotor'"
+        )
     config = fabric_config(num_tors, ports_per_tor, fast_forward=fast_forward)
     host_aggregate_gbps = config.host_aggregate_gbps
     distribution = FixedSize(flow_bytes)
@@ -116,11 +137,27 @@ def run_scale_bench(
     span_ns = heavy_poisson_span_ns(
         distribution, load, num_tors, host_aggregate_gbps, num_flows
     )
-    sim = NegotiaToRSimulator(
-        config, ParallelNetwork(num_tors, ports_per_tor), flows, stream=True
-    )
+    if engine == "rotor":
+        from .sim.rotor import RotorSimulator
+
+        if num_tors % ports_per_tor:
+            raise ValueError(
+                "the rotor scale bench runs on the balanced thin-clos: "
+                "num_tors must be a multiple of ports_per_tor"
+            )
+        sim = RotorSimulator(
+            config,
+            ThinClos(num_tors, ports_per_tor, num_tors // ports_per_tor),
+            flows,
+            stream=True,
+        )
+    else:
+        sim = NegotiaToRSimulator(
+            config, ParallelNetwork(num_tors, ports_per_tor), flows, stream=True
+        )
     with Stopwatch() as watch:
         completed = sim.run_until_complete(max_ns=4.0 * span_ns)
+    steps = sim.epoch if engine == "negotiator" else sim.slices
     tracker = sim.tracker
     summary = sim.summary()
     wall = watch.elapsed_s
@@ -137,8 +174,8 @@ def run_scale_bench(
         completed=completed,
         wall_s=wall,
         flows_per_sec=num_flows / wall if wall > 0 else 0.0,
-        epochs=sim.epoch,
-        epochs_per_sec=sim.epoch / wall if wall > 0 else 0.0,
+        epochs=steps,
+        epochs_per_sec=steps / wall if wall > 0 else 0.0,
         completed_flows=tracker.num_completed,
         delivered_bytes=tracker.delivered_bytes,
         peak_live_flows=tracker.peak_live_flows,
@@ -146,6 +183,7 @@ def run_scale_bench(
         max_rss_kb=max_rss,
         mice_fct_p99_ns=summary.mice_fct_p99_ns,
         mice_fct_mean_ns=summary.mice_fct_mean_ns,
+        engine=engine,
     )
 
 

@@ -5,6 +5,7 @@ from .config import (
     MICE_THRESHOLD_BYTES,
     EpochConfig,
     EpochTiming,
+    RotorConfig,
     SimConfig,
     epoch_config_for_reconfiguration_delay,
     epoch_config_without_piggyback,
@@ -25,6 +26,7 @@ from .network import NegotiaToRSimulator
 from .observability import EpochStats, EpochStatsRecorder
 from .oblivious import ObliviousSimulator
 from .queues import PiasDestQueue, Segment
+from .rotor import RotorSimulator
 from .source import MaterializedFlowSource, StreamingFlowSource
 
 __all__ = [
@@ -50,6 +52,8 @@ __all__ = [
     "ObliviousSimulator",
     "PiasDestQueue",
     "ReservoirSampler",
+    "RotorConfig",
+    "RotorSimulator",
     "RunSummary",
     "Segment",
     "SimConfig",

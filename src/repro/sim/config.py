@@ -161,6 +161,47 @@ class EpochTiming:
         return self.predefined_ns + (slot + 1) * self.scheduled_slot_ns
 
 
+@dataclass(frozen=True)
+class RotorConfig:
+    """Timing and relay knobs of the RotorNet-style rotor baseline.
+
+    The rotor fabric (sim/rotor.py) cycles a fixed round-robin schedule of
+    Birkhoff–von-Neumann permutation matchings with no negotiation phase: a
+    *slice* holds one matching for ``packets_per_slice`` data packets per
+    port, then pays ``reconfiguration_delay_ns`` to rotate to the next
+    matching.  ``vlb_relay`` enables the RotorLB-style two-hop Valiant
+    relay: leftover slice capacity forwards lowest-band backlog for *other*
+    destinations to the currently connected ToR, which delivers it when its
+    own rotor reaches the final destination.
+
+    The defaults give a long-slice rotor (16 packets per slice) at a 90%
+    duty cycle against the paper's 1125 B data packets at 100 Gbps —
+    qualitatively RotorNet's regime, scaled to this simulator's timebase.
+    """
+
+    packets_per_slice: int = 16
+    reconfiguration_delay_ns: float = 160.0
+    vlb_relay: bool = True
+
+    def __post_init__(self) -> None:
+        if self.packets_per_slice <= 0:
+            raise ValueError("packets_per_slice must be positive")
+        if self.reconfiguration_delay_ns < 0:
+            raise ValueError("reconfiguration_delay_ns must be non-negative")
+
+    def slice_ns(self, epoch: EpochConfig, uplink_gbps: float) -> float:
+        """Duration of one slice: reconfiguration plus the packet budget."""
+        packet_bytes = epoch.data_header_bytes + epoch.data_payload_bytes
+        return self.reconfiguration_delay_ns + self.packets_per_slice * (
+            transmit_ns(packet_bytes, uplink_gbps)
+        )
+
+    def duty_cycle(self, epoch: EpochConfig, uplink_gbps: float) -> float:
+        """Fraction of a slice spent transmitting (not reconfiguring)."""
+        slice_ns = self.slice_ns(epoch, uplink_gbps)
+        return (slice_ns - self.reconfiguration_delay_ns) / slice_ns
+
+
 def epoch_config_without_piggyback(
     base: EpochConfig, uplink_gbps: float, predefined_slots: int
 ) -> EpochConfig:

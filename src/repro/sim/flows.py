@@ -130,10 +130,16 @@ class ReservoirSampler:
             raise ValueError("no values to average")
         return self._sum / self._count
 
-    def percentile(self, q: float) -> float:
-        """Percentile over the sample: exact while :attr:`exact` holds."""
+    def percentile(self, q: float) -> float | None:
+        """Percentile over the sample: exact while :attr:`exact` holds.
+
+        Returns None when no values have been folded in — consistent with
+        materialized-mode summaries, which report None FCT statistics for
+        runs with zero completions (a bounded tracker with no completions
+        must not turn a routine query into an exception).
+        """
         if not self._values:
-            raise ValueError("no values to take a percentile of")
+            return None
         return float(np.percentile(self._values, q))
 
 

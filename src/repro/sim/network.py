@@ -712,10 +712,12 @@ class NegotiaToRSimulator:
     def summary(self, duration_ns: float | None = None) -> RunSummary:
         """Headline metrics over ``duration_ns`` (default: simulated time).
 
-        Works in both tracker modes; in streaming mode ``num_flows`` counts
-        the flows that entered the fabric (equal to the trace size once the
-        run has covered every arrival) and the mice FCT stats come from the
-        online accumulators (see :meth:`FlowTracker.mice_fct_summary`).
+        Works in both tracker modes: ``num_flows`` counts the flows that
+        entered the fabric (equal to the trace size once the run has
+        covered every arrival) in *both* modes, so a streaming re-run of a
+        materialized workload matches field by field, and in streaming mode
+        the mice FCT stats come from the online accumulators (see
+        :meth:`FlowTracker.mice_fct_summary`).
         """
         duration = duration_ns if duration_ns is not None else self.now_ns
         mice_p99, mice_mean = self.tracker.mice_fct_summary(
@@ -724,7 +726,7 @@ class NegotiaToRSimulator:
         return RunSummary(
             duration_ns=duration,
             epoch_ns=self.timing.epoch_ns,
-            num_flows=self.tracker.num_flows,
+            num_flows=self._source.popped,
             num_completed=self.tracker.num_completed,
             goodput_normalized=self.tracker.goodput_normalized(
                 duration, self.config.host_aggregate_gbps

@@ -302,7 +302,14 @@ class ObliviousSimulator:
     # ------------------------------------------------------------------
 
     def summary(self, duration_ns: float | None = None) -> RunSummary:
-        """Headline metrics over ``duration_ns`` (default: simulated time)."""
+        """Headline metrics over ``duration_ns`` (default: simulated time).
+
+        ``num_flows`` counts flows *injected into the fabric* in both
+        tracker modes — a flow arriving inside the run's final partial
+        slot is never injected (the rotor injects at slot start), and
+        before this was unified the materialized mode counted it while
+        the streaming mode did not.
+        """
         duration = duration_ns if duration_ns is not None else self.now_ns
         mice_p99, mice_mean = self.tracker.mice_fct_summary(
             self.config.mice_threshold_bytes
@@ -310,7 +317,7 @@ class ObliviousSimulator:
         return RunSummary(
             duration_ns=duration,
             epoch_ns=None,
-            num_flows=self.tracker.num_flows,
+            num_flows=self._source.popped,
             num_completed=self.tracker.num_completed,
             goodput_normalized=self.tracker.goodput_normalized(
                 duration, self.config.host_aggregate_gbps

@@ -23,7 +23,13 @@ from .flows import Flow
 
 
 class MaterializedFlowSource:
-    """The classic mode: all flows sorted up front, served by index."""
+    """The classic mode: all flows sorted up front, served by index.
+
+    ``popped`` counts the flows an engine has pulled (injected into the
+    fabric) so far — the same quantity a :class:`StreamingFlowSource`
+    tracks, which is what lets both execution modes report an identical
+    ``num_flows`` in run summaries.
+    """
 
     __slots__ = ("_flows", "_next", "next_arrival_ns")
 
@@ -38,6 +44,11 @@ class MaterializedFlowSource:
     def flows(self) -> list[Flow]:
         """The full sorted workload (for up-front registration)."""
         return self._flows
+
+    @property
+    def popped(self) -> int:
+        """Flows pulled from this source (injected into the fabric) so far."""
+        return self._next
 
     def pop(self) -> Flow:
         """The next flow in arrival order (raises when exhausted)."""

@@ -29,10 +29,12 @@ from ..experiments.common import (
     run_negotiator,
     run_oblivious,
     run_relay,
+    run_rotor,
     sim_config,
 )
 from ..sim.config import (
     EpochConfig,
+    RotorConfig,
     epoch_config_for_reconfiguration_delay,
     epoch_config_without_piggyback,
 )
@@ -122,6 +124,21 @@ def resolve_epoch(
         if not piggyback:
             epoch = epoch_config_without_piggyback(epoch, UPLINK_GBPS, slots)
     return epoch
+
+
+def resolve_rotor(spec: RunSpec) -> RotorConfig | None:
+    """The rotor configuration a spec's ``rotor_params`` describe.
+
+    Keys map to :class:`~repro.sim.config.RotorConfig` fields.  Returns
+    None (engine defaults) when the spec has no overrides.
+    """
+    params = dict(spec.rotor_params)
+    if not params:
+        return None
+    unknown = set(params) - {f.name for f in dataclasses.fields(RotorConfig)}
+    if unknown:
+        raise ValueError(f"unknown rotor_params key(s): {sorted(unknown)}")
+    return RotorConfig(**params)
 
 
 def resolve_failures(
@@ -386,9 +403,10 @@ def execute_spec(spec: RunSpec) -> RunSummary:
     """Run one spec to completion and return its summary.
 
     Delegates the actual run to the experiments' reference helpers
-    (``run_negotiator``/``run_oblivious``/``run_relay``), so sweep results
-    can never diverge from a directly-run experiment.  Module-level (and
-    argument-picklable) so a process pool can ship it to workers unchanged.
+    (``run_negotiator``/``run_oblivious``/``run_rotor``/``run_relay``), so
+    sweep results can never diverge from a directly-run experiment.
+    Module-level (and argument-picklable) so a process pool can ship it to
+    workers unchanged.
     """
     scale = resolve_scale(spec)
     scenario = scenarios.get(spec.scenario)
@@ -442,15 +460,17 @@ def execute_spec(spec: RunSpec) -> RunSummary:
             raise ValueError(
                 "scheduler variants apply to the negotiator system only"
             )
-        if failure_model is not None:
+        if failure_model is not None and spec.system != "rotor":
             raise ValueError(
-                "failure plans apply to the negotiator system only"
+                "failure plans apply to the negotiator and rotor systems only"
             )
         if instrument.get("pair_bandwidth") or instrument.get("match_ratio"):
             raise ValueError(
                 "pair_bandwidth/match_ratio instrumentation applies to the "
                 "negotiator system only"
             )
+    if spec.rotor_params and spec.system != "rotor":
+        raise ValueError("rotor_params apply to the rotor system only")
 
     if spec.system == "oblivious":
         if spec.scheduler_params:
@@ -464,6 +484,25 @@ def execute_spec(spec: RunSpec) -> RunSummary:
             duration_ns=duration,
             config=config,
             bandwidth_bin_ns=instrument.get("bandwidth_bin_ns"),
+            until_complete=spec.until_complete,
+            max_ns=spec.max_ns,
+            stream=spec.stream,
+        )
+    elif spec.system == "rotor":
+        if spec.scheduler_params:
+            raise ValueError(
+                "scheduler variants apply to the negotiator system only"
+            )
+        artifacts = run_rotor(
+            scale,
+            spec.topology,
+            flows,
+            duration_ns=duration,
+            config=config,
+            rotor=resolve_rotor(spec),
+            bandwidth_bin_ns=instrument.get("bandwidth_bin_ns"),
+            failure_model=failure_model,
+            failure_plan=failure_plan,
             until_complete=spec.until_complete,
             max_ns=spec.max_ns,
             stream=spec.stream,

@@ -273,6 +273,57 @@ def _heavy_poisson(scale, load, duration_ns, rng, *, num_flows, flow_bytes, trac
 
 
 # ---------------------------------------------------------------------------
+# the rotor comparison family (fig9_rotor_baseline and rotor sweeps)
+# ---------------------------------------------------------------------------
+
+
+@register(
+    "rotor-uniform",
+    "uniform Poisson arrivals of equal-sized bulk flows (rotor's sweet spot)",
+    flow_bytes=50 * KB,
+)
+def _rotor_uniform(scale, load, duration_ns, rng, *, flow_bytes):
+    # A round-robin rotor serves a uniform all-to-all matrix at full duty
+    # cycle; demand-aware fabrics gain nothing here beyond lower latency.
+    # Equal-sized bulk flows keep the comparison about the schedule, not
+    # the size mix.
+    from ..workloads.generators import poisson_workload
+
+    return poisson_workload(
+        FixedSize(flow_bytes),
+        load,
+        scale.num_tors,
+        scale.host_aggregate_gbps,
+        duration_ns,
+        rng,
+    )
+
+
+@register(
+    "rotor-skewed",
+    "heavily skewed matrix from a size trace (rotor's worst case)",
+    trace="hadoop",
+    hot_fraction=0.125,
+    hot_weight=0.9,
+)
+def _rotor_skewed(scale, load, duration_ns, rng, *, trace, hot_fraction, hot_weight):
+    # The adversarial counterpart: most bytes concentrate on a few ToR
+    # pairs, so an oblivious round-robin wastes all but a sliver of its
+    # cycle while on-demand matchings track the skew (the adaptive-vs-
+    # oblivious axis of the D3 / Avin-Schmid taxonomy).
+    return hotspot_workload(
+        sized_distribution(scale, trace),
+        load,
+        scale.num_tors,
+        scale.host_aggregate_gbps,
+        duration_ns,
+        rng,
+        hot_fraction=hot_fraction,
+        hot_weight=hot_weight,
+    )
+
+
+# ---------------------------------------------------------------------------
 # extended patterns (beyond the paper)
 # ---------------------------------------------------------------------------
 

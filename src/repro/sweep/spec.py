@@ -22,15 +22,21 @@ import json
 from collections.abc import Mapping
 from dataclasses import dataclass, fields, replace
 
-SPEC_VERSION = 2
-"""Bump when the spec schema or run semantics change incompatibly; the
-version participates in the hash, so stale store entries stop matching.
+SPEC_VERSION = 3
+"""The newest spec schema this code understands.
+
+The ``spec_version`` a spec *emits* (and therefore hashes) is the oldest
+schema able to express it — see :meth:`RunSpec.spec_version` — so schema
+growth never invalidates stored hashes of specs that don't use the new
+features.
 
 Version history: 1 — the original PR 2 schema; 2 — adds ``epoch_params``,
 ``failure_params``, ``instrument`` and the ``relay`` system (the full
-experiment migration).  The ``stream`` field (streaming execution) was added
-hash-neutrally within version 2: it only enters the canonical JSON when
-True, so every pre-existing spec keeps its hash."""
+experiment migration); 3 — adds the ``rotor`` system and ``rotor_params``
+(the RotorNet-style baseline).  The ``stream`` field (streaming execution)
+was added hash-neutrally within version 2: like ``rotor_params``, it only
+enters the canonical JSON when non-default, so every pre-existing spec
+keeps its hash."""
 
 Params = tuple[tuple[str, object], ...]
 
@@ -41,10 +47,11 @@ PARAM_FIELDS = (
     "epoch_params",
     "failure_params",
     "instrument",
+    "rotor_params",
 )
 """RunSpec fields holding frozen key/value parameter tuples."""
 
-SYSTEMS = ("negotiator", "oblivious", "relay")
+SYSTEMS = ("negotiator", "oblivious", "relay", "rotor")
 TOPOLOGIES = ("parallel", "thinclos")
 
 
@@ -65,12 +72,12 @@ def system_spec_fields(kind: str) -> dict:
     """Map an experiment "system" label to RunSpec system/topology fields.
 
     Experiments label their curves ``parallel``/``thinclos`` (NegotiaToR on
-    that fabric), ``oblivious``, or ``relay`` — and both the oblivious
-    baseline and the selective-relay variant always run on thin-clos, whose
-    AWGR structure their schemes need.  This helper is that invariant's
-    single home.
+    that fabric), ``oblivious``, ``rotor``, or ``relay`` — and the
+    oblivious baseline, the rotor baseline, and the selective-relay variant
+    always run on thin-clos, whose AWGR structure their schemes need.  This
+    helper is that invariant's single home.
     """
-    if kind in ("oblivious", "relay"):
+    if kind in ("oblivious", "relay", "rotor"):
         return {"system": kind, "topology": "thinclos"}
     return {"system": "negotiator", "topology": kind}
 
@@ -98,7 +105,8 @@ class RunSpec:
     and ``reconfiguration_delay_ns`` (the Fig 8 guardband stretch).
 
     ``failure_params`` declares a link-failure plan (``plan`` is ``random``
-    or ``egress-ports`` plus that plan's arguments; negotiator only).
+    or ``egress-ports`` plus that plan's arguments; negotiator and rotor
+    systems).
 
     ``stream=True`` runs the spec through the streaming path (DESIGN.md
     §11): the workload is generated lazily and the tracker evicts completed
@@ -107,6 +115,12 @@ class RunSpec:
     materialized run; FCT percentiles are reservoir-exact up to the
     reservoir capacity.  Streaming specs cannot request ``collect`` or
     ``instrument`` (those read retained per-flow state).
+
+    ``rotor_params`` configures the ``rotor`` system's
+    :class:`~repro.sim.config.RotorConfig` by field name
+    (``packets_per_slice``, ``reconfiguration_delay_ns``, ``vlb_relay``);
+    like ``stream``, the field enters the canonical JSON only when set, so
+    it is hash-neutral for every pre-existing spec.
 
     ``instrument`` attaches recorders the ``collect`` metrics read:
     ``bandwidth_bin_ns`` (a :class:`~repro.sim.metrics.BandwidthRecorder`),
@@ -138,6 +152,7 @@ class RunSpec:
     instrument: Params = ()
     collect: tuple[str, ...] = ()
     stream: bool = False
+    rotor_params: Params = ()
 
     def __post_init__(self) -> None:
         if self.system not in SYSTEMS:
@@ -167,10 +182,10 @@ class RunSpec:
     def to_dict(self) -> dict:
         """JSON-serializable form (tuples become lists).
 
-        ``stream`` is emitted only when True: the field joined the schema
-        after stores and baselines existed, and omitting the default keeps
-        the canonical JSON — and therefore every stored content hash — of
-        all pre-existing specs unchanged.
+        ``stream`` and ``rotor_params`` are emitted only when non-default:
+        both fields joined the schema after stores and baselines existed,
+        and omitting the default keeps the canonical JSON — and therefore
+        every stored content hash — of all pre-existing specs unchanged.
         """
         payload = {
             "scale": self.scale,
@@ -195,6 +210,8 @@ class RunSpec:
         }
         if self.stream:
             payload["stream"] = True
+        if self.rotor_params:
+            payload["rotor_params"] = [list(kv) for kv in self.rotor_params]
         return payload
 
     @classmethod
@@ -212,9 +229,22 @@ class RunSpec:
         kwargs["collect"] = tuple(kwargs.get("collect", ()))
         return cls(**kwargs)
 
+    @property
+    def spec_version(self) -> int:
+        """The oldest schema version able to express this spec.
+
+        This — not :data:`SPEC_VERSION` — is what enters the canonical
+        JSON: a spec hashes under the schema that introduced the newest
+        feature it actually uses, so adding schema versions never moves
+        the hashes of specs that predate them.
+        """
+        if self.system == "rotor" or self.rotor_params:
+            return 3
+        return 2
+
     def canonical_json(self) -> str:
         """The byte-stable JSON form the content hash is taken over."""
-        payload = {"spec_version": SPEC_VERSION, **self.to_dict()}
+        payload = {"spec_version": self.spec_version, **self.to_dict()}
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
     @property

@@ -107,6 +107,31 @@ class TestCLI:
         assert main(["run", "fig99"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
 
+    def test_unknown_name_rejections_share_one_message_shape(self, capsys):
+        """All unknown-name paths emit the identical exit-2 diagnostic.
+
+        Before the _reject_unknown helper, run/golden said "(try: python -m
+        repro list)" while sweep/bench said "(choose from ...)"; the shape
+        is now pinned so the four paths can never drift apart again.
+        """
+        import re
+
+        cases = [
+            (["run", "fig99"], "experiment"),
+            (["golden", "fig99"], "experiment"),
+            (["sweep", "--scenario", "fig99", "--dry-run"], "scenario"),
+            (["bench", "--scenario", "fig99"], "scenario"),
+        ]
+        shape = re.compile(
+            r"^unknown (experiment|scenario)\(s\): fig99 "
+            r"\(choose from [\w, .-]+\)$"
+        )
+        for argv, kind in cases:
+            assert main(argv) == 2, argv
+            err = capsys.readouterr().err.strip()
+            assert shape.fullmatch(err), (argv, err)
+            assert err.startswith(f"unknown {kind}(s): fig99 (choose from ")
+
     def test_run_fast_experiment(self, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_SCALE", "tiny")
         assert main(["run", "efficiency"]) == 0
@@ -141,6 +166,15 @@ class TestSimulateCommand:
         )
         assert code == 0
         assert "oblivious on thinclos" in capsys.readouterr().out
+
+    def test_simulate_rotor_thinclos(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        code = main(
+            ["simulate", "--system", "rotor", "--topology", "thinclos",
+             "--load", "0.5", "--duration-ms", "0.1"]
+        )
+        assert code == 0
+        assert "rotor on thinclos" in capsys.readouterr().out
 
     def test_simulate_from_workload_file(self, capsys, tmp_path, monkeypatch):
         from repro.sim.flows import Flow
@@ -187,7 +221,7 @@ class TestExperimentRegistry:
             "table2", "table3", "table4", "table5", "table6",
             "fig6", "fig7a", "fig7b", "fig8", "fig9", "fig10", "fig11",
             "fig12", "fig13", "fig14", "fig15", "fig17_18", "fig19",
-            "efficiency",
+            "fig9_rotor_baseline", "efficiency",
         }
         assert set(EXPERIMENT_MODULES) == expected
 

@@ -1,15 +1,16 @@
-"""Byte-conservation invariant across both engines.
+"""Byte-conservation invariant across all three engines.
 
-At every epoch (NegotiaToR) or slot (oblivious) boundary, every byte a
-flow has injected must be accounted for exactly once::
+At every epoch (NegotiaToR), slot (oblivious), or slice (rotor) boundary,
+every byte a flow has injected must be accounted for exactly once::
 
     bytes injected == bytes delivered + bytes still queued in the network
 
 where "queued" includes the oblivious baseline's staged and relay buffers
-(``total_queued_bytes`` spans them all).  The engines maintain the queued
-total incrementally on the hot path (DESIGN.md section 6), so this test
-also guards that bookkeeping against drift — a single dropped or
-double-counted segment anywhere in the delivery paths breaks the equality.
+and the rotor's direct and relay buffers (``total_queued_bytes`` spans
+them all).  The engines maintain the queued total incrementally on the hot
+path (DESIGN.md section 6), so this test also guards that bookkeeping
+against drift — a single dropped or double-counted segment anywhere in the
+delivery paths breaks the equality.
 
 Randomized traces over several seeds, loads, and scenario shapes; stepped
 manually (no fast-forward) so the invariant is checked at every boundary.
@@ -23,8 +24,10 @@ import pytest
 
 from repro.experiments.common import MICRO, make_topology, sim_config
 from repro.sweep import RunSpec, build_workload, scale_spec_fields
+from repro.sim.config import RotorConfig
 from repro.sim.network import NegotiaToRSimulator
 from repro.sim.oblivious import ObliviousSimulator
+from repro.sim.rotor import RotorSimulator
 
 DURATION_NS = 60_000.0
 
@@ -99,6 +102,65 @@ def test_oblivious_conserves_bytes_at_every_slot(scenario, seed, load):
         )
         boundaries += 1
     assert boundaries > 10
+    assert sim.tracker.delivered_bytes > 0
+
+
+@pytest.mark.parametrize("vlb_relay", [True, False])
+@pytest.mark.parametrize("scenario,seed,load", CASES)
+def test_rotor_conserves_bytes_at_every_slice(scenario, seed, load, vlb_relay):
+    flows = _randomized_flows(scenario, seed, load)
+    sim = RotorSimulator(
+        sim_config(MICRO),
+        make_topology(MICRO, "thinclos"),
+        flows,
+        rotor=RotorConfig(vlb_relay=vlb_relay),
+    )
+    boundaries = 0
+    while sim.now_ns < DURATION_NS:
+        # The rotor injects at slice *start*; bytes arriving mid-slice
+        # enter the network at the next boundary.
+        boundary_ns = sim.now_ns
+        sim.step_slice()
+        injected = _injected_bytes(sim.tracker.flows, boundary_ns)
+        accounted = sim.tracker.delivered_bytes + sim.total_queued_bytes
+        assert accounted == injected, (
+            f"slice at {sim.now_ns:.0f} ns: injected {injected} != delivered "
+            f"{sim.tracker.delivered_bytes} + queued {sim.total_queued_bytes}"
+        )
+        boundaries += 1
+    assert boundaries > 10
+    assert sim.tracker.delivered_bytes > 0
+
+
+def test_rotor_conservation_survives_link_failures():
+    """Failed slices drop transmissions, never bytes: equality must hold."""
+    from repro.sim.failures import (
+        Direction,
+        FailurePlan,
+        LinkFailureModel,
+        LinkRef,
+    )
+
+    flows = _randomized_flows("poisson", 7, 1.0)
+    plan = FailurePlan()
+    plan.add_failure(5_000.0, LinkRef(0, 0, Direction.EGRESS))
+    plan.add_failure(10_000.0, LinkRef(1, 1, Direction.INGRESS))
+    plan.add_repair(40_000.0, LinkRef(0, 0, Direction.EGRESS))
+    model = LinkFailureModel(MICRO.num_tors, MICRO.ports_per_tor)
+    sim = RotorSimulator(
+        sim_config(MICRO),
+        make_topology(MICRO, "thinclos"),
+        flows,
+        failure_model=model,
+        failure_plan=plan,
+    )
+    while sim.now_ns < DURATION_NS:
+        boundary_ns = sim.now_ns
+        sim.step_slice()
+        injected = _injected_bytes(sim.tracker.flows, boundary_ns)
+        assert (
+            sim.tracker.delivered_bytes + sim.total_queued_bytes == injected
+        )
     assert sim.tracker.delivered_bytes > 0
 
 

@@ -37,8 +37,42 @@ class TestRunScaleBench:
         with pytest.raises(ValueError, match="num_flows"):
             run_scale_bench(0)
 
+    def test_rotor_engine_runs_bounded(self):
+        result = run_scale_bench(SMOKE_FLOWS, engine="rotor")
+        assert result.completed
+        assert result.completed_flows == SMOKE_FLOWS
+        assert result.delivered_bytes == SMOKE_FLOWS * result.flow_bytes
+        assert 0 < result.peak_live_flows < SMOKE_FLOWS
+        assert result.final_live_flows == 0
+        # Rotor baselines live under their own key, so the negotiator
+        # trajectory in BENCH_scale.json is never compared against them.
+        assert result.key == (
+            f"rotor-heavy-poisson/t8p2/f{SMOKE_FLOWS}/l0.5/b1000"
+        )
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ValueError, match="engine"):
+            run_scale_bench(SMOKE_FLOWS, engine="semaphore")
+
 
 class TestScaleBenchCli:
+    def test_rotor_engine_via_cli(self, tmp_path, capsys):
+        scale_file = str(tmp_path / "BENCH_scale.json")
+        code = main([
+            "bench", "--scale", "--engine", "rotor",
+            "--flows", str(SMOKE_FLOWS),
+            "--scale-file", scale_file,
+            "--budget-s", "120",
+            "--record",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rotor-heavy-poisson" in out
+
+    def test_engine_flag_requires_scale(self, capsys):
+        assert main(["bench", "--engine", "rotor"]) == 2
+        assert "--engine only applies with --scale" in capsys.readouterr().err
+
     def test_scale_run_records_and_checks(self, tmp_path, capsys):
         scale_file = str(tmp_path / "BENCH_scale.json")
         code = main([

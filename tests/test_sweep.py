@@ -86,6 +86,12 @@ class TestSpecHash:
             ),
             tiny_spec(instrument={"match_ratio": True}),
             tiny_spec(system="relay", topology="thinclos"),
+            tiny_spec(system="rotor", topology="thinclos"),
+            tiny_spec(
+                system="rotor",
+                topology="thinclos",
+                rotor_params={"packets_per_slice": 4},
+            ),
         ]
         hashes = {spec.content_hash for spec in variants}
         assert len(hashes) == len(variants)
@@ -119,7 +125,35 @@ class TestSpecHash:
 
     def test_unknown_system_rejected(self):
         with pytest.raises(ValueError, match="system"):
-            tiny_spec(system="rotor")
+            tiny_spec(system="torus")
+
+    def test_spec_version_is_the_minimum_able_to_express(self):
+        """Schema v3 growth is hash-neutral for pre-rotor specs.
+
+        A spec hashes under the oldest schema that can express it, so the
+        v3 bump (rotor system + rotor_params) must leave every legacy
+        spec's canonical JSON — and hash — byte-identical.
+        """
+        legacy = tiny_spec()
+        assert legacy.spec_version == 2
+        assert '"spec_version":2' in legacy.canonical_json()
+        assert '"rotor_params"' not in legacy.canonical_json()
+        rotor = tiny_spec(system="rotor", topology="thinclos")
+        assert rotor.spec_version == 3
+        assert '"spec_version":3' in rotor.canonical_json()
+
+    def test_rotor_spec_roundtrips_and_hashes(self):
+        spec = tiny_spec(
+            system="rotor",
+            topology="thinclos",
+            rotor_params={"packets_per_slice": 8, "vlb_relay": False},
+        )
+        recycled = RunSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert recycled == spec
+        assert recycled.content_hash == spec.content_hash
+        assert spec.content_hash != tiny_spec(
+            system="rotor", topology="thinclos"
+        ).content_hash
 
     def test_unknown_field_rejected_on_from_dict(self):
         with pytest.raises(ValueError, match="unknown RunSpec fields"):
@@ -291,6 +325,61 @@ class TestExecuteSpec:
     def test_relay_rejects_parallel_topology(self):
         with pytest.raises(ValueError, match="thin-clos"):
             execute_spec(tiny_spec(system="relay", topology="parallel"))
+
+    def test_rotor_system_runs_and_honors_rotor_params(self):
+        base = tiny_spec(system="rotor", topology="thinclos", load=0.5)
+        summary = execute_spec(base)
+        assert summary.num_flows > 0
+        assert summary.goodput_normalized > 0
+        no_vlb = execute_spec(
+            base.with_params(rotor_params={"vlb_relay": False})
+        )
+        assert no_vlb.num_flows == summary.num_flows
+        # Different forwarding discipline must actually change the run.
+        assert (
+            no_vlb.goodput_gbps,
+            no_vlb.mice_fct_p99_ns,
+        ) != (summary.goodput_gbps, summary.mice_fct_p99_ns)
+
+    def test_rotor_rejects_scheduler_variants_and_unknown_params(self):
+        with pytest.raises(ValueError, match="negotiator"):
+            execute_spec(
+                tiny_spec(
+                    system="rotor", topology="thinclos", scheduler="stateful"
+                )
+            )
+        with pytest.raises(ValueError, match="rotor_params"):
+            execute_spec(
+                tiny_spec(
+                    system="rotor",
+                    topology="thinclos",
+                    rotor_params={"slice_flavor": "mint"},
+                )
+            )
+
+    def test_rotor_params_rejected_on_other_systems(self):
+        with pytest.raises(ValueError, match="rotor system only"):
+            execute_spec(tiny_spec(rotor_params={"packets_per_slice": 4}))
+
+    def test_rotor_accepts_failure_plans(self):
+        healthy = execute_spec(
+            tiny_spec(system="rotor", topology="thinclos", load=1.0)
+        )
+        failed = execute_spec(
+            tiny_spec(
+                system="rotor",
+                topology="thinclos",
+                load=1.0,
+                failure_params={
+                    "plan": "random",
+                    "ratio": 0.2,
+                    "fail_at_ns": 0.0,
+                    "repair_at_ns": SHORT_NS * 10,
+                    "seed": 5,
+                },
+            )
+        )
+        assert failed.goodput_normalized < healthy.goodput_normalized
 
     def test_epoch_params_match_reference_helpers(self):
         """piggyback=False reproduces epoch_config_without_piggyback."""
