@@ -19,6 +19,14 @@ Commands:
 * ``sweep`` — run a grid of scenario x load x seed x system points through
   the sweep orchestrator: parallel fan-out (``--jobs``), a JSONL result
   store, and ``--resume`` to skip cached points (DESIGN.md section 8).
+  Fault tolerance for unattended campaigns (DESIGN.md section 13):
+  ``--timeout-s`` kills hung workers, ``--retries``/``--backoff-s`` retry
+  failed specs with exponential backoff, and ``--on-error quarantine``
+  records exhausted specs in a sidecar JSONL so the rest of the grid
+  completes (exit 3 signals partial success).
+* ``store`` — integrity tooling for result stores: ``verify`` checks
+  every row's checksum and reports torn lines, ``compact`` atomically
+  rewrites the store in canonical deduplicated form.
 * ``bench`` — the engine hot-path benchmark suite behind BENCH_engine.json
   (DESIGN.md section 10).
 
@@ -34,6 +42,10 @@ Examples::
     python -m repro sweep --scale tiny --scenario poisson --scenario hotspot \\
         --jobs 4 --store sweep.jsonl
     python -m repro sweep --resume --store sweep.jsonl   # only new points run
+    python -m repro sweep --scale tiny --jobs 8 --timeout-s 120 \\
+        --retries 2 --on-error quarantine --store campaign.jsonl
+    python -m repro store verify campaign.jsonl --digest
+    python -m repro store compact campaign.jsonl
     python -m repro bench --scenario sparse --fabric 64x8
     python -m repro bench --check 0.5   # fail if any scenario regressed 2x
 """
@@ -189,6 +201,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip specs whose hash already has a stored summary",
     )
     sweep.add_argument(
+        "--timeout-s",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-spec wall-clock deadline; a spec exceeding it has its "
+        "worker killed and counts as timed-out (enforced via the "
+        "resilient worker pool, even with --jobs 1)",
+    )
+    sweep.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retries per spec after the first attempt, with exponential "
+        "backoff and deterministic jitter (default 0: fail fast)",
+    )
+    sweep.add_argument(
+        "--backoff-s",
+        type=float,
+        default=0.1,
+        metavar="S",
+        help="base backoff before the first retry; doubles per attempt "
+        "(default 0.1)",
+    )
+    sweep.add_argument(
+        "--on-error",
+        choices=["fail", "skip", "quarantine"],
+        default="fail",
+        help="what to do when a spec exhausts its attempts: abort the "
+        "sweep (fail, default), drop the spec (skip), or record it in "
+        "the quarantine sidecar so the rest of the grid completes "
+        "(quarantine); with skip/quarantine a sweep that loses specs "
+        "exits 3 (partial success)",
+    )
+    sweep.add_argument(
+        "--quarantine",
+        default=None,
+        metavar="PATH",
+        help="quarantine sidecar JSONL (default: the store path with a "
+        ".quarantine.jsonl suffix)",
+    )
+    sweep.add_argument(
         "--json",
         action="store_true",
         help="emit per-spec results as JSON instead of a table",
@@ -203,6 +257,30 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list registered scenarios and their parameters, then exit",
     )
+
+    store = sub.add_parser(
+        "store",
+        help="inspect and maintain JSONL result stores",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_verify = store_sub.add_parser(
+        "verify",
+        help="integrity-check every row (checksums, torn lines); exits "
+        "non-zero on corruption",
+    )
+    store_verify.add_argument("path", help="result store JSONL file")
+    store_verify.add_argument(
+        "--digest",
+        action="store_true",
+        help="also print the store's order/timing-independent content "
+        "digest (what resume-convergence is asserted against)",
+    )
+    store_compact = store_sub.add_parser(
+        "compact",
+        help="atomically rewrite the store in canonical form: last row "
+        "per hash, sorted, checksummed, torn lines dropped",
+    )
+    store_compact.add_argument("path", help="result store JSONL file")
 
     golden = sub.add_parser(
         "golden",
@@ -237,6 +315,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         metavar="N",
         help="parallel worker processes (default 1)",
+    )
+    golden.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="persist every computed summary to this JSONL store "
+        "(resumable, and verifiable with 'repro store verify')",
     )
 
     simulate = sub.add_parser(
@@ -466,7 +551,7 @@ def cmd_run(
 
 def cmd_golden(args) -> int:
     from . import golden
-    from .sweep import SweepRunner
+    from .sweep import ResultStore, SweepRunner
 
     if args.jobs < 1:
         print("--jobs must be at least 1", file=sys.stderr)
@@ -491,7 +576,8 @@ def cmd_golden(args) -> int:
             f"digests at {args.scale} will not match them",
             file=sys.stderr,
         )
-    runner = SweepRunner(jobs=args.jobs)
+    store = ResultStore(args.store) if args.store else None
+    runner = SweepRunner(jobs=args.jobs, store=store, resume=store is not None)
     failures = 0
     for name in names:
         result = golden.compute_result(name, scale, runner=runner)
@@ -679,19 +765,43 @@ def cmd_sweep(args) -> int:
         print(f"{len(specs)} specs")
         return 0
 
+    from .sweep import RetryPolicy, SweepExecutionError
+
+    if args.retries < 0:
+        print("--retries must be non-negative", file=sys.stderr)
+        return 2
     store = ResultStore(args.store)
-    runner = SweepRunner(
-        jobs=args.jobs,
-        store=store,
-        resume=args.resume,
-        verbose=not args.json,
-    )
     try:
-        summaries = runner.run(specs)
+        runner = SweepRunner(
+            jobs=args.jobs,
+            store=store,
+            resume=args.resume,
+            verbose=not args.json,
+            timeout_s=args.timeout_s,
+            retry=RetryPolicy(
+                max_attempts=args.retries + 1,
+                backoff_base_s=args.backoff_s,
+            ),
+            on_error=args.on_error,
+            quarantine=args.quarantine,
+        )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    try:
+        summaries = runner.run(specs)
+    except (ValueError, SweepExecutionError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print(
+            f"\ninterrupted — {runner.executed} completed run(s) are in "
+            f"{args.store}; rerun with --resume to execute only the rest",
+            file=sys.stderr,
+        )
+        return 130
 
+    failed = sorted(runner.failed_hashes())
     if args.json:
         rows = [
             {
@@ -700,8 +810,14 @@ def cmd_sweep(args) -> int:
                 "summary": summaries[spec.content_hash].to_dict(),
             }
             for spec in specs
+            if spec.content_hash in summaries
         ]
-        print(json.dumps({"scale": scale.name, "runs": rows}, indent=2))
+        payload = {"scale": scale.name, "runs": rows}
+        if failed:
+            payload["failures"] = [
+                runner.outcomes[spec_hash].to_dict() for spec_hash in failed
+            ]
+        print(json.dumps(payload, indent=2))
     else:
         header = (
             f"{'hash':<12}  {'scenario':<14}  {'system':<10}  "
@@ -711,7 +827,17 @@ def cmd_sweep(args) -> int:
         print(header)
         print("-" * len(header))
         for spec in specs:
-            summary = summaries[spec.content_hash]
+            summary = summaries.get(spec.content_hash)
+            if summary is None:
+                outcome = runner.outcomes.get(spec.content_hash)
+                verdict = outcome.status if outcome else "missing"
+                print(
+                    f"{spec.short_hash:<12}  {spec.scenario:<14}  "
+                    f"{spec.system:<10}  {spec.topology:<8}  "
+                    f"{spec.load:>5.2f}  {spec.seed:>6}  "
+                    f"{'— ' + verdict + ' —':^40}"
+                )
+                continue
             fct = (
                 f"{summary.mice_fct_p99_ns / 1e3:.1f}"
                 if summary.mice_fct_p99_ns is not None
@@ -730,6 +856,17 @@ def cmd_sweep(args) -> int:
         f"{runner.cached} cached (store: {args.store})",
         file=status,
     )
+    if failed:
+        where = (
+            f" (quarantined to {runner.quarantine.path})"
+            if runner.quarantine is not None
+            else ""
+        )
+        print(
+            f"{len(failed)} spec(s) failed after retries{where}; "
+            "the rest of the grid completed",
+            file=status,
+        )
     if args.resume:
         stale = len(runner.stale_stored_hashes())
         if stale:
@@ -740,6 +877,53 @@ def cmd_sweep(args) -> int:
                 "them)",
                 file=status,
             )
+    # Partial success (some specs lost to skip/quarantine) is exit 3, so
+    # campaign drivers can tell "grid complete" from "grid degraded".
+    return 3 if failed else 0
+
+
+def cmd_store(args) -> int:
+    from pathlib import Path
+
+    from .sweep import ResultStore
+
+    if not Path(args.path).exists():
+        print(f"no such store: {args.path}", file=sys.stderr)
+        return 2
+    store = ResultStore(args.path)
+
+    if args.store_command == "compact":
+        before = Path(args.path).stat().st_size
+        dropped = store.compact()
+        after = Path(args.path).stat().st_size
+        print(
+            f"compacted {args.path}: {dropped} row(s) dropped, "
+            f"{before - after} bytes reclaimed, "
+            f"{len(store.rows())} row(s) kept"
+        )
+        return 0
+
+    report = store.verify()
+    print(f"{args.path}: {report.lines} line(s), {report.rows} valid row(s), "
+          f"{report.unique_hashes} unique spec(s)")
+    if report.legacy_rows:
+        print(
+            f"  {report.legacy_rows} legacy row(s) without checksums "
+            "(run 'repro store compact' to upgrade)"
+        )
+    for problem in report.problems:
+        print(f"  BAD {problem}")
+    if args.digest:
+        print(f"content digest: {store.content_digest()}")
+    if not report.ok:
+        print(
+            f"{report.torn_lines} torn line(s), "
+            f"{report.checksum_mismatches} checksum mismatch(es) — "
+            "affected runs will re-execute on --resume; "
+            "'repro store compact' drops the bad lines",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -999,6 +1183,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_report(args.experiments, args.scale, args.output, args.json)
     if args.command == "sweep":
         return cmd_sweep(args)
+    if args.command == "store":
+        return cmd_store(args)
     if args.command == "simulate":
         return cmd_simulate(args)
     if args.command == "bench":

@@ -11,9 +11,27 @@ The layer between the fast engine and the experiments (DESIGN.md §8):
   :class:`SweepRunner`, the serial/parallel executor with deterministic
   per-spec seeding.
 * :mod:`~repro.sweep.store` — :class:`ResultStore`, the JSONL store keyed
-  by spec hash that makes sweeps resumable.
+  by spec hash that makes sweeps resumable, with per-row checksums and
+  atomic compaction.
+* :mod:`~repro.sweep.resilience` — :class:`RetryPolicy`,
+  :class:`SpecOutcome`, the crash-safe :class:`WorkerPool`, and the
+  :class:`QuarantineLog` sidecar (fault-tolerant execution, DESIGN.md
+  §13).
+* :mod:`~repro.sweep.chaos` — deterministic, environment-keyed fault
+  injection for testing all of the above.
 """
 
+from .chaos import ChaosError, ChaosPlan, Fault
+from .resilience import (
+    NO_RETRY,
+    QuarantineLog,
+    RetryPolicy,
+    SpecOutcome,
+    SweepExecutionError,
+    WorkerPool,
+    default_quarantine_path,
+    run_with_retries,
+)
 from .runner import (
     COLLECTORS,
     SweepRunner,
@@ -25,24 +43,36 @@ from .runner import (
 )
 from .scenarios import SCENARIOS, Scenario, build_workload, build_workload_iter
 from .spec import SPEC_VERSION, RunSpec, freeze_params, system_spec_fields
-from .store import ResultStore, StoreError
+from .store import ResultStore, StoreError, StoreReport
 
 __all__ = [
     "COLLECTORS",
+    "ChaosError",
+    "ChaosPlan",
+    "Fault",
+    "NO_RETRY",
+    "QuarantineLog",
     "ResultStore",
+    "RetryPolicy",
     "RunSpec",
     "SCENARIOS",
     "SPEC_VERSION",
     "Scenario",
+    "SpecOutcome",
     "StoreError",
+    "StoreReport",
+    "SweepExecutionError",
     "SweepRunner",
+    "WorkerPool",
     "build_workload",
     "build_workload_iter",
+    "default_quarantine_path",
     "execute_spec",
     "freeze_params",
     "resolve_epoch",
     "resolve_failures",
     "resolve_scale",
+    "run_with_retries",
     "scale_spec_fields",
     "system_spec_fields",
 ]

@@ -1,0 +1,206 @@
+"""Deterministic chaos injection for sweep workers.
+
+A :class:`ChaosPlan` is a declarative list of faults keyed by spec content
+hash (prefix match) and attempt number.  The plan travels through the
+environment variable :data:`CHAOS_ENV` as JSON, so it reaches worker
+*processes* — including freshly respawned ones — without any code path
+knowing it exists: :func:`maybe_inject` is called once per execution
+attempt, right before the simulation runs, and does nothing when the
+environment is clean.
+
+Faults are deterministic by construction: whether a given (spec, attempt)
+pair is poisoned depends only on the plan, the spec's content hash, and
+the attempt counter — never on wall-clock time or randomness — so a chaos
+run is exactly reproducible and a resumed run converges to the undisturbed
+result once the environment is cleared (or the poisoned attempts are
+exhausted).
+
+Fault kinds:
+
+``raise``
+    Raise :class:`ChaosError` inside the worker — models a spec whose
+    execution fails (bad config discovered late, assertion, OOM-killed
+    library call that surfaces as an exception).
+
+``hang``
+    Sleep for ``hang_s`` (default: effectively forever) — models a
+    deadlocked or livelocked worker.  Only a per-spec ``timeout_s`` (which
+    kills the worker process) recovers from this.
+
+``exit``
+    ``os._exit(exit_code)`` — models a segfault or OOM kill: the worker
+    process dies without unwinding, flushing, or reporting anything.
+
+Plan JSON shape::
+
+    {"faults": [
+        {"match": "3fa9c1", "kind": "raise"},
+        {"match": "77b2",   "kind": "exit", "attempts": [1]},
+        {"match": "c0ffee", "kind": "hang", "hang_s": 30.0}
+    ]}
+
+``match`` is a hex prefix of the spec content hash; ``attempts`` (1-based)
+restricts the fault to specific attempts — ``[1]`` makes a spec crash once
+and then succeed on retry, the canonical transient fault.  Omitted,
+the fault fires on every attempt (a permanently poisoned spec).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+
+CHAOS_ENV = "REPRO_CHAOS_PLAN"
+"""Environment variable carrying the JSON chaos plan into workers."""
+
+FAULT_KINDS = ("raise", "hang", "exit")
+
+DEFAULT_HANG_S = 3600.0
+"""A "forever" hang: far beyond any sane per-spec timeout."""
+
+DEFAULT_EXIT_CODE = 77
+"""Distinctive worker death code, telling chaos kills apart from real ones."""
+
+
+class ChaosError(RuntimeError):
+    """The injected failure raised by ``raise`` faults."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected fault: which specs, which attempts, what happens."""
+
+    match: str
+    kind: str
+    attempts: tuple[int, ...] = ()  # empty: every attempt
+    hang_s: float = DEFAULT_HANG_S
+    exit_code: int = DEFAULT_EXIT_CODE
+
+    def __post_init__(self) -> None:
+        if not self.match:
+            raise ValueError("fault 'match' must be a non-empty hash prefix")
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; choose from {FAULT_KINDS}"
+            )
+
+    def applies(self, spec_hash: str, attempt: int) -> bool:
+        if not spec_hash.startswith(self.match):
+            return False
+        return not self.attempts or attempt in self.attempts
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A deterministic set of faults, usually parsed from the environment."""
+
+    faults: tuple[Fault, ...] = ()
+
+    @classmethod
+    def from_faults(cls, faults) -> "ChaosPlan":
+        return cls(faults=tuple(faults))
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChaosPlan":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"chaos plan is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict) or "faults" not in payload:
+            raise ValueError("chaos plan JSON needs a top-level 'faults' list")
+        faults = []
+        for entry in payload["faults"]:
+            unknown = set(entry) - {
+                "match", "kind", "attempts", "hang_s", "exit_code",
+            }
+            if unknown:
+                raise ValueError(
+                    f"unknown chaos fault key(s): {sorted(unknown)}"
+                )
+            faults.append(
+                Fault(
+                    match=entry["match"],
+                    kind=entry["kind"],
+                    attempts=tuple(entry.get("attempts", ())),
+                    hang_s=entry.get("hang_s", DEFAULT_HANG_S),
+                    exit_code=entry.get("exit_code", DEFAULT_EXIT_CODE),
+                )
+            )
+        return cls(faults=tuple(faults))
+
+    def to_json(self) -> str:
+        """The env-var payload :meth:`from_json` round-trips."""
+        return json.dumps(
+            {
+                "faults": [
+                    {
+                        "match": f.match,
+                        "kind": f.kind,
+                        **({"attempts": list(f.attempts)} if f.attempts else {}),
+                        **(
+                            {"hang_s": f.hang_s}
+                            if f.hang_s != DEFAULT_HANG_S
+                            else {}
+                        ),
+                        **(
+                            {"exit_code": f.exit_code}
+                            if f.exit_code != DEFAULT_EXIT_CODE
+                            else {}
+                        ),
+                    }
+                    for f in self.faults
+                ]
+            },
+            sort_keys=True,
+        )
+
+    def fault_for(self, spec_hash: str, attempt: int) -> Fault | None:
+        """The first fault matching this (spec, attempt), if any."""
+        for fault in self.faults:
+            if fault.applies(spec_hash, attempt):
+                return fault
+        return None
+
+    def inject(self, spec_hash: str, attempt: int) -> None:
+        """Fire the matching fault, if any (called inside the worker)."""
+        fault = self.fault_for(spec_hash, attempt)
+        if fault is None:
+            return
+        if fault.kind == "raise":
+            raise ChaosError(
+                f"chaos: injected failure for {spec_hash[:12]} "
+                f"(attempt {attempt})"
+            )
+        if fault.kind == "hang":
+            time.sleep(fault.hang_s)
+            return
+        # "exit": die the way a segfault does — no unwinding, no report.
+        os._exit(fault.exit_code)
+
+
+_EMPTY = ChaosPlan()
+_cached: tuple[str, ChaosPlan] = ("", _EMPTY)
+
+
+def active_plan() -> ChaosPlan:
+    """The plan the environment currently declares (cached per value)."""
+    global _cached
+    raw = os.environ.get(CHAOS_ENV, "")
+    if not raw:
+        return _EMPTY
+    if _cached[0] != raw:
+        _cached = (raw, ChaosPlan.from_json(raw))
+    return _cached[1]
+
+
+def maybe_inject(spec_hash: str, attempt: int) -> None:
+    """Inject the environment-declared fault for this execution, if any.
+
+    The single hook every execution path (serial and worker) calls; a
+    clean environment makes this a no-op dictionary miss.
+    """
+    raw = os.environ.get(CHAOS_ENV, "")
+    if raw:
+        active_plan().inject(spec_hash, attempt)

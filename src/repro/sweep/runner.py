@@ -19,8 +19,8 @@ from __future__ import annotations
 import dataclasses
 import random
 import time
+import traceback as traceback_module
 from collections.abc import Callable, Iterable
-from concurrent.futures import ProcessPoolExecutor
 
 from ..experiments.common import (
     SCALES,
@@ -47,7 +47,17 @@ from ..sim.failures import (
 )
 from ..sim.flows import FlowTracker
 from ..sim.metrics import RunSummary
-from . import scenarios
+from . import chaos, scenarios
+from .resilience import (
+    NO_RETRY,
+    ON_ERROR_MODES,
+    Attempt,
+    QuarantineLog,
+    RetryPolicy,
+    SpecOutcome,
+    default_quarantine_path,
+    run_with_retries,
+)
 from .spec import RunSpec
 from .store import ResultStore
 
@@ -553,8 +563,18 @@ def execute_spec(spec: RunSpec) -> RunSummary:
     return summary
 
 
-def _timed_execute(spec: RunSpec) -> tuple[str, RunSummary, float]:
+def _timed_execute(
+    spec: RunSpec, attempt: int = 1
+) -> tuple[str, RunSummary, float]:
+    """Execute one spec attempt, timed — the single execution funnel.
+
+    Both the serial loop and the resilient worker pool come through here,
+    which is where chaos faults (:mod:`repro.sweep.chaos`) are injected:
+    a fault plan in the environment poisons chosen (spec, attempt) pairs
+    identically whichever path runs them.
+    """
     started = time.perf_counter()
+    chaos.maybe_inject(spec.content_hash, attempt)
     summary = execute_spec(spec)
     return spec.content_hash, summary, time.perf_counter() - started
 
@@ -584,6 +604,28 @@ class SweepRunner:
     tested against.  ``requested`` holds every hash this runner was asked
     for; :meth:`stale_stored_hashes` diffs the store against it to surface
     rows stranded by spec changes.
+
+    Fault tolerance (DESIGN.md §13).  ``retry`` is a
+    :class:`~repro.sweep.resilience.RetryPolicy` (default: one attempt);
+    ``timeout_s`` is a per-spec wall-clock deadline, enforced by killing
+    the worker process — so setting it routes execution through the
+    resilient worker pool even at ``jobs=1``.  ``on_error`` decides what
+    happens when a spec exhausts its attempts:
+
+    * ``"fail"`` (default) — raise; serial single-attempt execution
+      re-raises the original exception, the pool raises
+      :class:`~repro.sweep.resilience.SweepExecutionError`.
+    * ``"skip"`` — record the :class:`SpecOutcome` and keep going; the
+      spec is absent from the returned results.
+    * ``"quarantine"`` — like skip, and additionally append the spec,
+      outcome, and traceback to the quarantine sidecar JSONL
+      (``quarantine`` path, defaulting to the store's
+      ``*.quarantine.jsonl`` sibling).
+
+    ``outcomes`` maps every executed spec hash to its
+    :class:`SpecOutcome`; :meth:`failed_hashes` filters the failures.
+    Worker crashes and timeouts never abort the sweep: the pool respawns
+    the dead worker and requeues only the in-flight spec.
     """
 
     def __init__(
@@ -592,18 +634,53 @@ class SweepRunner:
         store: ResultStore | None = None,
         resume: bool = False,
         verbose: bool = False,
+        timeout_s: float | None = None,
+        retry: RetryPolicy | None = None,
+        on_error: str = "fail",
+        quarantine: str | QuarantineLog | None = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
         if resume and store is None:
             raise ValueError("resume requires a result store")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        if on_error not in ON_ERROR_MODES:
+            raise ValueError(
+                f"unknown on_error mode {on_error!r}; "
+                f"choose from {ON_ERROR_MODES}"
+            )
         self.jobs = jobs
         self.store = store
         self.resume = resume
         self.verbose = verbose
+        self.timeout_s = timeout_s
+        self.retry = retry if retry is not None else NO_RETRY
+        self.on_error = on_error
+        if on_error == "quarantine":
+            if isinstance(quarantine, QuarantineLog):
+                self.quarantine: QuarantineLog | None = quarantine
+            elif quarantine is not None:
+                self.quarantine = QuarantineLog(quarantine)
+            elif store is not None:
+                self.quarantine = QuarantineLog(
+                    default_quarantine_path(store.path)
+                )
+            else:
+                raise ValueError(
+                    "on_error='quarantine' needs a quarantine path "
+                    "(or a store to derive one from)"
+                )
+        else:
+            self.quarantine = (
+                QuarantineLog(quarantine)
+                if isinstance(quarantine, str)
+                else quarantine
+            )
         self.executed = 0
         self.cached = 0
         self.requested: set[str] = set()
+        self.outcomes: dict[str, SpecOutcome] = {}
         self._memo: dict[str, RunSummary] = {}
         self._stored: dict[str, RunSummary] | None = None
 
@@ -642,21 +719,21 @@ class SweepRunner:
             else:
                 pending.append(spec)
 
-        if len(pending) <= 1 or self.jobs == 1:
-            for spec in pending:
-                results[spec.content_hash] = self._run_one(spec)
+        # A per-spec timeout can only be enforced by killing the worker
+        # process, so it forces pool execution even at jobs=1; otherwise
+        # a single pending spec (or jobs=1) runs serially in-process, the
+        # reference behavior.
+        use_pool = bool(pending) and (
+            self.timeout_s is not None
+            or (self.jobs > 1 and len(pending) > 1)
+        )
+        if use_pool:
+            self._run_pool(pending, results)
         else:
-            workers = min(self.jobs, len(pending))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                for spec, (spec_hash, summary, elapsed) in zip(
-                    pending, pool.map(_timed_execute, pending)
-                ):
-                    results[spec_hash] = summary
-                    self._memo[spec_hash] = summary
-                    self.executed += 1
-                    if self.store is not None:
-                        self.store.put(spec, summary, elapsed_s=elapsed)
-                    self._log(spec, f"ran in {elapsed:.2f}s")
+            for spec in pending:
+                summary = self._run_one(spec)
+                if summary is not None:
+                    results[spec.content_hash] = summary
         return results
 
     def stale_stored_hashes(self) -> set[str]:
@@ -671,14 +748,100 @@ class SweepRunner:
             return set()
         return self.store.completed_hashes() - self.requested
 
-    def _run_one(self, spec: RunSpec) -> RunSummary:
-        spec_hash, summary, elapsed = _timed_execute(spec)
-        self._memo[spec_hash] = summary
+    def failed_hashes(self) -> set[str]:
+        """Hashes whose final outcome was not ok (skipped/quarantined)."""
+        return {
+            spec_hash
+            for spec_hash, outcome in self.outcomes.items()
+            if not outcome.ok
+        }
+
+    def _record_ok(
+        self, spec: RunSpec, summary: RunSummary, elapsed: float
+    ) -> None:
+        """Common bookkeeping for one successfully executed spec."""
+        self._memo[spec.content_hash] = summary
         self.executed += 1
         if self.store is not None:
             self.store.put(spec, summary, elapsed_s=elapsed)
         self._log(spec, f"ran in {elapsed:.2f}s")
-        return summary
+
+    def _record_failure(self, spec: RunSpec, outcome: SpecOutcome) -> None:
+        """A spec exhausted its attempts under skip/quarantine."""
+        self._log(
+            spec,
+            f"{outcome.status} after {outcome.attempts} attempt(s)"
+            + (" -> quarantined" if self.quarantine is not None else ""),
+        )
+        if self.quarantine is not None:
+            self.quarantine.put(spec, outcome)
+
+    def _run_one(self, spec: RunSpec) -> RunSummary | None:
+        """Serial in-process execution with retries and backoff.
+
+        With the default policy (one attempt, on_error="fail") this is
+        exactly the legacy behavior: execute, record, re-raise errors
+        unchanged.  Timeouts are not enforceable in-process — that is
+        what the worker pool is for — so ``timeout_s`` never routes here.
+        Returns None when the spec fails under "skip"/"quarantine".
+        """
+        history: list[Attempt] = []
+        attempt = 1
+        while True:
+            started = time.perf_counter()
+            try:
+                _, summary, elapsed = _timed_execute(spec, attempt=attempt)
+            except Exception as exc:
+                history.append(
+                    Attempt(
+                        "failed",
+                        time.perf_counter() - started,
+                        f"{type(exc).__name__}: {exc}",
+                        traceback_module.format_exc(),
+                    )
+                )
+                if attempt < self.retry.max_attempts:
+                    self._log(spec, f"attempt {attempt} failed, retrying")
+                    time.sleep(
+                        self.retry.delay_s(attempt, spec.content_hash)
+                    )
+                    attempt += 1
+                    continue
+                outcome = SpecOutcome.from_attempts(
+                    spec.content_hash, history
+                )
+                self.outcomes[spec.content_hash] = outcome
+                if self.on_error == "fail":
+                    raise
+                self._record_failure(spec, outcome)
+                return None
+            history.append(Attempt("ok", elapsed))
+            self.outcomes[spec.content_hash] = SpecOutcome.from_attempts(
+                spec.content_hash, history
+            )
+            self._record_ok(spec, summary, elapsed)
+            return summary
+
+    def _run_pool(
+        self, pending: list[RunSpec], results: dict[str, RunSummary]
+    ) -> None:
+        """Fan pending specs out over the crash-safe worker pool."""
+
+        def on_ok(spec: RunSpec, summary_dict: dict, outcome) -> None:
+            summary = RunSummary.from_dict(summary_dict)
+            results[spec.content_hash] = summary
+            self._record_ok(spec, summary, outcome.elapsed_s[-1])
+
+        run_with_retries(
+            pending,
+            jobs=self.jobs,
+            policy=self.retry,
+            timeout_s=self.timeout_s,
+            on_error=self.on_error,
+            on_ok=on_ok,
+            on_exhausted=self._record_failure,
+            outcomes=self.outcomes,
+        )
 
     def _log(self, spec: RunSpec, status: str) -> None:
         if self.verbose:

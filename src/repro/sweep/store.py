@@ -3,7 +3,7 @@
 One line per completed run::
 
     {"spec_hash": "...", "spec": {...}, "summary": {...},
-     "elapsed_s": 1.23, "store_version": 1}
+     "elapsed_s": 1.23, "store_version": 1, "row_sha256": "..."}
 
 Appending a line is the only write operation, so concurrent sweeps against
 the same store at worst duplicate a run — they never corrupt each other
@@ -13,6 +13,18 @@ entry is valid for exactly the run it describes: change any spec field and
 the lookup misses, change the spec schema and ``SPEC_VERSION`` rolls every
 hash over.
 
+Integrity (DESIGN.md §13): every row written carries ``row_sha256``, a
+SHA-256 over the row's canonical JSON without that field.  Reads verify
+it; a mismatch — a torn append, a partial ``compact()``, disk corruption —
+is treated exactly like an unparseable line: skipped in the lenient path
+(the run re-executes on resume), raised with the line number in strict
+mode.  Rows written before checksums existed still load (counted as
+``legacy``).  ``compact()`` is atomic: the survivors are written to a
+sibling temp file, fsynced, and ``os.replace``d over the original, so a
+crash mid-compact leaves either the old file or the new one — never a
+half-written store.  Compaction also canonicalizes: last row per hash,
+sorted by hash, checksums (re)computed, torn lines dropped.
+
 Float fidelity: summaries round-trip bit-exactly because ``json`` emits
 CPython's shortest round-trip ``repr`` for floats.  The determinism
 regression in tests/test_sweep.py leans on this.
@@ -20,8 +32,10 @@ regression in tests/test_sweep.py leans on this.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..sim.metrics import RunSummary
@@ -29,9 +43,36 @@ from .spec import RunSpec
 
 STORE_VERSION = 1
 
+CHECKSUM_FIELD = "row_sha256"
+
 
 class StoreError(ValueError):
     """A store file exists but cannot be parsed."""
+
+
+def row_checksum(row: dict) -> str:
+    """SHA-256 over a row's canonical JSON, excluding the checksum field."""
+    payload = {k: v for k, v in row.items() if k != CHECKSUM_FIELD}
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()
+
+
+@dataclass
+class StoreReport:
+    """What :meth:`ResultStore.verify` found in one pass over the file."""
+
+    lines: int = 0
+    rows: int = 0
+    legacy_rows: int = 0  # valid rows predating checksums
+    torn_lines: int = 0  # unparseable JSON or rows without a spec_hash
+    checksum_mismatches: int = 0
+    unique_hashes: int = 0
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.torn_lines == 0 and self.checksum_mismatches == 0
 
 
 class ResultStore:
@@ -40,6 +81,8 @@ class ResultStore:
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self.skipped_rows = 0
+        self._cache_sig: tuple | None = None
+        self._cache: dict[str, RunSummary] = {}
 
     def exists(self) -> bool:
         """Whether the backing file exists."""
@@ -49,14 +92,34 @@ class ResultStore:
     # reading
     # ------------------------------------------------------------------
 
+    def _decode_line(self, line: str) -> tuple[dict | None, str | None]:
+        """(row, problem) for one stripped line; row is None when bad.
+
+        A row that parses but fails its checksum is returned as
+        ``(None, reason)`` too: a corrupted row must never be served, only
+        re-run.  Legacy rows (no checksum field) pass with ``problem``
+        None — :meth:`verify` counts them separately via the field test.
+        """
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as exc:
+            return None, f"not valid JSON ({exc})"
+        if not isinstance(row, dict) or "spec_hash" not in row:
+            return None, "row has no spec_hash"
+        stored = row.get(CHECKSUM_FIELD)
+        if stored is not None and stored != row_checksum(row):
+            return None, "row checksum mismatch (torn or corrupted row)"
+        return row, None
+
     def rows(self, strict: bool = False) -> list[dict]:
         """All valid rows in file order (empty when the file is absent).
 
-        Torn lines — a sweep killed mid-append, or interleaved writes from
-        concurrent sweeps — are skipped (counted in ``skipped_rows``) so an
-        interrupted sweep stays resumable; the affected runs simply re-run.
-        ``strict=True`` raises :class:`StoreError` on the first bad line
-        instead, for integrity checks.
+        Torn lines — a sweep killed mid-append, interleaved writes from
+        concurrent sweeps, or rows whose checksum no longer matches — are
+        skipped (counted in ``skipped_rows``) so an interrupted sweep
+        stays resumable; the affected runs simply re-run.  ``strict=True``
+        raises :class:`StoreError` on the first bad line instead, for
+        integrity checks.
         """
         self.skipped_rows = 0
         if not self.path.exists():
@@ -67,32 +130,113 @@ class ResultStore:
                 line = line.strip()
                 if not line:
                     continue
-                try:
-                    row = json.loads(line)
-                except json.JSONDecodeError as exc:
+                row, problem = self._decode_line(line)
+                if row is None:
                     if strict:
                         raise StoreError(
-                            f"{self.path}:{line_number}: not valid JSON "
-                            f"({exc})"
-                        ) from None
-                    self.skipped_rows += 1
-                    continue
-                if not isinstance(row, dict) or "spec_hash" not in row:
-                    if strict:
-                        raise StoreError(
-                            f"{self.path}:{line_number}: row has no spec_hash"
+                            f"{self.path}:{line_number}: {problem}"
                         )
                     self.skipped_rows += 1
                     continue
                 rows.append(row)
         return rows
 
+    def verify(self) -> StoreReport:
+        """One full integrity pass: per-line verdicts, never raises.
+
+        The report distinguishes torn lines (unparseable) from checksum
+        mismatches (parseable but corrupted) from legacy rows (valid,
+        written before checksums existed), with ``path:line`` locations
+        for everything wrong — the engine behind ``repro store verify``.
+        """
+        report = StoreReport()
+        if not self.path.exists():
+            return report
+        hashes: set[str] = set()
+        with self.path.open() as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                report.lines += 1
+                row, problem = self._decode_line(line)
+                if row is None:
+                    if "checksum" in (problem or ""):
+                        report.checksum_mismatches += 1
+                    else:
+                        report.torn_lines += 1
+                    report.problems.append(
+                        f"{self.path}:{line_number}: {problem}"
+                    )
+                    continue
+                report.rows += 1
+                if CHECKSUM_FIELD not in row:
+                    report.legacy_rows += 1
+                hashes.add(row["spec_hash"])
+        report.unique_hashes = len(hashes)
+        return report
+
+    def content_digest(self) -> str:
+        """SHA-256 over the store's *logical* content.
+
+        Last row per hash, sorted by hash, with the volatile fields
+        (``elapsed_s`` wall-clock, the checksum that covers it) excluded —
+        so two stores that hold the same results digest identically no
+        matter what order the rows landed in, how many superseded
+        duplicates remain, or how long each run took.  This is the
+        equality the chaos-convergence contract is stated in: a crashed,
+        retried, resumed sweep must reach the same digest as an
+        undisturbed serial run.
+        """
+        latest: dict[str, dict] = {}
+        for row in self.rows():
+            latest[row["spec_hash"]] = row
+        digest = hashlib.sha256()
+        for spec_hash in sorted(latest):
+            row = {
+                k: v
+                for k, v in latest[spec_hash].items()
+                if k not in ("elapsed_s", CHECKSUM_FIELD)
+            }
+            digest.update(json.dumps(row, sort_keys=True).encode())
+            digest.update(b"\n")
+        return digest.hexdigest()
+
+    def _stat_sig(self) -> tuple | None:
+        try:
+            stat = self.path.stat()
+        except FileNotFoundError:
+            return None
+        return (stat.st_mtime_ns, stat.st_size, stat.st_ino)
+
+    def _summaries(self) -> dict[str, RunSummary]:
+        """The {hash: summary} index, parsed at most once per file state.
+
+        Cached against the file's (mtime, size, inode) signature:
+        repeated :meth:`get` calls cost one :meth:`rows` pass total, while
+        an append from another process changes the signature and triggers
+        a reparse.  :meth:`put` and :meth:`compact` invalidate explicitly.
+        """
+        sig = self._stat_sig()
+        if sig is None:
+            self._cache_sig = None
+            self._cache = {}
+            return self._cache
+        if sig != self._cache_sig:
+            self._cache = {
+                row["spec_hash"]: RunSummary.from_dict(row["summary"])
+                for row in self.rows()
+            }
+            self._cache_sig = sig
+        return self._cache
+
+    def _invalidate(self) -> None:
+        self._cache_sig = None
+        self._cache = {}
+
     def load(self) -> dict[str, RunSummary]:
         """{spec_hash: summary} with the last line winning per hash."""
-        results: dict[str, RunSummary] = {}
-        for row in self.rows():
-            results[row["spec_hash"]] = RunSummary.from_dict(row["summary"])
-        return results
+        return dict(self._summaries())
 
     def load_specs(self) -> dict[str, RunSpec]:
         """{spec_hash: spec} for every stored row carrying a spec."""
@@ -104,11 +248,11 @@ class ResultStore:
 
     def completed_hashes(self) -> set[str]:
         """Hashes with at least one stored summary."""
-        return {row["spec_hash"] for row in self.rows()}
+        return set(self._summaries())
 
     def get(self, spec: RunSpec) -> RunSummary | None:
-        """The stored summary for one spec, if any."""
-        return self.load().get(spec.content_hash)
+        """The stored summary for one spec, if any (cached single pass)."""
+        return self._summaries().get(spec.content_hash)
 
     # ------------------------------------------------------------------
     # writing
@@ -120,7 +264,7 @@ class ResultStore:
         summary: RunSummary,
         elapsed_s: float | None = None,
     ) -> None:
-        """Append one completed run."""
+        """Append one completed run (checksummed)."""
         row = {
             "spec_hash": spec.content_hash,
             "spec": spec.to_dict(),
@@ -128,6 +272,7 @@ class ResultStore:
             "elapsed_s": elapsed_s,
             "store_version": STORE_VERSION,
         }
+        row[CHECKSUM_FIELD] = row_checksum(row)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         data = (json.dumps(row, sort_keys=True) + "\n").encode()
         # One O_APPEND write(2) per row: concurrent sweeps append whole
@@ -137,20 +282,41 @@ class ResultStore:
             os.write(fd, data)
         finally:
             os.close(fd)
+        self._invalidate()
 
     def compact(self) -> int:
-        """Rewrite the file keeping only the last row per hash.
+        """Atomically rewrite the file in canonical form.
 
-        Returns the number of rows dropped.  Useful after repeated
-        re-sweeps of the same grid.
+        Canonical form: the last row per hash, sorted by hash, every row
+        checksummed (legacy rows are upgraded), torn lines dropped.
+        Returns the number of rows dropped (superseded duplicates plus
+        torn lines).  The rewrite goes through a sibling temp file, fsync,
+        and ``os.replace`` — a crash at any instant leaves either the
+        original file or the finished replacement, never a torn store
+        (the crash-simulation test in tests/test_sweep.py interrupts the
+        write and checks exactly this).
         """
         rows = self.rows()
+        torn = self.skipped_rows
         latest: dict[str, dict] = {}
+        needs_rewrite = torn > 0
         for row in rows:
             latest[row["spec_hash"]] = row
-        dropped = len(rows) - len(latest)
-        if dropped:
-            with self.path.open("w") as handle:
-                for row in latest.values():
+            if CHECKSUM_FIELD not in row:
+                needs_rewrite = True
+        dropped = len(rows) - len(latest) + torn
+        ordered_hashes = sorted(latest)
+        if list(latest) != ordered_hashes:
+            needs_rewrite = True
+        if dropped or needs_rewrite:
+            tmp_path = self.path.with_suffix(".tmp")
+            with tmp_path.open("w") as handle:
+                for spec_hash in ordered_hashes:
+                    row = dict(latest[spec_hash])
+                    row[CHECKSUM_FIELD] = row_checksum(row)
                     handle.write(json.dumps(row, sort_keys=True) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, self.path)
+            self._invalidate()
         return dropped

@@ -510,6 +510,183 @@ class TestResultStore:
             store.rows(strict=True)
 
 
+class TestStoreIntegrity:
+    """Per-row checksums, atomic compaction, and the content digest
+    (DESIGN.md §13)."""
+
+    def test_every_written_row_is_checksummed(self, tmp_path):
+        from repro.sweep.store import CHECKSUM_FIELD, row_checksum
+
+        store = ResultStore(tmp_path / "s.jsonl")
+        for seed in (1, 2):
+            spec = tiny_spec(seed=seed)
+            store.put(spec, execute_spec(spec))
+        report = store.verify()
+        assert report.ok
+        assert report.rows == report.lines == report.unique_hashes == 2
+        assert report.legacy_rows == 0
+        for row in store.rows():
+            assert row[CHECKSUM_FIELD] == row_checksum(row)
+
+    def test_corrupted_row_detected_and_never_served(self, tmp_path):
+        """A bit flip inside a stored summary must read as corruption, not
+        as a subtly wrong result."""
+        store = ResultStore(tmp_path / "s.jsonl")
+        spec = tiny_spec()
+        store.put(spec, execute_spec(spec))
+        row = json.loads(store.path.read_text())
+        row["summary"]["flows_completed"] = 10**9  # silent data corruption
+        store.path.write_text(json.dumps(row, sort_keys=True) + "\n")
+        assert store.rows() == []  # lenient: skipped, will re-run
+        assert store.skipped_rows == 1
+        assert store.get(spec) is None
+        report = store.verify()
+        assert not report.ok
+        assert report.checksum_mismatches == 1
+        assert report.torn_lines == 0
+        assert "s.jsonl:1" in report.problems[0]
+        with pytest.raises(StoreError, match="checksum"):
+            store.rows(strict=True)
+
+    def test_legacy_rows_load_and_compact_upgrades_them(self, tmp_path):
+        from repro.sweep.store import CHECKSUM_FIELD
+
+        store = ResultStore(tmp_path / "s.jsonl")
+        spec = tiny_spec()
+        summary = execute_spec(spec)
+        store.put(spec, summary)
+        row = json.loads(store.path.read_text())
+        del row[CHECKSUM_FIELD]  # a row written before checksums existed
+        store.path.write_text(json.dumps(row, sort_keys=True) + "\n")
+        assert store.get(spec).to_dict() == summary.to_dict()
+        assert store.verify().legacy_rows == 1
+        store.compact()
+        report = store.verify()
+        assert report.legacy_rows == 0 and report.ok
+        assert store.get(spec).to_dict() == summary.to_dict()
+
+    def test_compact_canonicalizes_order_and_drops_torn_lines(
+        self, tmp_path
+    ):
+        store = ResultStore(tmp_path / "s.jsonl")
+        specs = [tiny_spec(seed=seed) for seed in (5, 1, 3)]
+        for spec in specs:
+            store.put(spec, execute_spec(spec))
+        with store.path.open("a") as handle:
+            handle.write('{"torn": ')
+        assert store.compact() == 1  # the torn line
+        hashes = [row["spec_hash"] for row in store.rows()]
+        assert hashes == sorted(hashes)
+        assert store.verify().ok
+        # Already-canonical stores are left untouched (no rewrite).
+        sig_before = store.path.stat().st_mtime_ns
+        assert store.compact() == 0
+        assert store.path.stat().st_mtime_ns == sig_before
+
+    def test_compact_is_atomic_under_crash(self, tmp_path, monkeypatch):
+        """A crash at any point during compact() leaves the original store
+        fully intact — never a half-written file."""
+        import os as os_module
+
+        store = ResultStore(tmp_path / "s.jsonl")
+        spec = tiny_spec()
+        summary = execute_spec(spec)
+        store.put(spec, summary)
+        store.put(spec, summary)  # duplicate: compact has work to do
+        before = store.path.read_bytes()
+
+        def boom(*args):
+            raise OSError("simulated crash")
+
+        # Crash while flushing the temp file, before the swap.
+        with monkeypatch.context() as m:
+            m.setattr("repro.sweep.store.os.fsync", boom)
+            with pytest.raises(OSError, match="simulated crash"):
+                store.compact()
+        assert store.path.read_bytes() == before
+        assert store.get(spec).to_dict() == summary.to_dict()
+
+        # Crash at the atomic swap itself.
+        real_replace = os_module.replace
+        with monkeypatch.context() as m:
+            m.setattr("repro.sweep.store.os.replace", boom)
+            with pytest.raises(OSError, match="simulated crash"):
+                store.compact()
+        assert store.path.read_bytes() == before
+        assert real_replace is os_module.replace  # patch scoped correctly
+
+        # With the "crashes" over, compaction completes and verifies.
+        assert store.compact() == 1
+        assert store.verify().ok
+        assert not store.path.with_suffix(".tmp").exists()
+        assert store.get(spec).to_dict() == summary.to_dict()
+
+    def test_content_digest_ignores_order_duplicates_and_elapsed(
+        self, tmp_path
+    ):
+        spec_a, spec_b = tiny_spec(seed=1), tiny_spec(seed=2)
+        summary_a, summary_b = execute_spec(spec_a), execute_spec(spec_b)
+
+        one = ResultStore(tmp_path / "one.jsonl")
+        one.put(spec_a, summary_a, elapsed_s=0.5)
+        one.put(spec_b, summary_b, elapsed_s=0.1)
+
+        other = ResultStore(tmp_path / "other.jsonl")
+        other.put(spec_b, summary_b, elapsed_s=9.9)
+        other.put(spec_a, summary_a, elapsed_s=1.5)
+        other.put(spec_a, summary_a, elapsed_s=2.5)  # superseded duplicate
+
+        assert one.content_digest() == other.content_digest()
+
+        # But an actual result difference changes the digest.
+        differs = ResultStore(tmp_path / "differs.jsonl")
+        mutated = RunSummary.from_dict(summary_a.to_dict())
+        mutated.extra["marker"] = 1
+        differs.put(spec_a, mutated, elapsed_s=0.5)
+        differs.put(spec_b, summary_b, elapsed_s=0.1)
+        assert differs.content_digest() != one.content_digest()
+
+    def test_get_is_one_parse_per_file_state(self, tmp_path, monkeypatch):
+        """The lookup path must not re-read the whole file per call: a
+        batch of get()s costs one rows() pass, and only a file change
+        (our put, or another process appending) triggers a reparse."""
+        specs = [tiny_spec(seed=seed) for seed in (1, 2, 3)]
+        summaries = {s.content_hash: execute_spec(s) for s in specs}
+        writer = ResultStore(tmp_path / "s.jsonl")
+        for spec in specs:
+            writer.put(spec, summaries[spec.content_hash])
+
+        parses = 0
+        real_rows = ResultStore.rows
+
+        def counting_rows(self, strict=False):
+            nonlocal parses
+            parses += 1
+            return real_rows(self, strict)
+
+        monkeypatch.setattr(ResultStore, "rows", counting_rows)
+        store = ResultStore(tmp_path / "s.jsonl")
+        for spec in specs:
+            assert store.get(spec) is not None
+        store.completed_hashes()
+        store.load()
+        assert parses == 1
+
+        # Our own append invalidates: exactly one more parse.
+        extra = tiny_spec(seed=4)
+        store.put(extra, execute_spec(extra))
+        assert store.get(extra) is not None
+        assert parses == 2
+        store.get(specs[0])
+        assert parses == 2
+
+        # An append from another process changes the stat signature.
+        foreign = tiny_spec(seed=5)
+        writer.put(foreign, execute_spec(foreign))
+        assert store.get(foreign) is not None
+        assert parses == 3
+
+
 # ---------------------------------------------------------------------------
 # the runner: determinism and resume
 # ---------------------------------------------------------------------------
@@ -786,3 +963,84 @@ class TestSweepCli:
         assert second.returncode == 0, second.stderr
         assert "0 simulations executed" in second.stderr
         assert json.loads(second.stdout) == json.loads(first.stdout)
+
+
+class TestStoreCli:
+    """``repro store verify`` / ``repro store compact``."""
+
+    def seeded_store(self, tmp_path) -> str:
+        path = str(tmp_path / "s.jsonl")
+        proc = run_cli(
+            "sweep", "--scale", "tiny", "--scenario", "poisson",
+            "--load", "0.1", "--load", "0.25",
+            "--duration-ms", "0.15", "--store", path,
+        )
+        assert proc.returncode == 0, proc.stderr
+        return path
+
+    def test_verify_ok_with_digest(self, tmp_path):
+        path = self.seeded_store(tmp_path)
+        proc = run_cli("store", "verify", path, "--digest")
+        assert proc.returncode == 0, proc.stderr
+        assert "2 valid row(s), 2 unique spec(s)" in proc.stdout
+        assert "content digest: " in proc.stdout
+        digest = proc.stdout.rsplit("content digest: ", 1)[1].strip()
+        assert digest == ResultStore(path).content_digest()
+
+    def test_verify_reports_corruption_and_compact_heals(self, tmp_path):
+        path = self.seeded_store(tmp_path)
+        with open(path, "a") as handle:
+            handle.write('{"spec_hash": "torn-off-mid')
+        proc = run_cli("store", "verify", path)
+        assert proc.returncode == 1
+        assert "BAD" in proc.stdout
+        assert "torn line(s)" in proc.stderr
+        compacted = run_cli("store", "compact", path)
+        assert compacted.returncode == 0, compacted.stderr
+        assert "1 row(s) dropped" in compacted.stdout
+        assert "2 row(s) kept" in compacted.stdout
+        healed = run_cli("store", "verify", path)
+        assert healed.returncode == 0
+        assert "2 valid row(s)" in healed.stdout
+
+    def test_verify_missing_store_is_usage_error(self, tmp_path):
+        proc = run_cli("store", "verify", str(tmp_path / "absent.jsonl"))
+        assert proc.returncode == 2
+        assert "no such store" in proc.stderr
+
+
+class TestSweepCliResilience:
+    """The fault-tolerance flags, minus chaos (chaos CLI runs live in
+    tests/test_chaos.py)."""
+
+    def test_negative_retries_rejected(self, tmp_path):
+        proc = run_cli(
+            "sweep", "--scale", "tiny", "--load", "0.1",
+            "--duration-ms", "0.15",
+            "--store", str(tmp_path / "s.jsonl"), "--retries", "-1",
+        )
+        assert proc.returncode == 2
+        assert "--retries" in proc.stderr
+
+    def test_quarantine_without_default_path_still_derives_sidecar(
+        self, tmp_path
+    ):
+        """--on-error quarantine with only a store derives the sidecar
+        path; a clean sweep leaves no sidecar behind."""
+        store = str(tmp_path / "s.jsonl")
+        proc = run_cli(
+            "sweep", "--scale", "tiny", "--load", "0.1",
+            "--duration-ms", "0.15", "--store", store,
+            "--on-error", "quarantine", "--retries", "1",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert not (tmp_path / "s.quarantine.jsonl").exists()
+
+    def test_zero_timeout_rejected(self, tmp_path):
+        proc = run_cli(
+            "sweep", "--scale", "tiny", "--load", "0.1",
+            "--duration-ms", "0.15",
+            "--store", str(tmp_path / "s.jsonl"), "--timeout-s", "0",
+        )
+        assert proc.returncode == 2
+        assert "timeout_s" in proc.stderr
