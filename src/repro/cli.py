@@ -28,7 +28,11 @@ Commands:
   every row's checksum and reports torn lines, ``compact`` atomically
   rewrites the store in canonical deduplicated form.
 * ``bench`` — the engine hot-path benchmark suite behind BENCH_engine.json
-  (DESIGN.md section 10).
+  (DESIGN.md section 10); ``--profile`` prints per-phase wall-time
+  breakdowns via the telemetry tracer.
+* ``trace`` — analyze a telemetry JSONL captured with ``sweep
+  --telemetry``: per-phase time shares, slowest specs, retry histograms,
+  queue-depth percentiles (DESIGN.md section 14).
 
 Examples::
 
@@ -48,6 +52,10 @@ Examples::
     python -m repro store compact campaign.jsonl
     python -m repro bench --scenario sparse --fabric 64x8
     python -m repro bench --check 0.5   # fail if any scenario regressed 2x
+    python -m repro sweep --scale tiny --jobs 4 --telemetry events.jsonl \\
+        --progress --store campaign.jsonl
+    python -m repro trace events.jsonl          # phase shares, retries, ETA
+    python -m repro bench --profile --scenario incast --fabric 16x4
 """
 
 from __future__ import annotations
@@ -257,6 +265,29 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list registered scenarios and their parameters, then exit",
     )
+    sweep.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="stream schema-versioned telemetry events (engine spans, "
+        "counters, gauges, worker heartbeats, campaign lifecycle) to this "
+        "JSONL file; analyze it afterwards with 'repro trace'",
+    )
+    sweep.add_argument(
+        "--telemetry-cadence-us",
+        type=float,
+        default=50.0,
+        metavar="US",
+        help="sim-time gauge sampling cadence in microseconds "
+        "(default 50)",
+    )
+    sweep.add_argument(
+        "--progress",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="live progress/ETA line on stderr (default: on when stderr "
+        "is a TTY)",
+    )
 
     store = sub.add_parser(
         "store",
@@ -443,6 +474,36 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="RATIO",
         help="exit non-zero if any scenario runs slower than RATIO x baseline",
+    )
+    bench.add_argument(
+        "--profile",
+        action="store_true",
+        help="trace the hot-path run and print a per-phase wall-time "
+        "breakdown per scenario (not comparable to recorded baselines)",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="analyze a telemetry JSONL file from 'sweep --telemetry'",
+    )
+    trace.add_argument("path", help="telemetry events JSONL file")
+    trace.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the analysis as structured JSON",
+    )
+    trace.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        metavar="N",
+        help="how many slowest specs to report (default 5)",
+    )
+    trace.add_argument(
+        "--validate",
+        action="store_true",
+        help="strictly validate every event against the schema; exit 1 "
+        "on any violation or torn line",
     )
     return parser
 
@@ -770,13 +831,21 @@ def cmd_sweep(args) -> int:
     if args.retries < 0:
         print("--retries must be non-negative", file=sys.stderr)
         return 2
+    if args.telemetry_cadence_us <= 0:
+        print("--telemetry-cadence-us must be positive", file=sys.stderr)
+        return 2
+    # Default: live progress only when someone is watching stderr.
+    progress = (
+        args.progress if args.progress is not None else sys.stderr.isatty()
+    )
     store = ResultStore(args.store)
     try:
         runner = SweepRunner(
             jobs=args.jobs,
             store=store,
             resume=args.resume,
-            verbose=not args.json,
+            # Logs go to stderr, so verbose no longer corrupts --json stdout.
+            verbose=True,
             timeout_s=args.timeout_s,
             retry=RetryPolicy(
                 max_attempts=args.retries + 1,
@@ -784,6 +853,9 @@ def cmd_sweep(args) -> int:
             ),
             on_error=args.on_error,
             quarantine=args.quarantine,
+            telemetry=args.telemetry,
+            telemetry_cadence_ns=int(args.telemetry_cadence_us * 1000),
+            progress=progress,
         )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
@@ -802,17 +874,46 @@ def cmd_sweep(args) -> int:
         return 130
 
     failed = sorted(runner.failed_hashes())
+    manifest_path = None
+    if runner.telemetry_path is not None:
+        from pathlib import Path
+
+        from .telemetry import default_manifest_path, write_manifest
+
+        manifest_path = default_manifest_path(Path(args.store))
+        write_manifest(manifest_path, runner.build_manifest())
     if args.json:
-        rows = [
-            {
-                "spec_hash": spec.content_hash,
-                "spec": spec.to_dict(),
-                "summary": summaries[spec.content_hash].to_dict(),
-            }
-            for spec in specs
-            if spec.content_hash in summaries
-        ]
-        payload = {"scale": scale.name, "runs": rows}
+        rows = []
+        for spec in specs:
+            if spec.content_hash not in summaries:
+                continue
+            outcome = runner.outcomes.get(spec.content_hash)
+            rows.append(
+                {
+                    "spec_hash": spec.content_hash,
+                    "spec": spec.to_dict(),
+                    "summary": summaries[spec.content_hash].to_dict(),
+                    "cached": spec.content_hash in runner.cached_hashes,
+                    "attempts": outcome.attempts if outcome else 0,
+                    "attempt_statuses": (
+                        list(outcome.attempt_statuses) if outcome else []
+                    ),
+                }
+            )
+        payload = {
+            "scale": scale.name,
+            "runs": rows,
+            "totals": {
+                "specs": len(specs),
+                "executed": runner.executed,
+                "cached": runner.cached,
+                "retried": sum(
+                    1 for o in runner.outcomes.values() if o.attempts > 1
+                ),
+                "quarantined": len(runner.quarantined_hashes()),
+                "failed": len(failed),
+            },
+        }
         if failed:
             payload["failures"] = [
                 runner.outcomes[spec_hash].to_dict() for spec_hash in failed
@@ -856,6 +957,12 @@ def cmd_sweep(args) -> int:
         f"{runner.cached} cached (store: {args.store})",
         file=status,
     )
+    if manifest_path is not None:
+        print(
+            f"telemetry: {runner.telemetry_path} "
+            f"(manifest: {manifest_path})",
+            file=status,
+        )
     if failed:
         where = (
             f" (quarantined to {runner.quarantine.path})"
@@ -1096,6 +1203,12 @@ def cmd_bench(args) -> int:
                 return 2
             fabrics.append((tors, ports))
     if args.scale:
+        if args.profile:
+            print(
+                "--profile only applies to the hot-path suite (not --scale)",
+                file=sys.stderr,
+            )
+            return 2
         return cmd_bench_scale(args, fabrics)
     for flag, name in ((args.flows, "--flows"), (args.budget_s, "--budget-s"),
                        (args.scale_load, "--scale-load"),
@@ -1108,8 +1221,19 @@ def cmd_bench(args) -> int:
         return 2
     if _reject_unknown(args.scenarios or [], perf.SCENARIOS, "scenario"):
         return 2
+    if args.profile and (
+        args.record or args.update_baseline or args.check is not None
+    ):
+        print(
+            "--profile runs are not comparable to baselines; drop "
+            "--record/--update-baseline/--check",
+            file=sys.stderr,
+        )
+        return 2
 
     bench = perf.BenchFile.load(args.bench_file)
+    if args.profile:
+        return _bench_profile(args, bench, fabrics)
     results = perf.run_suite(
         args.scenarios, fabrics, fast_forward=not args.no_fast_forward
     )
@@ -1163,6 +1287,95 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def _bench_profile(args, bench, fabrics) -> int:
+    """bench --profile: trace each run, print per-phase wall-time shares."""
+    from . import perf
+    from .telemetry import EngineTracer, MemorySink
+
+    names = args.scenarios or sorted(perf.SCENARIOS)
+    fabric_list = fabrics or list(perf.FABRICS)
+    results = []
+    profiles = []
+    for name in names:
+        for tors, ports in fabric_list:
+            # One sink per run; an effectively-infinite cadence keeps the
+            # tracer out of the gauge path, so only the span timers run.
+            sink = MemorySink()
+            tracer = EngineTracer(
+                sink, "negotiator", cadence_ns=1 << 62
+            )
+            result = perf.run_scenario(
+                name,
+                tors,
+                ports,
+                fast_forward=not args.no_fast_forward,
+                tracer=tracer,
+            )
+            results.append(result)
+            profiles.append((result, sink.of_kind("run-end")[-1]))
+    print(perf.format_results(results, bench))
+    for result, run_end in profiles:
+        spans = run_end["spans"]
+        counters = run_end["counters"]
+        traced = sum(spans.values())
+        denominator = traced or 1.0
+        print(
+            f"\n{result.key}: phase breakdown "
+            f"({traced:.3f}s traced of {result.wall_s:.3f}s wall)"
+        )
+        for phase, wall in sorted(spans.items(), key=lambda kv: -kv[1]):
+            print(
+                f"  {phase:<12} {wall:>9.4f}s  "
+                f"{wall / denominator * 100:>5.1f}%"
+            )
+        if counters:
+            tally = ", ".join(
+                f"{name}={total}" for name, total in sorted(counters.items())
+            )
+            print(f"  counters: {tally}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from pathlib import Path
+
+    from .telemetry import analyze, format_trace, read_events, validate_event
+
+    path = Path(args.path)
+    if not path.exists():
+        print(f"no such telemetry file: {path}", file=sys.stderr)
+        return 2
+    if args.top < 1:
+        print("--top must be at least 1", file=sys.stderr)
+        return 2
+    events, torn = read_events(path)
+    if args.validate:
+        violations = [
+            f"event {index}: {problem}"
+            for index, event in enumerate(events)
+            for problem in validate_event(event)
+        ]
+        for line in violations[:20]:
+            print(line, file=sys.stderr)
+        if len(violations) > 20:
+            print(f"... {len(violations) - 20} more", file=sys.stderr)
+        if torn:
+            print(f"{torn} torn line(s)", file=sys.stderr)
+        if violations or torn:
+            return 1
+        print(f"{len(events)} event(s), schema valid, 0 torn lines")
+        return 0
+    analysis = analyze(events, top=args.top)
+    analysis["torn_lines"] = torn
+    if args.json:
+        print(json.dumps(analysis, indent=2))
+    else:
+        print(format_trace(analysis))
+        if torn:
+            print(f"warning: {torn} torn line(s) ignored", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
@@ -1189,6 +1402,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_simulate(args)
     if args.command == "bench":
         return cmd_bench(args)
+    if args.command == "trace":
+        return cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -156,6 +156,30 @@ class RunArtifacts:
     bandwidth: BandwidthRecorder | None = None
 
 
+def _run_registered(sim, duration, until_complete, max_ns):
+    """Drive one simulator to completion, visible to worker heartbeats.
+
+    The active-simulator registration is what lets the sweep heartbeat
+    thread (DESIGN.md §14) report sim-time/flow progress while the run
+    loop below is busy; it costs one lock acquisition per *run*, not per
+    epoch.
+    """
+    from ..telemetry.heartbeat import (
+        clear_active_simulator,
+        set_active_simulator,
+    )
+
+    set_active_simulator(sim)
+    try:
+        if until_complete:
+            sim.run_until_complete(max_ns=max_ns or 100 * duration)
+            return sim.summary(sim.now_ns)
+        sim.run(duration)
+        return sim.summary(duration)
+    finally:
+        clear_active_simulator()
+
+
 def run_negotiator(
     scale: ExperimentScale,
     topology_kind: str,
@@ -175,11 +199,13 @@ def run_negotiator(
     until_complete: bool = False,
     max_ns: float | None = None,
     stream: bool = False,
+    tracer=None,
 ) -> RunArtifacts:
     """Run NegotiaToR on a workload and collect artifacts.
 
     ``stream=True`` consumes ``flows`` as a lazy arrival-ordered iterator
-    with a bounded-memory tracker (DESIGN.md §11).
+    with a bounded-memory tracker (DESIGN.md §11).  ``tracer`` is an
+    optional :class:`~repro.telemetry.EngineTracer` (DESIGN.md §14).
     """
     if config is None:
         overrides: dict = {"priority_queue_enabled": priority_queue}
@@ -210,14 +236,10 @@ def run_negotiator(
         bandwidth_recorder=bandwidth,
         record_pair_bandwidth=record_pair_bandwidth,
         stream=stream,
+        tracer=tracer,
     )
     duration = duration_ns if duration_ns is not None else scale.duration_ns
-    if until_complete:
-        sim.run_until_complete(max_ns=max_ns or 100 * duration)
-        summary = sim.summary(sim.now_ns)
-    else:
-        sim.run(duration)
-        summary = sim.summary(duration)
+    summary = _run_registered(sim, duration, until_complete, max_ns)
     return RunArtifacts(
         summary=summary,
         simulator=sim,
@@ -235,6 +257,7 @@ def run_relay(
     relay_policy=None,
     until_complete: bool = False,
     max_ns: float | None = None,
+    tracer=None,
 ) -> RunArtifacts:
     """Run the selective-relay variant (thin-clos only, appendix A.2.2)."""
     from ..core.relay import SelectiveRelaySimulator
@@ -243,15 +266,10 @@ def run_relay(
         config = sim_config(scale)
     topology = make_topology(scale, "thinclos")
     sim = SelectiveRelaySimulator(
-        config, topology, flows, relay_policy=relay_policy
+        config, topology, flows, relay_policy=relay_policy, tracer=tracer
     )
     duration = duration_ns if duration_ns is not None else scale.duration_ns
-    if until_complete:
-        sim.run_until_complete(max_ns=max_ns or 100 * duration)
-        summary = sim.summary(sim.now_ns)
-    else:
-        sim.run(duration)
-        summary = sim.summary(duration)
+    summary = _run_registered(sim, duration, until_complete, max_ns)
     return RunArtifacts(summary=summary, simulator=sim)
 
 
@@ -267,6 +285,7 @@ def run_oblivious(
     until_complete: bool = False,
     max_ns: float | None = None,
     stream: bool = False,
+    tracer=None,
 ) -> RunArtifacts:
     """Run the traffic-oblivious baseline on a workload.
 
@@ -280,15 +299,15 @@ def run_oblivious(
         BandwidthRecorder(bandwidth_bin_ns) if bandwidth_bin_ns else None
     )
     sim = ObliviousSimulator(
-        config, topology, flows, bandwidth_recorder=bandwidth, stream=stream
+        config,
+        topology,
+        flows,
+        bandwidth_recorder=bandwidth,
+        stream=stream,
+        tracer=tracer,
     )
     duration = duration_ns if duration_ns is not None else scale.duration_ns
-    if until_complete:
-        sim.run_until_complete(max_ns=max_ns or 100 * duration)
-        summary = sim.summary(sim.now_ns)
-    else:
-        sim.run(duration)
-        summary = sim.summary(duration)
+    summary = _run_registered(sim, duration, until_complete, max_ns)
     return RunArtifacts(summary=summary, simulator=sim, bandwidth=bandwidth)
 
 
@@ -307,6 +326,7 @@ def run_rotor(
     until_complete: bool = False,
     max_ns: float | None = None,
     stream: bool = False,
+    tracer=None,
 ) -> RunArtifacts:
     """Run the RotorNet-style rotor baseline on a workload.
 
@@ -332,14 +352,10 @@ def run_rotor(
         failure_plan=failure_plan,
         bandwidth_recorder=bandwidth,
         stream=stream,
+        tracer=tracer,
     )
     duration = duration_ns if duration_ns is not None else scale.duration_ns
-    if until_complete:
-        sim.run_until_complete(max_ns=max_ns or 100 * duration)
-        summary = sim.summary(sim.now_ns)
-    else:
-        sim.run(duration)
-        summary = sim.summary(duration)
+    summary = _run_registered(sim, duration, until_complete, max_ns)
     return RunArtifacts(summary=summary, simulator=sim, bandwidth=bandwidth)
 
 

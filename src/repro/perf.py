@@ -198,11 +198,14 @@ def run_scenario(
     *,
     epochs: int | None = None,
     fast_forward: bool = True,
+    tracer=None,
 ) -> PerfResult:
     """Build and time one scenario on one fabric; returns a PerfResult.
 
     ``epochs`` overrides the scenario's default budget (used by the smoke
     tests); overridden runs are not comparable to recorded baselines.
+    ``tracer`` (an :class:`repro.telemetry.EngineTracer`) attributes the
+    wall time to engine phases for ``repro bench --profile``.
     """
     try:
         scenario = SCENARIOS[scenario_name]
@@ -217,10 +220,12 @@ def run_scenario(
     ).epoch_ns
     budget = epochs if epochs is not None else scenario.epochs_for(num_tors)
     flows = scenario.build_flows(num_tors, budget, epoch_ns)
-    sim = NegotiaToRSimulator(config, topology, flows)
+    sim = NegotiaToRSimulator(config, topology, flows, tracer=tracer)
     duration_ns = budget * epoch_ns
     with Stopwatch() as watch:
         sim.run(duration_ns)
+    if tracer is not None:
+        tracer.finish(int(sim.now_ns))
     simulated = sim.epoch
     skipped = getattr(sim, "fast_forwarded_epochs", 0)
     summary = sim.summary(duration_ns)

@@ -35,6 +35,7 @@ from __future__ import annotations
 import math
 import random
 from collections.abc import Iterable
+from time import perf_counter
 
 from ..core.matching import Match, NegotiaToRMatcher
 from ..core.pipeline import PipelinedScheduler
@@ -64,6 +65,7 @@ class NegotiaToRSimulator:
         bandwidth_recorder: BandwidthRecorder | None = None,
         record_pair_bandwidth: bool = False,
         stream: bool = False,
+        tracer=None,
     ) -> None:
         if topology.num_tors != config.num_tors:
             raise ValueError("topology and config disagree on num_tors")
@@ -103,6 +105,11 @@ class NegotiaToRSimulator:
         self.match_recorder = match_recorder
         self.bandwidth = bandwidth_recorder
         self._record_pairs = record_pair_bandwidth
+        # Telemetry (DESIGN.md section 14): purely observational — spans,
+        # counters, and cadenced gauges.  Every hook sits behind one
+        # ``is not None`` check so the traced and untraced engines step
+        # through identical simulation state.
+        self._tracer = tracer
 
         # Streaming mode (DESIGN.md section 11): arrivals are pulled from an
         # iterator on demand and the tracker folds completions into online
@@ -320,6 +327,9 @@ class NegotiaToRSimulator:
         epoch = self._epoch
         start_ns = self.now_ns
         timing = self.timing
+        tracer = self._tracer
+        if tracer is not None:
+            t_phase = perf_counter()
 
         self._apply_failure_events(start_ns)
         self.failures.tick_epoch()
@@ -345,13 +355,40 @@ class NegotiaToRSimulator:
         # Arrivals inside the epoch become eligible at their arrival time.
         self._inject_arrivals(start_ns + timing.epoch_ns)
 
+        if tracer is not None:
+            now = perf_counter()
+            tracer.add_span("matching", now - t_phase)
+            t_phase = now
+            tracer.count("epochs")
+            tracer.count(
+                "requests",
+                int(sum(len(dsts) for dsts in fresh_requests.values())),
+            )
+            tracer.count("grants", int(grants_answered))
+            tracer.count("accepts", int(accepts))
+            tracer.count("matches", len(matches))
+
         self._phase_bytes = [0, 0]
         if timing.piggyback_enabled:
             self._run_predefined_phase(epoch, start_ns)
+            if tracer is not None:
+                now = perf_counter()
+                tracer.add_span("piggyback", now - t_phase)
+                t_phase = now
         relay_assignments = self._plan_relay(epoch, start_ns, matches)
+        if tracer is not None:
+            now = perf_counter()
+            tracer.add_span("relay", now - t_phase)
+            t_phase = now
         self._run_scheduled_phase(matches, start_ns)
+        if tracer is not None:
+            now = perf_counter()
+            tracer.add_span("drain", now - t_phase)
+            t_phase = now
         if relay_assignments:
             self._run_relay_transmissions(relay_assignments, matches, start_ns)
+            if tracer is not None:
+                tracer.add_span("relay", perf_counter() - t_phase)
 
         if self._stats is not None:
             self._stats.record(
@@ -369,6 +406,12 @@ class NegotiaToRSimulator:
                 )
             )
         self._epoch += 1
+        if tracer is not None and tracer.gauge_due(int(self.now_ns)):
+            tracer.sample(
+                int(self.now_ns),
+                queued_bytes=self._queued_bytes,
+                active_pairs=len(self._active_pairs),
+            )
         return matches
 
     # ------------------------------------------------------------------

@@ -31,6 +31,7 @@ from __future__ import annotations
 import math
 import random
 from collections.abc import Iterable
+from time import perf_counter
 
 from ..topology.base import FlatTopology
 from .config import SimConfig, transmit_ns
@@ -55,6 +56,7 @@ class ObliviousSimulator:
         flows: Iterable[Flow],
         bandwidth_recorder: BandwidthRecorder | None = None,
         stream: bool = False,
+        tracer=None,
     ) -> None:
         if topology.num_tors != config.num_tors:
             raise ValueError("topology and config disagree on num_tors")
@@ -96,6 +98,9 @@ class ObliviousSimulator:
         self._relay: list[dict[int, PiasDestQueue]] = [{} for _ in range(n)]
         self._relay_pending = [0] * n
         self.bandwidth = bandwidth_recorder
+        # Observational telemetry hooks (DESIGN.md section 14); None keeps
+        # the slot loop branch-free beyond one check.
+        self._tracer = tracer
         self._slot = 0
 
         if config.priority_queue_enabled:
@@ -159,7 +164,12 @@ class ObliviousSimulator:
         """Simulate one rotor timeslot across all ToRs and ports."""
         slot = self._slot
         start_ns = self.now_ns
+        tracer = self._tracer
+        if tracer is not None:
+            t_inject = perf_counter()
         self._inject_arrivals(start_ns)
+        if tracer is not None:
+            tracer.add_span("inject", perf_counter() - t_inject)
 
         topology = self.topology
         cycle_slot = slot % self.cycle_slots
@@ -167,15 +177,53 @@ class ObliviousSimulator:
         deliver_ns = start_ns + self.slot_ns + self.config.propagation_ns
         payload = self.payload_bytes
 
-        for tor in range(self.config.num_tors):
-            for port in range(self.config.ports_per_tor):
-                peer = topology.predefined_peer(tor, port, cycle_slot, cycle)
-                if peer is None:
-                    continue
-                if self._send_relay(tor, peer, payload, start_ns, deliver_ns):
-                    continue
-                self._send_staged(tor, peer, payload, start_ns, deliver_ns)
+        if tracer is None:
+            for tor in range(self.config.num_tors):
+                for port in range(self.config.ports_per_tor):
+                    peer = topology.predefined_peer(
+                        tor, port, cycle_slot, cycle
+                    )
+                    if peer is None:
+                        continue
+                    if self._send_relay(
+                        tor, peer, payload, start_ns, deliver_ns
+                    ):
+                        continue
+                    self._send_staged(tor, peer, payload, start_ns, deliver_ns)
+        else:
+            # Same sends, with per-hop wall-time attribution: second-hop
+            # relay service is "relay", first-hop staged service "drain".
+            for tor in range(self.config.num_tors):
+                for port in range(self.config.ports_per_tor):
+                    peer = topology.predefined_peer(
+                        tor, port, cycle_slot, cycle
+                    )
+                    if peer is None:
+                        continue
+                    t0 = perf_counter()
+                    relayed = self._send_relay(
+                        tor, peer, payload, start_ns, deliver_ns
+                    )
+                    now = perf_counter()
+                    tracer.add_span("relay", now - t0)
+                    if relayed:
+                        tracer.count("relay_cells")
+                        continue
+                    staged = self._send_staged(
+                        tor, peer, payload, start_ns, deliver_ns
+                    )
+                    tracer.add_span("drain", perf_counter() - now)
+                    if staged:
+                        tracer.count("direct_cells")
         self._slot += 1
+        if tracer is not None:
+            tracer.count("slots")
+            if tracer.gauge_due(int(self.now_ns)):
+                tracer.sample(
+                    int(self.now_ns),
+                    queued_bytes=self.total_queued_bytes,
+                    relay_bytes=sum(self._relay_pending),
+                )
 
     # ------------------------------------------------------------------
     # VLB spreading

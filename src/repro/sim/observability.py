@@ -39,13 +39,66 @@ class EpochStats:
 
 @dataclass
 class EpochStatsRecorder:
-    """Collects :class:`EpochStats` over a run."""
+    """Collects :class:`EpochStats` over a run.
+
+    Unbounded by default (every epoch retained).  Long streaming runs can
+    cap residency with ``capacity``:
+
+    * ``mode="ring"`` keeps the **last** ``capacity`` epochs — the right
+      view for "what is the engine doing now".
+    * ``mode="decimate"`` keeps a uniformly-thinned sample of the
+      **whole** run: when the buffer fills, every other retained entry is
+      dropped and the keep-stride doubles, so memory stays within
+      ``capacity`` while ramp-up remains visible.
+
+    Either way ``stats`` stays a plain list of :class:`EpochStats`, so
+    ``series``/``summary`` work unchanged; ``dropped`` counts what was
+    discarded.
+    """
 
     stats: list[EpochStats] = field(default_factory=list)
+    capacity: int | None = None
+    mode: str = "ring"
+    dropped: int = field(default=0, init=False)
+    _seen: int = field(default=0, init=False)
+    _stride: int = field(default=1, init=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity is not None and self.capacity < 2:
+            raise ValueError("capacity must be at least 2")
+        if self.mode not in ("ring", "decimate"):
+            raise ValueError("mode must be 'ring' or 'decimate'")
 
     def record(self, entry: EpochStats) -> None:
-        """Append one epoch's snapshot."""
+        """Append one epoch's snapshot (evicting per the capacity mode)."""
+        self._seen += 1
+        if self.capacity is None:
+            self.stats.append(entry)
+            return
+        if self.mode == "ring":
+            self.stats.append(entry)
+            if len(self.stats) > self.capacity:
+                del self.stats[0]
+                self.dropped += 1
+            return
+        if (self._seen - 1) % self._stride != 0:
+            self.dropped += 1
+            return
         self.stats.append(entry)
+        if len(self.stats) >= self.capacity:
+            self.dropped += len(self.stats) - (len(self.stats) + 1) // 2
+            self.stats = self.stats[::2]
+            self._stride *= 2
+
+    @property
+    def seen(self) -> int:
+        """Epochs offered to the recorder (retained + dropped)."""
+        return self._seen
+
+    @property
+    def stride(self) -> int:
+        """Current decimation keep-stride (1 when not decimating)."""
+        return self._stride
 
     def __len__(self) -> int:
         return len(self.stats)

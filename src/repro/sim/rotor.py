@@ -46,6 +46,7 @@ tests/test_rotor_engine.py pins, with and without link failures).
 from __future__ import annotations
 
 from collections.abc import Iterable
+from time import perf_counter
 
 from ..topology.base import FlatTopology
 from .config import RotorConfig, SimConfig, transmit_ns
@@ -74,6 +75,7 @@ class RotorSimulator:
         failure_plan: FailurePlan | None = None,
         bandwidth_recorder: BandwidthRecorder | None = None,
         stream: bool = False,
+        tracer=None,
     ) -> None:
         if topology.num_tors != config.num_tors:
             raise ValueError("topology and config disagree on num_tors")
@@ -127,6 +129,9 @@ class RotorSimulator:
         self._relay: list[dict[int, PiasDestQueue]] = [{} for _ in range(n)]
         self._relay_pending = [0] * n
         self.bandwidth = bandwidth_recorder
+        # Observational telemetry hooks (DESIGN.md section 14); None keeps
+        # the slice loop branch-free beyond one check.
+        self._tracer = tracer
         self._slice = 0
 
     # ------------------------------------------------------------------
@@ -190,9 +195,14 @@ class RotorSimulator:
         """Simulate one rotor slice across all ToRs and ports."""
         slice_index = self._slice
         start_ns = self.now_ns
+        tracer = self._tracer
+        if tracer is not None:
+            t_inject = perf_counter()
         self._apply_failure_events(start_ns)
         self.failures.tick_epoch()
         self._inject_arrivals(start_ns)
+        if tracer is not None:
+            tracer.add_span("inject", perf_counter() - t_inject)
 
         topology = self.topology
         cycle_slot = slice_index % self.cycle_slots
@@ -201,20 +211,66 @@ class RotorSimulator:
         check = failures.any_failed
         budget = self.rotor.packets_per_slice
 
-        for tor in range(self.config.num_tors):
-            for port in range(self.config.ports_per_tor):
-                peer = topology.predefined_peer(tor, port, cycle_slot, cycle)
-                if peer is None:
-                    continue
-                if check and not failures.transmission_ok(
-                    tor, port, peer, port
-                ):
-                    continue
-                used = self._serve_relay(tor, peer, start_ns, 0, budget)
-                used += self._serve_direct(tor, peer, start_ns, used, budget)
-                if self.rotor.vlb_relay and used < budget:
-                    self._offload_indirect(tor, peer, start_ns, used, budget)
+        if tracer is None:
+            for tor in range(self.config.num_tors):
+                for port in range(self.config.ports_per_tor):
+                    peer = topology.predefined_peer(
+                        tor, port, cycle_slot, cycle
+                    )
+                    if peer is None:
+                        continue
+                    if check and not failures.transmission_ok(
+                        tor, port, peer, port
+                    ):
+                        continue
+                    used = self._serve_relay(tor, peer, start_ns, 0, budget)
+                    used += self._serve_direct(
+                        tor, peer, start_ns, used, budget
+                    )
+                    if self.rotor.vlb_relay and used < budget:
+                        self._offload_indirect(
+                            tor, peer, start_ns, used, budget
+                        )
+        else:
+            # Same service order, with wall time attributed per RotorLB
+            # stage: relay (second hop), drain (direct), offload (VLB).
+            for tor in range(self.config.num_tors):
+                for port in range(self.config.ports_per_tor):
+                    peer = topology.predefined_peer(
+                        tor, port, cycle_slot, cycle
+                    )
+                    if peer is None:
+                        continue
+                    if check and not failures.transmission_ok(
+                        tor, port, peer, port
+                    ):
+                        continue
+                    t0 = perf_counter()
+                    used = self._serve_relay(tor, peer, start_ns, 0, budget)
+                    now = perf_counter()
+                    tracer.add_span("relay", now - t0)
+                    tracer.count("relay_packets", used)
+                    direct = self._serve_direct(
+                        tor, peer, start_ns, used, budget
+                    )
+                    used += direct
+                    t0 = perf_counter()
+                    tracer.add_span("drain", t0 - now)
+                    tracer.count("direct_packets", direct)
+                    if self.rotor.vlb_relay and used < budget:
+                        self._offload_indirect(
+                            tor, peer, start_ns, used, budget
+                        )
+                        tracer.add_span("offload", perf_counter() - t0)
         self._slice += 1
+        if tracer is not None:
+            tracer.count("slices")
+            if tracer.gauge_due(int(self.now_ns)):
+                tracer.sample(
+                    int(self.now_ns),
+                    queued_bytes=self.total_queued_bytes,
+                    relay_bytes=sum(self._relay_pending),
+                )
 
     # ------------------------------------------------------------------
     # slice timing

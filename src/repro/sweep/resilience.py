@@ -54,6 +54,10 @@ FAILED = "failed"
 TIMED_OUT = "timed-out"
 CRASHED = "crashed"
 
+#: Pipe-message/pool-event tag for a worker liveness report — never a
+#: terminal attempt status (DESIGN.md §14).
+HEARTBEAT = "heartbeat"
+
 STATUSES = (OK, FAILED, TIMED_OUT, CRASHED)
 
 ON_ERROR_MODES = ("fail", "skip", "quarantine")
@@ -257,19 +261,50 @@ def default_quarantine_path(store_path: str | Path) -> Path:
 # ---------------------------------------------------------------------------
 
 
-def _worker_main(conn) -> None:
+def _heartbeat_loop(
+    conn, send_lock, spec_hash, attempt, started, interval_s, stop
+) -> None:
+    """Worker-side heartbeat timer: one liveness report per interval.
+
+    Runs as a daemon thread for the duration of one spec.  Sends share
+    the result pipe, serialized by ``send_lock`` so a heartbeat can never
+    interleave bytes with the final result message.
+    """
+    from ..telemetry.heartbeat import heartbeat_payload
+
+    while not stop.wait(interval_s):
+        payload = heartbeat_payload(
+            spec_hash, attempt, time.perf_counter() - started
+        )
+        try:
+            with send_lock:
+                if stop.is_set():
+                    return
+                conn.send((HEARTBEAT, payload))
+        except (BrokenPipeError, OSError):
+            return
+
+
+def _worker_main(conn, heartbeat_s: float | None = None) -> None:
     """One worker process: receive (spec dict, attempt), reply with results.
 
     SIGINT is ignored so a terminal Ctrl-C delivered to the process group
     interrupts only the parent, which then shuts workers down explicitly —
     workers must never die mid-protocol for a reason the parent can't see.
+
+    With ``heartbeat_s`` set, a per-spec timer thread sends
+    ``(HEARTBEAT, payload)`` reports over the same pipe while the spec
+    executes; the thread is stopped and joined before the final result is
+    sent, so a result is always the last message of its spec.
     """
     import signal
+    import threading
 
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     # Imported lazily: the runner imports this module at load time.
     from .runner import _timed_execute
 
+    send_lock = threading.Lock()
     while True:
         try:
             message = conn.recv()
@@ -279,8 +314,26 @@ def _worker_main(conn) -> None:
             return
         spec_dict, attempt = message
         started = time.perf_counter()
+        stop = None
+        beat = None
         try:
             spec = RunSpec.from_dict(spec_dict)
+            if heartbeat_s is not None:
+                stop = threading.Event()
+                beat = threading.Thread(
+                    target=_heartbeat_loop,
+                    args=(
+                        conn,
+                        send_lock,
+                        spec.content_hash,
+                        attempt,
+                        started,
+                        heartbeat_s,
+                        stop,
+                    ),
+                    daemon=True,
+                )
+                beat.start()
             _, summary, elapsed = _timed_execute(spec, attempt=attempt)
             payload = (OK, summary.to_dict(), elapsed)
         except BaseException as exc:  # noqa: BLE001 — report, don't die
@@ -290,23 +343,34 @@ def _worker_main(conn) -> None:
                 traceback_module.format_exc(),
                 time.perf_counter() - started,
             )
+        finally:
+            if stop is not None:
+                stop.set()
+                beat.join()
         try:
-            conn.send(payload)
+            with send_lock:
+                conn.send(payload)
         except (BrokenPipeError, OSError):
             return
 
 
 @dataclass
 class PoolEvent:
-    """One resolved execution attempt reported by :meth:`WorkerPool.wait`."""
+    """One event reported by :meth:`WorkerPool.wait`.
 
-    kind: str  # ok / failed / timed-out / crashed
+    Either a resolved execution attempt (``ok`` / ``failed`` /
+    ``timed-out`` / ``crashed``) or a ``heartbeat`` liveness report from
+    a still-busy worker (``heartbeat`` payload set, spec unresolved).
+    """
+
+    kind: str  # ok / failed / timed-out / crashed / heartbeat
     spec: RunSpec
     attempt: int
     elapsed_s: float
     summary_dict: dict | None = None
     error: str | None = None
     traceback: str | None = None
+    heartbeat: dict | None = None
 
 
 class _Worker:
@@ -331,9 +395,14 @@ class WorkerPool:
     so the pool is always at full strength.
     """
 
-    def __init__(self, workers: int) -> None:
+    def __init__(
+        self, workers: int, *, heartbeat_s: float | None = None
+    ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
+        if heartbeat_s is not None and heartbeat_s <= 0:
+            raise ValueError("heartbeat_s must be positive")
+        self._heartbeat_s = heartbeat_s
         self._ctx = get_context()
         self._workers = [self._spawn() for _ in range(workers)]
         self.respawned = 0
@@ -342,7 +411,9 @@ class WorkerPool:
     def _spawn(self) -> _Worker:
         parent_conn, child_conn = self._ctx.Pipe()
         process = self._ctx.Process(
-            target=_worker_main, args=(child_conn,), daemon=True
+            target=_worker_main,
+            args=(child_conn, self._heartbeat_s),
+            daemon=True,
         )
         process.start()
         child_conn.close()
@@ -411,7 +482,7 @@ class WorkerPool:
             if id(worker) in resolved:
                 continue
             resolved.add(id(worker))
-            events.append(self._resolve(worker))
+            events.extend(self._resolve(worker))
         now = time.monotonic()
         for worker in busy:
             if (
@@ -422,40 +493,82 @@ class WorkerPool:
                 events.append(self._expire(worker))
         return events
 
-    def _resolve(self, worker: _Worker) -> PoolEvent:
-        """Turn one signalled worker into an event (message or crash)."""
+    def _resolve(self, worker: _Worker) -> list[PoolEvent]:
+        """Turn one signalled worker into events (messages or a crash).
+
+        Drains the pipe completely: heartbeats precede the spec's final
+        result (the worker joins its heartbeat thread before sending it),
+        so the drain yields zero or more heartbeat events optionally
+        followed by one terminal event.  A worker whose pipe holds only
+        heartbeats stays busy.
+        """
         spec, attempt = worker.spec, worker.attempt
         elapsed = time.monotonic() - worker.started
-        message = None
-        try:
-            # A worker that sent its result and *then* died still counts
-            # as a completed attempt — drain the pipe before checking the
-            # process.
-            if worker.conn.poll(0):
-                message = worker.conn.recv()
-        except (EOFError, OSError):
+        events: list[PoolEvent] = []
+        while True:
             message = None
-        if message is not None:
+            try:
+                # A worker that sent its result and *then* died still
+                # counts as a completed attempt — drain the pipe before
+                # checking the process.
+                if worker.conn.poll(0):
+                    message = worker.conn.recv()
+            except (EOFError, OSError):
+                message = None
+            if message is None:
+                break
+            if message[0] == HEARTBEAT:
+                events.append(
+                    PoolEvent(
+                        HEARTBEAT,
+                        spec,
+                        attempt,
+                        time.monotonic() - worker.started,
+                        heartbeat=message[1],
+                    )
+                )
+                continue
             worker.spec = None
             worker.deadline = None
             if message[0] == OK:
                 _, summary_dict, worker_elapsed = message
-                return PoolEvent(
-                    OK, spec, attempt, worker_elapsed, summary_dict=summary_dict
+                events.append(
+                    PoolEvent(
+                        OK,
+                        spec,
+                        attempt,
+                        worker_elapsed,
+                        summary_dict=summary_dict,
+                    )
                 )
-            _, error, tb, worker_elapsed = message
-            return PoolEvent(
-                FAILED, spec, attempt, worker_elapsed, error=error, traceback=tb
-            )
-        # No message and the pipe/sentinel fired: the worker died mid-spec.
+            else:
+                _, error, tb, worker_elapsed = message
+                events.append(
+                    PoolEvent(
+                        FAILED,
+                        spec,
+                        attempt,
+                        worker_elapsed,
+                        error=error,
+                        traceback=tb,
+                    )
+                )
+            return events
+        if worker.process.is_alive():
+            # Only heartbeats were pending; the spec is still running.
+            return events
+        # No final message and the worker is gone: it died mid-spec.
         exitcode = self._reap(worker)
-        return PoolEvent(
-            CRASHED,
-            spec,
-            attempt,
-            elapsed,
-            error=f"worker crashed (exit code {exitcode})",
+        events.append(
+            PoolEvent(
+                CRASHED,
+                spec,
+                attempt,
+                elapsed,
+                error=f"worker crashed (exit code {exitcode})",
+            )
         )
+        return events
 
     def _expire(self, worker: _Worker) -> PoolEvent:
         """Kill a worker that blew its per-spec deadline."""
@@ -521,6 +634,8 @@ def run_with_retries(
     on_ok: Callable[[RunSpec, dict, SpecOutcome], None],
     on_exhausted: Callable[[RunSpec, SpecOutcome], None] | None = None,
     outcomes: dict[str, SpecOutcome] | None = None,
+    on_heartbeat: Callable[[RunSpec, dict], None] | None = None,
+    heartbeat_s: float | None = None,
 ) -> dict[str, SpecOutcome]:
     """Run specs through a :class:`WorkerPool` under a retry policy.
 
@@ -530,6 +645,10 @@ def run_with_retries(
     first exhausted spec raises :class:`SweepExecutionError` (after the
     pool is torn down); every outcome resolved so far — including the
     failing one — is recorded in ``outcomes``, which is returned.
+
+    With ``heartbeat_s`` set, workers report liveness every interval and
+    ``on_heartbeat(spec, payload)`` fires per report; heartbeats never
+    count as attempts.
 
     Backoff between attempts is wall-clock but scheduling never busy-waits:
     the loop sleeps until the earliest of (next per-spec deadline, next
@@ -549,7 +668,7 @@ def run_with_retries(
     waiting: list[tuple[float, int, RunSpec, int]] = []  # (eligible_at, seq)
     sequence = itertools.count()
     unresolved = len(histories)
-    pool = WorkerPool(min(jobs, len(histories)))
+    pool = WorkerPool(min(jobs, len(histories)), heartbeat_s=heartbeat_s)
     try:
         while unresolved:
             now = time.monotonic()
@@ -576,6 +695,10 @@ def run_with_retries(
                 max(0.0, min(wakeups) - time.monotonic()) if wakeups else None
             )
             for event in pool.wait(timeout):
+                if event.kind == HEARTBEAT:
+                    if on_heartbeat is not None:
+                        on_heartbeat(event.spec, event.heartbeat)
+                    continue
                 spec_hash = event.spec.content_hash
                 history = histories[spec_hash]
                 history.append(

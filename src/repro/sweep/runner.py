@@ -17,10 +17,13 @@ tests/test_sweep.py asserts exactly that.
 from __future__ import annotations
 
 import dataclasses
+import os
 import random
+import sys
 import time
 import traceback as traceback_module
 from collections.abc import Callable, Iterable
+from pathlib import Path
 
 from ..experiments.common import (
     SCALES,
@@ -47,6 +50,11 @@ from ..sim.failures import (
 )
 from ..sim.flows import FlowTracker
 from ..sim.metrics import RunSummary
+from ..telemetry import events as telemetry_events
+from ..telemetry import runtime as telemetry_runtime
+from ..telemetry.engine import DEFAULT_CADENCE_NS
+from ..telemetry.heartbeat import HeartbeatAggregator
+from ..telemetry.progress import ProgressReporter
 from . import chaos, scenarios
 from .resilience import (
     NO_RETRY,
@@ -417,7 +425,14 @@ def execute_spec(spec: RunSpec) -> RunSummary:
     sweep results can never diverge from a directly-run experiment.
     Module-level (and argument-picklable) so a process pool can ship it to
     workers unchanged.
+
+    When the ``REPRO_TELEMETRY`` environment channel is active (DESIGN.md
+    §14) an engine tracer is attached to the run — the env var is how the
+    setting reaches both this process and forked pool workers identically.
+    Telemetry is runtime configuration, never spec content: hashes and
+    summaries are unchanged by it.
     """
+    tracer = telemetry_runtime.engine_tracer(spec.content_hash, spec.system)
     scale = resolve_scale(spec)
     scenario = scenarios.get(spec.scenario)
     params = scenario.resolve_params(dict(spec.scenario_params))
@@ -497,6 +512,7 @@ def execute_spec(spec: RunSpec) -> RunSummary:
             until_complete=spec.until_complete,
             max_ns=spec.max_ns,
             stream=spec.stream,
+            tracer=tracer,
         )
     elif spec.system == "rotor":
         if spec.scheduler_params:
@@ -516,6 +532,7 @@ def execute_spec(spec: RunSpec) -> RunSummary:
             until_complete=spec.until_complete,
             max_ns=spec.max_ns,
             stream=spec.stream,
+            tracer=tracer,
         )
     elif spec.system == "relay":
         from ..core.relay import RelayPolicy
@@ -537,6 +554,7 @@ def execute_spec(spec: RunSpec) -> RunSummary:
             relay_policy=policy,
             until_complete=spec.until_complete,
             max_ns=spec.max_ns,
+            tracer=tracer,
         )
     else:
         artifacts = run_negotiator(
@@ -555,9 +573,12 @@ def execute_spec(spec: RunSpec) -> RunSummary:
             until_complete=spec.until_complete,
             max_ns=spec.max_ns,
             stream=spec.stream,
+            tracer=tracer,
         )
 
     summary = artifacts.summary
+    if tracer is not None:
+        tracer.finish(int(artifacts.simulator.now_ns))
     for name in spec.collect:
         summary.extra[name] = COLLECTORS[name](artifacts, spec, scale, params)
     return summary
@@ -626,6 +647,14 @@ class SweepRunner:
     :class:`SpecOutcome`; :meth:`failed_hashes` filters the failures.
     Worker crashes and timeouts never abort the sweep: the pool respawns
     the dead worker and requeues only the in-flight spec.
+
+    Telemetry (DESIGN.md §14).  ``telemetry`` is a JSONL path: engine
+    tracers (activated through the environment so forked workers see
+    them), worker heartbeats, and campaign/spec lifecycle events all
+    append to it.  ``progress=True`` renders the live stderr
+    progress/ETA line.  Both are off by default and purely
+    observational — results and spec hashes are bit-identical either
+    way.
     """
 
     def __init__(
@@ -638,6 +667,10 @@ class SweepRunner:
         retry: RetryPolicy | None = None,
         on_error: str = "fail",
         quarantine: str | QuarantineLog | None = None,
+        telemetry: str | Path | None = None,
+        telemetry_cadence_ns: int = DEFAULT_CADENCE_NS,
+        progress: bool = False,
+        heartbeat_s: float = 1.0,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
@@ -677,9 +710,28 @@ class SweepRunner:
                 if isinstance(quarantine, str)
                 else quarantine
             )
+        if heartbeat_s <= 0:
+            raise ValueError("heartbeat_s must be positive")
+        if telemetry_cadence_ns <= 0:
+            raise ValueError("telemetry_cadence_ns must be positive")
+        self.telemetry_path = Path(telemetry) if telemetry is not None else None
+        self.telemetry_cadence_ns = telemetry_cadence_ns
+        self.progress = progress
+        self.heartbeat_s = heartbeat_s
+        self._writer = (
+            telemetry_events.TelemetryWriter(self.telemetry_path)
+            if self.telemetry_path is not None
+            else None
+        )
+        self._reporter: ProgressReporter | None = None
+        self._aggregator: HeartbeatAggregator | None = None
+        self.campaign_id = f"{int(time.time()):x}-{os.getpid():x}"
+        self.started_at = time.time()
         self.executed = 0
         self.cached = 0
         self.requested: set[str] = set()
+        self.specs: dict[str, RunSpec] = {}
+        self.cached_hashes: set[str] = set()
         self.outcomes: dict[str, SpecOutcome] = {}
         self._memo: dict[str, RunSummary] = {}
         self._stored: dict[str, RunSummary] | None = None
@@ -696,44 +748,95 @@ class SweepRunner:
             if spec.content_hash not in seen:
                 seen.add(spec.content_hash)
                 ordered.append(spec)
+                self.specs.setdefault(spec.content_hash, spec)
         self.requested.update(seen)
 
-        results: dict[str, RunSummary] = {}
-        pending: list[RunSpec] = []
-        # The store is parsed once per runner, not once per run() call —
-        # `repro run --all` issues one call per experiment against a store
-        # that only this runner appends to (appends land in the memo, which
-        # is consulted first, so the snapshot never goes stale).
-        if self.resume and self._stored is None:
-            self._stored = self.store.load()
-        stored = self._stored if self.resume else {}
-        for spec in ordered:
-            hit = self._memo.get(spec.content_hash)
-            if hit is None:
-                hit = stored.get(spec.content_hash)
-            if hit is not None:
-                results[spec.content_hash] = hit
-                self._memo[spec.content_hash] = hit
-                self.cached += 1
-                self._log(spec, "cached")
-            else:
-                pending.append(spec)
-
-        # A per-spec timeout can only be enforced by killing the worker
-        # process, so it forces pool execution even at jobs=1; otherwise
-        # a single pending spec (or jobs=1) runs serially in-process, the
-        # reference behavior.
-        use_pool = bool(pending) and (
-            self.timeout_s is not None
-            or (self.jobs > 1 and len(pending) > 1)
+        telemetry_on = self._writer is not None
+        # Activate the env channel so engine tracers attach in-process
+        # *and* in forked pool workers; restored on the way out so a
+        # runner never leaks configuration into its host process.
+        env_previous = (
+            telemetry_runtime.activate(
+                self.telemetry_path, cadence_ns=self.telemetry_cadence_ns
+            )
+            if telemetry_on
+            else None
         )
-        if use_pool:
-            self._run_pool(pending, results)
-        else:
-            for spec in pending:
-                summary = self._run_one(spec)
-                if summary is not None:
-                    results[spec.content_hash] = summary
+        if self.progress:
+            self._reporter = ProgressReporter(len(ordered))
+        if self.progress or telemetry_on:
+            self._aggregator = HeartbeatAggregator()
+        run_started = time.time()
+        if self._writer is not None:
+            self._writer.emit(telemetry_events.make_event(
+                telemetry_events.CAMPAIGN_START,
+                campaign=self.campaign_id,
+                total_specs=len(ordered),
+                jobs=self.jobs,
+            ))
+
+        results: dict[str, RunSummary] = {}
+        try:
+            pending: list[RunSpec] = []
+            # The store is parsed once per runner, not once per run() call —
+            # `repro run --all` issues one call per experiment against a store
+            # that only this runner appends to (appends land in the memo, which
+            # is consulted first, so the snapshot never goes stale).
+            if self.resume and self._stored is None:
+                self._stored = self.store.load()
+            stored = self._stored if self.resume else {}
+            for spec in ordered:
+                hit = self._memo.get(spec.content_hash)
+                if hit is None:
+                    hit = stored.get(spec.content_hash)
+                if hit is not None:
+                    results[spec.content_hash] = hit
+                    self._memo[spec.content_hash] = hit
+                    self.cached += 1
+                    self.cached_hashes.add(spec.content_hash)
+                    self._log(spec, "cached")
+                    if self._reporter is not None:
+                        self._reporter.spec_cached()
+                    self._emit_spec_end(spec, "cached", 0, 0.0, cached=True)
+                else:
+                    pending.append(spec)
+
+            # A per-spec timeout can only be enforced by killing the worker
+            # process, so it forces pool execution even at jobs=1; otherwise
+            # a single pending spec (or jobs=1) runs serially in-process, the
+            # reference behavior.
+            use_pool = bool(pending) and (
+                self.timeout_s is not None
+                or (self.jobs > 1 and len(pending) > 1)
+            )
+            if use_pool:
+                self._run_pool(pending, results)
+            else:
+                for spec in pending:
+                    summary = self._run_one(spec)
+                    if summary is not None:
+                        results[spec.content_hash] = summary
+        finally:
+            if telemetry_on:
+                telemetry_runtime.deactivate(env_previous)
+            if self._writer is not None:
+                retried = sum(
+                    1 for o in self.outcomes.values() if o.attempts > 1
+                )
+                self._writer.emit(telemetry_events.make_event(
+                    telemetry_events.CAMPAIGN_END,
+                    campaign=self.campaign_id,
+                    executed=self.executed,
+                    cached=self.cached,
+                    failed=len(self.failed_hashes()),
+                    retried=retried,
+                    quarantined=len(self.quarantined_hashes()),
+                    elapsed_s=time.time() - run_started,
+                ))
+            if self._reporter is not None:
+                self._reporter.close()
+                self._reporter = None
+            self._aggregator = None
         return results
 
     def stale_stored_hashes(self) -> set[str]:
@@ -756,6 +859,47 @@ class SweepRunner:
             if not outcome.ok
         }
 
+    def quarantined_hashes(self) -> set[str]:
+        """Failed hashes that were written to the quarantine sidecar."""
+        return self.failed_hashes() if self.quarantine is not None else set()
+
+    def build_manifest(self, ended_at: float | None = None) -> dict:
+        """The campaign manifest for everything this runner has run."""
+        from ..telemetry.manifest import build_manifest
+
+        return build_manifest(
+            campaign=self.campaign_id,
+            started_at=self.started_at,
+            ended_at=ended_at if ended_at is not None else time.time(),
+            specs=self.specs,
+            outcomes=self.outcomes,
+            cached_hashes=self.cached_hashes,
+            quarantined_hashes=self.quarantined_hashes(),
+            jobs=self.jobs,
+            store_path=str(self.store.path) if self.store is not None else None,
+        )
+
+    def _emit_spec_end(
+        self,
+        spec: RunSpec,
+        status: str,
+        attempts: int,
+        elapsed: float,
+        *,
+        cached: bool,
+    ) -> None:
+        if self._writer is None:
+            return
+        self._writer.emit(telemetry_events.make_event(
+            telemetry_events.SPEC_END,
+            spec=spec.content_hash,
+            label=spec.label(),
+            status=status,
+            attempts=attempts,
+            elapsed_s=elapsed,
+            cached=cached,
+        ))
+
     def _record_ok(
         self, spec: RunSpec, summary: RunSummary, elapsed: float
     ) -> None:
@@ -765,16 +909,38 @@ class SweepRunner:
         if self.store is not None:
             self.store.put(spec, summary, elapsed_s=elapsed)
         self._log(spec, f"ran in {elapsed:.2f}s")
+        outcome = self.outcomes.get(spec.content_hash)
+        attempts = outcome.attempts if outcome is not None else 1
+        if self._aggregator is not None:
+            self._aggregator.forget(spec.content_hash)
+        if self._reporter is not None:
+            self._reporter.spec_finished(attempts=attempts)
+        self._emit_spec_end(spec, "ok", attempts, elapsed, cached=False)
 
     def _record_failure(self, spec: RunSpec, outcome: SpecOutcome) -> None:
         """A spec exhausted its attempts under skip/quarantine."""
+        quarantined = self.quarantine is not None
         self._log(
             spec,
             f"{outcome.status} after {outcome.attempts} attempt(s)"
-            + (" -> quarantined" if self.quarantine is not None else ""),
+            + (" -> quarantined" if quarantined else ""),
         )
-        if self.quarantine is not None:
+        if quarantined:
             self.quarantine.put(spec, outcome)
+        if self._aggregator is not None:
+            self._aggregator.forget(spec.content_hash)
+        if self._reporter is not None:
+            self._reporter.spec_finished(
+                attempts=outcome.attempts,
+                status="quarantined" if quarantined else outcome.status,
+            )
+        self._emit_spec_end(
+            spec,
+            outcome.status,
+            outcome.attempts,
+            sum(outcome.elapsed_s),
+            cached=False,
+        )
 
     def _run_one(self, spec: RunSpec) -> RunSummary | None:
         """Serial in-process execution with retries and backoff.
@@ -832,6 +998,26 @@ class SweepRunner:
             results[spec.content_hash] = summary
             self._record_ok(spec, summary, outcome.elapsed_s[-1])
 
+        def on_heartbeat(spec: RunSpec, payload: dict) -> None:
+            if self._aggregator is not None:
+                self._aggregator.record(payload)
+            if self._reporter is not None:
+                self._reporter.set_running(len(
+                    self._aggregator.running(
+                        stale_after_s=4 * self.heartbeat_s
+                    )
+                ))
+                self._reporter.heartbeat()
+            if self._writer is not None:
+                self._writer.emit(telemetry_events.make_event(
+                    telemetry_events.HEARTBEAT_EVENT, **payload
+                ))
+
+        # Heartbeats cost a timer thread per busy worker; only ask for
+        # them when something consumes them.
+        fleet_telemetry = (
+            self._reporter is not None or self._writer is not None
+        )
         run_with_retries(
             pending,
             jobs=self.jobs,
@@ -841,8 +1027,15 @@ class SweepRunner:
             on_ok=on_ok,
             on_exhausted=self._record_failure,
             outcomes=self.outcomes,
+            on_heartbeat=on_heartbeat if fleet_telemetry else None,
+            heartbeat_s=self.heartbeat_s if fleet_telemetry else None,
         )
 
     def _log(self, spec: RunSpec, status: str) -> None:
+        # Always stderr: stdout belongs to the command's payload (tables,
+        # `--json` documents) and progress must never corrupt a pipe.
         if self.verbose:
-            print(f"[{spec.short_hash}] {spec.label()}: {status}")
+            print(
+                f"[{spec.short_hash}] {spec.label()}: {status}",
+                file=sys.stderr,
+            )

@@ -1,0 +1,83 @@
+"""Telemetry: schema-versioned events, engine tracing, fleet progress.
+
+The observability layer (DESIGN.md §14).  Zero overhead when off: the
+engines guard every hook behind ``tracer is not None`` and the sweep
+runner only activates the :data:`~repro.telemetry.runtime.TELEMETRY_ENV`
+channel when asked, so fixed-seed goldens and the hot path are untouched
+by default — and, because events only *observe*, results stay
+bit-identical when telemetry is on.
+
+* :mod:`~repro.telemetry.events` — the JSONL event schema, validator,
+  file/memory sinks, tolerant reader.
+* :mod:`~repro.telemetry.engine` — :class:`EngineTracer`, the per-run
+  span/counter/gauge accumulator the engines drive.
+* :mod:`~repro.telemetry.runtime` — process-level activation over the
+  ``REPRO_TELEMETRY`` environment variable (reaches forked workers).
+* :mod:`~repro.telemetry.heartbeat` — worker heartbeat payloads and the
+  runner-side :class:`HeartbeatAggregator`.
+* :mod:`~repro.telemetry.progress` — the live stderr progress/ETA line.
+* :mod:`~repro.telemetry.manifest` — campaign manifest JSON.
+* :mod:`~repro.telemetry.trace` — the ``repro trace`` analyzer.
+"""
+
+from .engine import DEFAULT_CADENCE_NS, EngineTracer
+from .events import (
+    EVENT_SCHEMA,
+    TELEMETRY_VERSION,
+    MemorySink,
+    TelemetryWriter,
+    make_event,
+    read_events,
+    validate_event,
+)
+from .heartbeat import (
+    HeartbeatAggregator,
+    clear_active_simulator,
+    heartbeat_payload,
+    progress_snapshot,
+    set_active_simulator,
+)
+from .manifest import (
+    MANIFEST_VERSION,
+    build_manifest,
+    default_manifest_path,
+    write_manifest,
+)
+from .progress import ProgressReporter
+from .runtime import (
+    TELEMETRY_ENV,
+    activate,
+    active_config,
+    deactivate,
+    engine_tracer,
+)
+from .trace import analyze, format_trace
+
+__all__ = [
+    "DEFAULT_CADENCE_NS",
+    "EVENT_SCHEMA",
+    "EngineTracer",
+    "HeartbeatAggregator",
+    "MANIFEST_VERSION",
+    "MemorySink",
+    "ProgressReporter",
+    "TELEMETRY_ENV",
+    "TELEMETRY_VERSION",
+    "TelemetryWriter",
+    "activate",
+    "active_config",
+    "analyze",
+    "build_manifest",
+    "clear_active_simulator",
+    "deactivate",
+    "default_manifest_path",
+    "engine_tracer",
+    "format_trace",
+    "heartbeat_payload",
+    "make_event",
+    "progress_snapshot",
+    "read_events",
+    "set_active_simulator",
+    "validate_event",
+    "write_manifest",
+]

@@ -1,0 +1,141 @@
+"""The live sweep progress line: done/total, ETA, fleet health.
+
+:class:`ProgressReporter` turns runner callbacks (spec finished, spec
+cached, heartbeat arrived) into a single stderr status line::
+
+    sweep 12/48 done (3 cached) | 4 running | 1 retried, 1 quarantined \
+| 1.8 spec/s | eta 20s
+
+Throughput is an EWMA over inter-completion gaps of *executed* specs
+(cache hits are instant and would make the ETA lie), and the ETA is
+simply remaining work over that rate.  On a TTY the line redraws in
+place with ``\\r``; otherwise it prints at most once per
+``min_interval_s`` as ordinary lines, so piped stderr logs stay
+readable.  The clock is injectable for tests.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+
+def _format_duration(seconds: float) -> str:
+    seconds = max(0.0, seconds)
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    if seconds < 3600:
+        return f"{int(seconds // 60)}m{int(seconds % 60):02d}s"
+    return f"{int(seconds // 3600)}h{int(seconds % 3600 // 60):02d}m"
+
+
+class ProgressReporter:
+    """Aggregates sweep progress into one throttled stderr line."""
+
+    def __init__(
+        self,
+        total: int,
+        *,
+        stream=None,
+        clock=None,
+        ewma_alpha: float = 0.3,
+        min_interval_s: float = 1.0,
+    ) -> None:
+        self.total = total
+        self.stream = stream if stream is not None else sys.stderr
+        self._clock = clock if clock is not None else time.monotonic
+        self.ewma_alpha = ewma_alpha
+        self.min_interval_s = min_interval_s
+        self.done = 0
+        self.cached = 0
+        self.retried = 0
+        self.quarantined = 0
+        self.failed = 0
+        self.running = 0
+        self._rate: float | None = None  # specs per second, EWMA
+        self._last_completion: float | None = None
+        self._last_render = -float("inf")
+        self._wrote_inline = False
+
+    # -- runner callbacks --------------------------------------------------
+
+    def spec_cached(self) -> None:
+        self.done += 1
+        self.cached += 1
+        self._render()
+
+    def spec_finished(self, *, attempts: int = 1, status: str = "ok") -> None:
+        now = self._clock()
+        if self._last_completion is not None:
+            gap = now - self._last_completion
+            if gap > 0:
+                sample = 1.0 / gap
+                if self._rate is None:
+                    self._rate = sample
+                else:
+                    self._rate += self.ewma_alpha * (sample - self._rate)
+        self._last_completion = now
+        self.done += 1
+        if attempts > 1:
+            self.retried += 1
+        if status == "quarantined":
+            self.quarantined += 1
+        elif status != "ok":
+            self.failed += 1
+        self._render()
+
+    def set_running(self, count: int) -> None:
+        self.running = count
+
+    def heartbeat(self) -> None:
+        self._render()
+
+    # -- rendering ---------------------------------------------------------
+
+    def eta_s(self) -> float | None:
+        if self._rate is None or self._rate <= 0:
+            return None
+        return (self.total - self.done) / self._rate
+
+    def line(self) -> str:
+        parts = [f"sweep {self.done}/{self.total} done"]
+        if self.cached:
+            parts[0] += f" ({self.cached} cached)"
+        if self.running:
+            parts.append(f"{self.running} running")
+        health = []
+        if self.retried:
+            health.append(f"{self.retried} retried")
+        if self.quarantined:
+            health.append(f"{self.quarantined} quarantined")
+        if self.failed:
+            health.append(f"{self.failed} failed")
+        if health:
+            parts.append(", ".join(health))
+        if self._rate is not None and self._rate > 0:
+            parts.append(f"{self._rate:.1f} spec/s")
+            eta = self.eta_s()
+            if eta is not None and self.done < self.total:
+                parts.append(f"eta {_format_duration(eta)}")
+        return " | ".join(parts)
+
+    def _render(self, *, force: bool = False) -> None:
+        now = self._clock()
+        is_tty = getattr(self.stream, "isatty", lambda: False)()
+        if not force and not is_tty:
+            if now - self._last_render < self.min_interval_s:
+                return
+        self._last_render = now
+        if is_tty:
+            self.stream.write("\r\x1b[2K" + self.line())
+            self._wrote_inline = True
+        else:
+            self.stream.write(self.line() + "\n")
+        self.stream.flush()
+
+    def close(self) -> None:
+        """Final render; terminates the in-place line on a TTY."""
+        self._render(force=True)
+        if self._wrote_inline:
+            self.stream.write("\n")
+            self.stream.flush()

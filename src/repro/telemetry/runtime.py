@@ -1,0 +1,68 @@
+"""Process-level telemetry activation via the ``REPRO_TELEMETRY`` env var.
+
+The sweep runner executes specs both in-process and in forked workers;
+the one channel that reaches both identically is the environment (the
+chaos plan uses the same trick).  ``REPRO_TELEMETRY`` carries a small
+JSON object — ``{"path": ..., "cadence_ns": ...}`` — and
+:func:`engine_tracer` turns it into an :class:`EngineTracer` writing to
+that path, or ``None`` when the variable is unset, which is what keeps
+the disabled path free of any telemetry work.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from .engine import DEFAULT_CADENCE_NS, EngineTracer
+from .events import TelemetryWriter
+
+TELEMETRY_ENV = "REPRO_TELEMETRY"
+
+
+def activate(path: str | Path, *, cadence_ns: int = DEFAULT_CADENCE_NS) -> str | None:
+    """Set ``REPRO_TELEMETRY``; returns the previous value for restore."""
+    previous = os.environ.get(TELEMETRY_ENV)
+    os.environ[TELEMETRY_ENV] = json.dumps(
+        {"path": str(Path(path)), "cadence_ns": int(cadence_ns)}
+    )
+    return previous
+
+
+def deactivate(previous: str | None = None) -> None:
+    """Clear ``REPRO_TELEMETRY`` or restore a saved value."""
+    if previous is None:
+        os.environ.pop(TELEMETRY_ENV, None)
+    else:
+        os.environ[TELEMETRY_ENV] = previous
+
+
+def active_config() -> dict | None:
+    """The parsed env config, or None when telemetry is off or malformed."""
+    raw = os.environ.get(TELEMETRY_ENV)
+    if not raw:
+        return None
+    try:
+        config = json.loads(raw)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(config, dict) or "path" not in config:
+        return None
+    return config
+
+
+def engine_tracer(spec_hash: str | None, engine: str) -> EngineTracer | None:
+    """A tracer for one engine run, or None when telemetry is off."""
+    config = active_config()
+    if config is None:
+        return None
+    cadence = config.get("cadence_ns", DEFAULT_CADENCE_NS)
+    if not isinstance(cadence, int) or cadence <= 0:
+        cadence = DEFAULT_CADENCE_NS
+    return EngineTracer(
+        TelemetryWriter(config["path"]),
+        engine,
+        spec_hash=spec_hash,
+        cadence_ns=cadence,
+    )

@@ -909,12 +909,32 @@ class TestSweepCli:
         assert first.returncode == 0, first.stderr
         payload = json.loads(first.stdout)
         assert payload["runs"][0]["summary"]["num_flows"] > 0
+        assert payload["runs"][0]["cached"] is False
+        assert payload["runs"][0]["attempts"] == 1
+        assert payload["runs"][0]["attempt_statuses"] == ["ok"]
+        assert payload["totals"] == {
+            "specs": 1, "executed": 1, "cached": 0,
+            "retried": 0, "quarantined": 0, "failed": 0,
+        }
         assert "1 executed" in first.stderr
 
         second = run_cli(*args, "--resume")
         assert second.returncode == 0, second.stderr
         assert "0 executed, 1 cached" in second.stderr
-        assert json.loads(second.stdout) == payload
+        cached_payload = json.loads(second.stdout)
+        # The simulation results are identical; only the caching metadata
+        # (cached/attempts/totals) reflects that nothing re-executed.
+        for row, cached_row in zip(payload["runs"], cached_payload["runs"]):
+            assert cached_row["spec_hash"] == row["spec_hash"]
+            assert cached_row["spec"] == row["spec"]
+            assert cached_row["summary"] == row["summary"]
+            assert cached_row["cached"] is True
+            assert cached_row["attempts"] == 0
+            assert cached_row["attempt_statuses"] == []
+        assert cached_payload["totals"] == {
+            "specs": 1, "executed": 0, "cached": 1,
+            "retried": 0, "quarantined": 0, "failed": 0,
+        }
 
     def test_run_json_output(self):
         proc = run_cli("run", "fig7a", "--scale", "tiny", "--json")
