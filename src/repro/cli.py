@@ -454,6 +454,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable idle-epoch fast-forward for this run",
     )
     bench.add_argument(
+        "--core",
+        choices=["scalar", "vectorized"],
+        default=None,
+        help="engine core override for this run (default: SimConfig "
+        "default, or the REPRO_CORE environment variable)",
+    )
+    bench.add_argument(
         "--bench-file",
         default="BENCH_engine.json",
         help="tracked baseline file (default: BENCH_engine.json)",
@@ -1127,6 +1134,7 @@ def cmd_bench_scale(args, fabrics) -> int:
             ),
             fast_forward=not args.no_fast_forward,
             engine=args.engine or "negotiator",
+            core=args.core,
         )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
@@ -1235,7 +1243,10 @@ def cmd_bench(args) -> int:
     if args.profile:
         return _bench_profile(args, bench, fabrics)
     results = perf.run_suite(
-        args.scenarios, fabrics, fast_forward=not args.no_fast_forward
+        args.scenarios,
+        fabrics,
+        fast_forward=not args.no_fast_forward,
+        core=args.core,
     )
     print(perf.format_results(results, bench))
     # Snapshot before any recording so --check compares against the
@@ -1309,6 +1320,7 @@ def _bench_profile(args, bench, fabrics) -> int:
                 tors,
                 ports,
                 fast_forward=not args.no_fast_forward,
+                core=args.core,
                 tracer=tracer,
             )
             results.append(result)

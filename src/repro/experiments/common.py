@@ -28,6 +28,7 @@ import numpy as np
 from ..core.variants import make_scheduler
 from ..sim.config import EpochConfig, SimConfig
 from ..sim.metrics import BandwidthRecorder, MatchRatioRecorder, RunSummary
+from ..sim.factory import make_negotiator
 from ..sim.network import NegotiaToRSimulator
 from ..sim.oblivious import ObliviousSimulator
 from ..topology.base import FlatTopology
@@ -225,7 +226,7 @@ def run_negotiator(
     bandwidth = (
         BandwidthRecorder(bandwidth_bin_ns) if bandwidth_bin_ns else None
     )
-    sim = NegotiaToRSimulator(
+    sim = make_negotiator(
         config,
         topology,
         flows,

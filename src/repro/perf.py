@@ -22,11 +22,11 @@ from __future__ import annotations
 import json
 import random
 import time
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, field, fields, replace
 
 from .sim.config import EpochTiming, SimConfig
+from .sim.factory import make_negotiator
 from .sim.flows import Flow
-from .sim.network import NegotiaToRSimulator
 from .topology.parallel import ParallelNetwork
 
 KB = 1000
@@ -198,6 +198,7 @@ def run_scenario(
     *,
     epochs: int | None = None,
     fast_forward: bool = True,
+    core: str | None = None,
     tracer=None,
 ) -> PerfResult:
     """Build and time one scenario on one fabric; returns a PerfResult.
@@ -214,13 +215,15 @@ def run_scenario(
             f"unknown scenario {scenario_name!r}; choose from {sorted(SCENARIOS)}"
         ) from None
     config = fabric_config(num_tors, ports_per_tor, fast_forward=fast_forward)
+    if core is not None:
+        config = replace(config, core=core)
     topology = ParallelNetwork(num_tors, ports_per_tor)
     epoch_ns = EpochTiming.derive(
         config.epoch, config.uplink_gbps, topology.predefined_slots
     ).epoch_ns
     budget = epochs if epochs is not None else scenario.epochs_for(num_tors)
     flows = scenario.build_flows(num_tors, budget, epoch_ns)
-    sim = NegotiaToRSimulator(config, topology, flows, tracer=tracer)
+    sim = make_negotiator(config, topology, flows, tracer=tracer)
     duration_ns = budget * epoch_ns
     with Stopwatch() as watch:
         sim.run(duration_ns)
@@ -249,13 +252,16 @@ def run_suite(
     fabrics: list[tuple[int, int]] | None = None,
     *,
     fast_forward: bool = True,
+    core: str | None = None,
 ) -> list[PerfResult]:
     """Run the scenario x fabric matrix (default: the full suite)."""
     results = []
     for name in scenarios or sorted(SCENARIOS):
         for num_tors, ports in fabrics or FABRICS:
             results.append(
-                run_scenario(name, num_tors, ports, fast_forward=fast_forward)
+                run_scenario(
+                    name, num_tors, ports, fast_forward=fast_forward, core=core
+                )
             )
     return results
 

@@ -27,10 +27,10 @@ from __future__ import annotations
 import random
 import resource
 import sys
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, fields, replace
 
 from .perf import Stopwatch, fabric_config
-from .sim.network import NegotiaToRSimulator
+from .sim.factory import make_negotiator
 from .topology.parallel import ParallelNetwork
 from .topology.thinclos import ThinClos
 from .workloads.distributions import FixedSize
@@ -106,6 +106,7 @@ def run_scale_bench(
     seed: int = _BENCH_SEED,
     fast_forward: bool = True,
     engine: str = "negotiator",
+    core: str | None = None,
 ) -> ScaleBenchResult:
     """Stream ``num_flows`` Poisson flows through the engine and time it.
 
@@ -124,6 +125,8 @@ def run_scale_bench(
             f"unknown engine {engine!r}; choose 'negotiator' or 'rotor'"
         )
     config = fabric_config(num_tors, ports_per_tor, fast_forward=fast_forward)
+    if core is not None:
+        config = replace(config, core=core)
     host_aggregate_gbps = config.host_aggregate_gbps
     distribution = FixedSize(flow_bytes)
     flows = heavy_poisson_stream(
@@ -152,7 +155,7 @@ def run_scale_bench(
             stream=True,
         )
     else:
-        sim = NegotiaToRSimulator(
+        sim = make_negotiator(
             config, ParallelNetwork(num_tors, ports_per_tor), flows, stream=True
         )
     with Stopwatch() as watch:

@@ -17,6 +17,7 @@ Times are floats in nanoseconds throughout the package.
 from __future__ import annotations
 
 import dataclasses
+import os
 from dataclasses import dataclass, field
 
 KB = 1000
@@ -28,6 +29,9 @@ the next 9 KB to the middle band, and the rest to the lowest band."""
 
 MICE_THRESHOLD_BYTES = 10 * KB
 """Flows strictly smaller than this are mice flows (paper, section 4.1)."""
+
+CORE_ENV_VAR = "REPRO_CORE"
+"""Environment override for :attr:`SimConfig.core` (scalar | vectorized)."""
 
 
 def transmit_ns(num_bytes: float, rate_gbps: float) -> float:
@@ -255,6 +259,13 @@ class SimConfig:
     pipeline, no imminent arrival or failure event); results are bit-exact
     either way (DESIGN.md section 7), so the flag exists for A/B testing
     and the determinism regression suite.
+
+    ``core`` selects the engine implementation: ``"scalar"`` is the
+    reference per-object core, ``"vectorized"`` the batched-numpy core
+    (DESIGN.md section 15).  Both produce bit-identical fixed-seed results;
+    the scalar core is retained as the differential-testing oracle.  The
+    ``REPRO_CORE`` environment variable overrides this field at simulator
+    construction (it reaches forked sweep workers, like ``REPRO_SCALE``).
     """
 
     num_tors: int = 128
@@ -269,8 +280,13 @@ class SimConfig:
     receiver_buffer_bytes: int | None = None
     idle_fast_forward: bool = True
     seed: int = 0
+    core: str = "scalar"
 
     def __post_init__(self) -> None:
+        if self.core not in ("scalar", "vectorized"):
+            raise ValueError(
+                f"core must be 'scalar' or 'vectorized', got {self.core!r}"
+            )
         if self.num_tors < 2:
             raise ValueError("need at least two ToRs")
         if self.ports_per_tor < 1:
@@ -295,6 +311,22 @@ class SimConfig:
         if not self.priority_queue_enabled:
             return 1
         return len(self.pias_thresholds) + 1
+
+    @property
+    def resolved_core(self) -> str:
+        """The engine core to construct, honoring the ``REPRO_CORE`` override.
+
+        Environment beats config so one variable switches a whole sweep
+        (including forked workers) without touching every spec; an unknown
+        value raises here rather than silently running the wrong core.
+        """
+        core = os.environ.get(CORE_ENV_VAR) or self.core
+        if core not in ("scalar", "vectorized"):
+            raise ValueError(
+                f"{CORE_ENV_VAR}={core!r} is not a valid core "
+                "(choose 'scalar' or 'vectorized')"
+            )
+        return core
 
     def without_speedup(self) -> "SimConfig":
         """Return a config with uplink rate equal to the downlink share.

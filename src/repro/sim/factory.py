@@ -1,0 +1,99 @@
+"""Core selection for the NegotiaToR engine (DESIGN.md section 15).
+
+``SimConfig.core`` (or the ``REPRO_CORE`` environment variable) chooses
+between the scalar reference engine and the vectorized core.  The
+vectorized core supports the common configuration only — the parallel
+network with the base scheduler and no per-epoch recorders — so this
+factory checks eligibility and silently falls back to the scalar engine
+outside that envelope.  Both cores are bit-identical on a fixed seed;
+the fallback is a performance decision, never a semantic one.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..topology.parallel import ParallelNetwork
+from .config import SimConfig
+from .flows import Flow
+from .network import NegotiaToRSimulator
+from .vectorized import VectorizedNegotiaToRSimulator
+
+
+def vectorized_core_eligible(
+    config: SimConfig,
+    topology,
+    *,
+    scheduler=None,
+    match_recorder=None,
+    bandwidth_recorder=None,
+    record_pair_bandwidth: bool = False,
+) -> bool:
+    """Whether the vectorized core can run this exact configuration.
+
+    The envelope: parallel network, base scheduler (no variant hooks),
+    no match-ratio or bandwidth recorders, and no receiver buffers.
+    Link failures, streaming sources, and telemetry tracers are all
+    supported inside the envelope.
+    """
+    return (
+        isinstance(topology, ParallelNetwork)
+        and scheduler is None
+        and match_recorder is None
+        and bandwidth_recorder is None
+        and not record_pair_bandwidth
+        and config.receiver_buffer_bytes is None
+    )
+
+
+def make_negotiator(
+    config: SimConfig,
+    topology,
+    flows: Iterable[Flow],
+    *,
+    scheduler=None,
+    failure_model=None,
+    failure_plan=None,
+    match_recorder=None,
+    bandwidth_recorder=None,
+    record_pair_bandwidth: bool = False,
+    stream: bool = False,
+    tracer=None,
+):
+    """Build the NegotiaToR engine the resolved core calls for.
+
+    Returns a :class:`VectorizedNegotiaToRSimulator` when
+    ``config.resolved_core`` is ``"vectorized"`` and the configuration is
+    inside the vectorized envelope; the scalar
+    :class:`NegotiaToRSimulator` otherwise.
+    """
+    if config.resolved_core == "vectorized" and vectorized_core_eligible(
+        config,
+        topology,
+        scheduler=scheduler,
+        match_recorder=match_recorder,
+        bandwidth_recorder=bandwidth_recorder,
+        record_pair_bandwidth=record_pair_bandwidth,
+    ):
+        return VectorizedNegotiaToRSimulator(
+            config,
+            topology,
+            flows,
+            failure_model=failure_model,
+            failure_plan=failure_plan,
+            stream=stream,
+            tracer=tracer,
+        )
+    return NegotiaToRSimulator(
+        config,
+        topology,
+        flows,
+        scheduler=scheduler,
+        failure_model=failure_model,
+        failure_plan=failure_plan,
+        match_recorder=match_recorder,
+        bandwidth_recorder=bandwidth_recorder,
+        record_pair_bandwidth=record_pair_bandwidth,
+        stream=stream,
+        tracer=tracer,
+    )

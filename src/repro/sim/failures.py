@@ -145,6 +145,21 @@ class LinkFailureModel:
         """
         return self._failed == self._detected
 
+    @property
+    def failed_link_keys(self) -> frozenset[int]:
+        """Packed keys of links actually down (see the class docstring).
+
+        The vectorized core (DESIGN.md section 15) expands these into
+        boolean egress/ingress masks instead of probing per-port
+        predicates pair by pair.
+        """
+        return frozenset(self._failed)
+
+    @property
+    def detected_link_keys(self) -> frozenset[int]:
+        """Packed keys of links currently excluded from scheduling."""
+        return frozenset(self._detected)
+
     # ------------------------------------------------------------------
     # actual state
     # ------------------------------------------------------------------

@@ -230,6 +230,35 @@ class FlowTracker:
                 # is garbage — that is the bounded-memory contract.
                 self._fold_completed(flow)
 
+    def credit_delivered(self, dst: int, num_bytes: int) -> None:
+        """Fold delivered bytes into the goodput totals without a Flow.
+
+        The vectorized core (DESIGN.md section 15) tracks per-flow remaining
+        bytes in numpy arrays and settles per-destination byte totals once
+        per epoch through this method; completions go through
+        :meth:`complete`.  The two paths update exactly the counters
+        :meth:`deliver` would, in a different grouping — both are plain
+        integer sums, so the final state is identical.
+        """
+        if num_bytes <= 0:
+            raise ValueError("delivered bytes must be positive")
+        self._delivered_total += num_bytes
+        self._delivered_per_dst[dst] += num_bytes
+
+    def complete(self, flow: Flow, time_ns: float) -> None:
+        """Mark a flow complete at ``time_ns`` (byte totals settled apart).
+
+        Counterpart of :meth:`credit_delivered` for the vectorized core:
+        the caller has already accounted the delivered bytes and asserts
+        the flow's last byte landed at ``time_ns``.
+        """
+        flow.remaining_bytes = 0
+        flow.completed_ns = time_ns
+        self._num_completed += 1
+        self._live_flows -= 1
+        if not self._retain:
+            self._fold_completed(flow)
+
     def _fold_completed(self, flow: Flow) -> None:
         fct = flow.fct_ns
         self._all_fct.add(fct)

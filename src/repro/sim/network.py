@@ -211,12 +211,20 @@ class NegotiaToRSimulator:
     # ------------------------------------------------------------------
 
     def run(self, duration_ns: float) -> None:
-        """Simulate whole epochs until ``duration_ns`` is covered."""
+        """Simulate whole epochs until ``duration_ns`` is covered.
+
+        Loop control is an exact *integer* epoch budget: the float duration
+        is converted once (via :meth:`_epoch_ceil`, which is exact against
+        the engine's own ``epoch * epoch_ns`` arithmetic) and the loop
+        compares integer epoch counters, so hour-long horizons cannot
+        accumulate float drift in the stepping decision.
+        """
         if duration_ns <= 0:
             raise ValueError("duration must be positive")
-        while self.now_ns < duration_ns:
+        target_epoch = self._epoch_ceil(duration_ns)
+        while self._epoch < target_epoch:
             self._maybe_fast_forward(duration_ns)
-            if self.now_ns >= duration_ns:
+            if self._epoch >= target_epoch:
                 break
             self.step_epoch()
 
@@ -225,16 +233,20 @@ class NegotiaToRSimulator:
 
         Returns True when all flows completed.  In streaming mode the
         source must also be exhausted — flows the engine has not pulled yet
-        are still outstanding work.
+        are still outstanding work.  Like :meth:`run`, the cutoff is held
+        as an integer epoch budget.
         """
+        if max_ns <= 0:
+            raise ValueError("max_ns must be positive")
+        limit_epoch = self._epoch_ceil(max_ns)
         while (
             self._source.next_arrival_ns is not None
             or not self.tracker.all_complete
         ):
-            if self.now_ns >= max_ns:
+            if self._epoch >= limit_epoch:
                 return False
             self._maybe_fast_forward(max_ns)
-            if self.now_ns >= max_ns:
+            if self._epoch >= limit_epoch:
                 return False
             self.step_epoch()
         return True

@@ -102,6 +102,14 @@ class ObliviousSimulator:
         # the slot loop branch-free beyond one check.
         self._tracer = tracer
         self._slot = 0
+        # Vectorized core (DESIGN.md section 15): skip ToRs with no staged
+        # or relayed bytes inside a slot, and jump whole idle slots.  Both
+        # are exact — a skipped ToR provably sends nothing, and a skipped
+        # slot provably changes no state (oblivious fabrics have no failure
+        # model and draw randomness only at injection).
+        self._vectorized = config.resolved_core == "vectorized"
+        self._ff_enabled = self._vectorized and config.idle_fast_forward
+        self._slots_fast_forwarded = 0
 
         if config.priority_queue_enabled:
             self._band_limits = tuple(config.pias_thresholds)
@@ -130,15 +138,30 @@ class ObliviousSimulator:
         """Fresh bytes currently staged at one source ToR."""
         return self._stage_pending[tor]
 
+    @property
+    def fast_forwarded_slots(self) -> int:
+        """Idle slots the run loops skipped without stepping them."""
+        return self._slots_fast_forwarded
+
     # ------------------------------------------------------------------
     # run loops
     # ------------------------------------------------------------------
 
     def run(self, duration_ns: float) -> None:
-        """Simulate slots until ``duration_ns`` is covered."""
+        """Simulate slots until ``duration_ns`` is covered.
+
+        Loop control is an exact integer slot budget: the float duration is
+        converted once via :meth:`_slot_ceil` (exact against the engine's
+        own ``slot * slot_ns`` arithmetic), so long horizons cannot
+        accumulate float drift in the stepping decision.
+        """
         if duration_ns <= 0:
             raise ValueError("duration must be positive")
-        while self.now_ns < duration_ns:
+        target_slot = self._slot_ceil(duration_ns)
+        while self._slot < target_slot:
+            self._maybe_fast_forward(target_slot)
+            if self._slot >= target_slot:
+                break
             self.step_slot()
 
     def run_until_complete(self, max_ns: float) -> bool:
@@ -147,14 +170,61 @@ class ObliviousSimulator:
         In streaming mode the source must also be exhausted — flows the
         engine has not pulled yet are still outstanding work.
         """
+        if max_ns <= 0:
+            raise ValueError("max_ns must be positive")
+        limit_slot = self._slot_ceil(max_ns)
         while (
             self._source.next_arrival_ns is not None
             or not self.tracker.all_complete
         ):
-            if self.now_ns >= max_ns:
+            if self._slot >= limit_slot:
+                return False
+            self._maybe_fast_forward(limit_slot)
+            if self._slot >= limit_slot:
                 return False
             self.step_slot()
         return True
+
+    def _slot_ceil(self, time_ns: float) -> int:
+        """Smallest slot index whose start time is at or after ``time_ns``.
+
+        The while-loops absorb float rounding in the division so the result
+        is exact against the engine's own ``slot * slot_ns`` arithmetic.
+        """
+        slot_ns = self.slot_ns
+        slot = math.ceil(time_ns / slot_ns)
+        while slot > 0 and (slot - 1) * slot_ns >= time_ns:
+            slot -= 1
+        while slot * slot_ns < time_ns:
+            slot += 1
+        return slot
+
+    def _maybe_fast_forward(self, limit_slot: int) -> None:
+        """Jump ``_slot`` over slots in which provably nothing happens.
+
+        Legal only when the fabric holds no bytes at all: an empty slot
+        injects nothing (the next arrival is still in the future), serves
+        nothing, and draws no randomness.  The jump lands on the first slot
+        whose start time reaches the next arrival (that slot injects it),
+        or the run limit.
+        """
+        if not self._ff_enabled:
+            return
+        if any(self._stage_pending) or any(self._relay_pending):
+            return
+        arrival = self._source.next_arrival_ns
+        target = limit_slot
+        if arrival is not None:
+            target = min(target, self._slot_ceil(arrival))
+        if target > self._slot:
+            skipped = target - self._slot
+            self._slots_fast_forwarded += skipped
+            self._slot = target
+            if self._tracer is not None:
+                # Keep counter *totals* identical to a stepped run: every
+                # skipped slot would have counted exactly one "slots" tick
+                # and served zero cells.
+                self._tracer.count("slots", skipped)
 
     # ------------------------------------------------------------------
     # one slot
@@ -177,8 +247,21 @@ class ObliviousSimulator:
         deliver_ns = start_ns + self.slot_ns + self.config.propagation_ns
         payload = self.payload_bytes
 
+        # Active-set iteration (vectorized core): a ToR with no staged and
+        # no relayed bytes cannot send on any port, so skipping it leaves
+        # every queue, counter, and delivery bit-identical.
+        skip_idle_tors = self._vectorized
+        stage_pending = self._stage_pending
+        relay_pending = self._relay_pending
+
         if tracer is None:
             for tor in range(self.config.num_tors):
+                if (
+                    skip_idle_tors
+                    and not stage_pending[tor]
+                    and not relay_pending[tor]
+                ):
+                    continue
                 for port in range(self.config.ports_per_tor):
                     peer = topology.predefined_peer(
                         tor, port, cycle_slot, cycle
@@ -194,6 +277,12 @@ class ObliviousSimulator:
             # Same sends, with per-hop wall-time attribution: second-hop
             # relay service is "relay", first-hop staged service "drain".
             for tor in range(self.config.num_tors):
+                if (
+                    skip_idle_tors
+                    and not stage_pending[tor]
+                    and not relay_pending[tor]
+                ):
+                    continue
                 for port in range(self.config.ports_per_tor):
                     peer = topology.predefined_peer(
                         tor, port, cycle_slot, cycle

@@ -45,6 +45,7 @@ tests/test_rotor_engine.py pins, with and without link failures).
 
 from __future__ import annotations
 
+import math
 from collections.abc import Iterable
 from time import perf_counter
 
@@ -133,6 +134,12 @@ class RotorSimulator:
         # the slice loop branch-free beyond one check.
         self._tracer = tracer
         self._slice = 0
+        # Vectorized core (DESIGN.md section 15): active-set iteration over
+        # ToRs with pending bytes and whole-slice fast-forward while the
+        # fabric is empty and failure detection is in steady state.
+        self._vectorized = config.resolved_core == "vectorized"
+        self._ff_enabled = self._vectorized and config.idle_fast_forward
+        self._slices_fast_forwarded = 0
 
     # ------------------------------------------------------------------
     # public accessors
@@ -166,10 +173,20 @@ class RotorSimulator:
     # ------------------------------------------------------------------
 
     def run(self, duration_ns: float) -> None:
-        """Simulate whole slices until ``duration_ns`` is covered."""
+        """Simulate whole slices until ``duration_ns`` is covered.
+
+        Loop control is an exact integer slice budget: the float duration
+        is converted once via :meth:`_slice_ceil` (exact against the
+        engine's own ``slice * slice_ns`` arithmetic), so long horizons
+        cannot accumulate float drift in the stepping decision.
+        """
         if duration_ns <= 0:
             raise ValueError("duration must be positive")
-        while self.now_ns < duration_ns:
+        target_slice = self._slice_ceil(duration_ns)
+        while self._slice < target_slice:
+            self._maybe_fast_forward(target_slice)
+            if self._slice >= target_slice:
+                break
             self.step_slice()
 
     def run_until_complete(self, max_ns: float) -> bool:
@@ -178,14 +195,71 @@ class RotorSimulator:
         In streaming mode the source must also be exhausted — flows the
         engine has not pulled yet are still outstanding work.
         """
+        if max_ns <= 0:
+            raise ValueError("max_ns must be positive")
+        limit_slice = self._slice_ceil(max_ns)
         while (
             self._source.next_arrival_ns is not None
             or not self.tracker.all_complete
         ):
-            if self.now_ns >= max_ns:
+            if self._slice >= limit_slice:
+                return False
+            self._maybe_fast_forward(limit_slice)
+            if self._slice >= limit_slice:
                 return False
             self.step_slice()
         return True
+
+    @property
+    def fast_forwarded_slices(self) -> int:
+        """Idle slices the run loops skipped without stepping them."""
+        return self._slices_fast_forwarded
+
+    def _slice_ceil(self, time_ns: float) -> int:
+        """Smallest slice index whose start time is at or after ``time_ns``.
+
+        The while-loops absorb float rounding in the division so the result
+        is exact against the engine's own ``slice * slice_ns`` arithmetic.
+        """
+        slice_ns = self.slice_ns
+        index = math.ceil(time_ns / slice_ns)
+        while index > 0 and (index - 1) * slice_ns >= time_ns:
+            index -= 1
+        while index * slice_ns < time_ns:
+            index += 1
+        return index
+
+    def _maybe_fast_forward(self, limit_slice: int) -> None:
+        """Jump ``_slice`` over slices in which provably nothing happens.
+
+        Legal only when the fabric is completely empty *and* failure
+        detection is in steady state (``tick_epoch`` would be a no-op).
+        The jump stops at the first slice that can inject the next arrival
+        or apply the next failure/repair event, so every skipped slice
+        would have been an exact no-op.
+        """
+        if not self._ff_enabled or not self.failures.is_quiescent:
+            return
+        if any(self._direct_pending) or any(self._relay_pending):
+            return
+        target = limit_slice
+        arrival = self._source.next_arrival_ns
+        if arrival is not None:
+            target = min(target, self._slice_ceil(arrival))
+        events = self._failure_events
+        if self._next_failure_event < len(events):
+            target = min(
+                target,
+                self._slice_ceil(events[self._next_failure_event].time_ns),
+            )
+        if target > self._slice:
+            skipped = target - self._slice
+            self._slices_fast_forwarded += skipped
+            self._slice = target
+            if self._tracer is not None:
+                # Preserve counter totals: each skipped slice would have
+                # counted one "slices" tick and moved no packets.
+                self._tracer.count("slices", skipped)
 
     # ------------------------------------------------------------------
     # one slice
@@ -210,9 +284,21 @@ class RotorSimulator:
         failures = self.failures
         check = failures.any_failed
         budget = self.rotor.packets_per_slice
+        # Active-set iteration (DESIGN.md section 15): a ToR with no direct
+        # and no relay backlog provably sends nothing this slice, so the
+        # vectorized core skips it without touching its (empty) queues.
+        skip_idle_tors = self._vectorized
+        direct_pending = self._direct_pending
+        relay_pending = self._relay_pending
 
         if tracer is None:
             for tor in range(self.config.num_tors):
+                if (
+                    skip_idle_tors
+                    and not direct_pending[tor]
+                    and not relay_pending[tor]
+                ):
+                    continue
                 for port in range(self.config.ports_per_tor):
                     peer = topology.predefined_peer(
                         tor, port, cycle_slot, cycle
@@ -235,6 +321,12 @@ class RotorSimulator:
             # Same service order, with wall time attributed per RotorLB
             # stage: relay (second hop), drain (direct), offload (VLB).
             for tor in range(self.config.num_tors):
+                if (
+                    skip_idle_tors
+                    and not direct_pending[tor]
+                    and not relay_pending[tor]
+                ):
+                    continue
                 for port in range(self.config.ports_per_tor):
                     peer = topology.predefined_peer(
                         tor, port, cycle_slot, cycle

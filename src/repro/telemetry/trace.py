@@ -17,10 +17,15 @@ import math
 from . import events as ev
 
 
-def _percentile(sorted_values: list, fraction: float) -> float:
-    """Nearest-rank percentile over an ascending list."""
+def _percentile(sorted_values: list, fraction: float) -> float | None:
+    """Nearest-rank percentile over an ascending list; None when empty.
+
+    An empty gauge series is a legitimate trace state (a run that never
+    hit a gauge cadence boundary, or a truncated JSONL), not an analyzer
+    error — callers render the absent value instead of crashing.
+    """
     if not sorted_values:
-        raise ValueError("no values")
+        return None
     rank = math.ceil(fraction * len(sorted_values)) - 1
     return float(sorted_values[max(0, min(len(sorted_values) - 1, rank))])
 
@@ -100,7 +105,7 @@ def analyze(events: list[dict], *, top: int = 5) -> dict:
             "p50": _percentile(values, 0.50),
             "p90": _percentile(values, 0.90),
             "p99": _percentile(values, 0.99),
-            "max": values[-1],
+            "max": values[-1] if values else None,
         }
 
     heartbeat_stats = None
@@ -191,10 +196,15 @@ def format_trace(analysis: dict) -> str:
         )
         lines.append(f"statuses: {statuses}")
     for engine, stats in analysis["queue_depth"].items():
+
+        def depth(key: str) -> str:
+            value = stats[key]
+            return "-" if value is None else f"{value:.0f}"
+
         lines.append(
-            f"queue depth ({engine}): p50={stats['p50']:.0f} "
-            f"p90={stats['p90']:.0f} p99={stats['p99']:.0f} "
-            f"max={stats['max']:.0f} over {stats['samples']} samples"
+            f"queue depth ({engine}): p50={depth('p50')} "
+            f"p90={depth('p90')} p99={depth('p99')} "
+            f"max={depth('max')} over {stats['samples']} samples"
         )
     heartbeats = analysis.get("heartbeats")
     if heartbeats:

@@ -1,0 +1,334 @@
+"""Differential tests: the vectorized cores against their scalar oracles.
+
+DESIGN.md section 15 promises that ``SimConfig.core`` is a pure
+performance switch — on a fixed seed the vectorized core produces
+bit-identical results to the scalar reference engine.  These tests
+enforce that promise with hypothesis-generated traces pushed through
+both cores of all three engines (negotiator, oblivious, rotor), with and
+without link failures, in materialized and streaming tracker modes.
+
+The one documented exception: streaming-mode *mean* FCT fields fold
+completions into a running mean in engine delivery order, and the
+vectorized core delivers within an epoch in canonical (pair-sorted)
+order rather than the scalar engine's dict order.  Sums of floats are
+not associative, so those two fields may differ in the last ulp; every
+other field (counts, bytes, percentiles, completion times) is exact.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Flow, ObliviousSimulator, SimConfig, ThinClos
+from repro.sim.factory import make_negotiator, vectorized_core_eligible
+from repro.sim.failures import FailurePlan, random_failure_plan
+from repro.sim.network import NegotiaToRSimulator
+from repro.sim.rotor import RotorSimulator
+from repro.sim.vectorized import VectorizedNegotiaToRSimulator
+from repro.topology.parallel import ParallelNetwork
+
+NUM_TORS = 8
+PORTS = 2
+
+# Streaming-mode running means fold in delivery order; everything else
+# must match bit for bit (see module docstring).
+STREAM_MEAN_FIELDS = {"mice_fct_mean_ns"}
+
+
+def _config(seed: int, core: str, *, fast_forward: bool = True) -> SimConfig:
+    return SimConfig(
+        num_tors=NUM_TORS,
+        ports_per_tor=PORTS,
+        seed=seed,
+        core=core,
+        idle_fast_forward=fast_forward,
+    )
+
+
+def _flows(draw_pairs: list[tuple[int, int, int, int]]) -> list[Flow]:
+    """Materialize hypothesis-drawn (src, dst_offset, bytes, gap) tuples.
+
+    Engines mutate ``Flow`` objects in place (``remaining_bytes``,
+    ``completed_ns``), so every simulator must get its own freshly-built
+    list — call this once per engine, never share the result.
+    """
+    flows = []
+    arrival = 0.0
+    for fid, (src, dst_off, size, gap_ns) in enumerate(draw_pairs):
+        dst = (src + 1 + dst_off) % NUM_TORS
+        arrival += float(gap_ns)
+        flows.append(Flow(fid, src, dst, size, arrival))
+    return flows
+
+
+flow_tuples = st.lists(
+    st.tuples(
+        st.integers(0, NUM_TORS - 1),       # src
+        st.integers(0, NUM_TORS - 2),       # dst offset (never src)
+        st.integers(1, 60_000),             # size_bytes
+        st.integers(0, 30_000),             # inter-arrival gap ns
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _assert_summaries_identical(scalar_sim, vector_sim, *, stream: bool):
+    ds = scalar_sim.summary().to_dict()
+    dv = vector_sim.summary().to_dict()
+    for key in ds:
+        if stream and key in STREAM_MEAN_FIELDS and ds[key] is not None:
+            assert dv[key] == pytest.approx(ds[key], rel=1e-9), key
+        else:
+            assert ds[key] == dv[key], key
+    assert scalar_sim.epoch == vector_sim.epoch
+    if not stream:
+        sc = {f.fid: f.completed_ns for f in scalar_sim.tracker.flows}
+        vc = {f.fid: f.completed_ns for f in vector_sim.tracker.flows}
+        assert sc == vc
+
+
+class TestNegotiatorParity:
+    @given(pairs=flow_tuples, seed=st.integers(0, 2**16), ff=st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_materialized_bit_identical(self, pairs, seed, ff):
+        topo = ParallelNetwork(NUM_TORS, PORTS)
+        s = NegotiaToRSimulator(
+            _config(seed, "scalar", fast_forward=ff), topo, _flows(pairs)
+        )
+        v = VectorizedNegotiaToRSimulator(
+            _config(seed, "vectorized", fast_forward=ff), topo, _flows(pairs)
+        )
+        assert s.run_until_complete(max_ns=1e12)
+        assert v.run_until_complete(max_ns=1e12)
+        _assert_summaries_identical(s, v, stream=False)
+
+    @given(
+        pairs=flow_tuples,
+        seed=st.integers(0, 2**16),
+        ratio=st.sampled_from([0.1, 0.25]),
+        repair=st.booleans(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_link_failures_bit_identical(self, pairs, seed, ratio, repair):
+        topo = ParallelNetwork(NUM_TORS, PORTS)
+        plan, _ = random_failure_plan(
+            NUM_TORS,
+            PORTS,
+            ratio,
+            40_000.0,
+            300_000.0 if repair else None,
+            random.Random(seed + 7),
+        )
+        s = NegotiaToRSimulator(
+            _config(seed, "scalar"),
+            topo,
+            _flows(pairs),
+            failure_plan=FailurePlan(list(plan.events)),
+        )
+        v = VectorizedNegotiaToRSimulator(
+            _config(seed, "vectorized"),
+            topo,
+            _flows(pairs),
+            failure_plan=FailurePlan(list(plan.events)),
+        )
+        # Unrepaired failures can strand bytes; cap instead of completing.
+        s.run(2e6)
+        v.run(2e6)
+        _assert_summaries_identical(s, v, stream=False)
+
+    @given(pairs=flow_tuples, seed=st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_streaming_matches_with_mean_tolerance(self, pairs, seed):
+        topo = ParallelNetwork(NUM_TORS, PORTS)
+        s = NegotiaToRSimulator(
+            _config(seed, "scalar"), topo, iter(_flows(pairs)), stream=True
+        )
+        v = VectorizedNegotiaToRSimulator(
+            _config(seed, "vectorized"), topo, iter(_flows(pairs)), stream=True
+        )
+        assert s.run_until_complete(max_ns=1e12)
+        assert v.run_until_complete(max_ns=1e12)
+        _assert_summaries_identical(s, v, stream=True)
+
+    def test_tracer_window_counters_sum_identically(self):
+        from repro.telemetry import EngineTracer, MemorySink
+
+        rng = random.Random(11)
+        pairs = [
+            (
+                rng.randrange(NUM_TORS),
+                rng.randrange(NUM_TORS - 1),
+                rng.randrange(1, 40_000),
+                rng.randrange(0, 20_000),
+            )
+            for _ in range(50)
+        ]
+        topo = ParallelNetwork(NUM_TORS, PORTS)
+        totals = {}
+        for core, cls in (
+            ("scalar", NegotiaToRSimulator),
+            ("vectorized", VectorizedNegotiaToRSimulator),
+        ):
+            sink = MemorySink()
+            tracer = EngineTracer(sink, "negotiator", cadence_ns=25_000)
+            sim = cls(_config(3, core), topo, _flows(pairs), tracer=tracer)
+            assert sim.run_until_complete(max_ns=1e12)
+            tracer.finish(int(sim.now_ns))
+            totals[core] = sink.of_kind("run-end")[-1]["counters"]
+        assert totals["scalar"] == totals["vectorized"]
+        assert totals["scalar"]["epochs"] > 0
+
+
+class TestObliviousAndRotorCoreParity:
+    """The oblivious/rotor engines take ``core`` as an internal switch."""
+
+    @given(pairs=flow_tuples, seed=st.integers(0, 2**16), ff=st.booleans())
+    @settings(max_examples=20, deadline=None)
+    def test_oblivious_cores_bit_identical(self, pairs, seed, ff):
+        topo = ThinClos(NUM_TORS, PORTS, NUM_TORS // PORTS)
+        sims = {}
+        for core in ("scalar", "vectorized"):
+            sim = ObliviousSimulator(
+                _config(seed, core, fast_forward=ff), topo, _flows(pairs)
+            )
+            assert sim.run_until_complete(max_ns=1e12)
+            sims[core] = sim
+        s, v = sims["scalar"], sims["vectorized"]
+        assert s.summary().to_dict() == v.summary().to_dict()
+        assert {f.fid: f.completed_ns for f in s.tracker.flows} == {
+            f.fid: f.completed_ns for f in v.tracker.flows
+        }
+
+    @given(
+        pairs=flow_tuples,
+        seed=st.integers(0, 2**16),
+        ff=st.booleans(),
+        failures=st.booleans(),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_rotor_cores_bit_identical(self, pairs, seed, ff, failures):
+        topo = ThinClos(NUM_TORS, PORTS, NUM_TORS // PORTS)
+        plan = None
+        if failures:
+            plan, _ = random_failure_plan(
+                NUM_TORS, PORTS, 0.1, 40_000.0, 300_000.0, random.Random(seed)
+            )
+        sims = {}
+        for core in ("scalar", "vectorized"):
+            sim = RotorSimulator(
+                _config(seed, core, fast_forward=ff),
+                topo,
+                _flows(pairs),
+                failure_plan=(
+                    FailurePlan(list(plan.events)) if plan else None
+                ),
+            )
+            sim.run(3e6)
+            sims[core] = sim
+        s, v = sims["scalar"], sims["vectorized"]
+        assert s.summary().to_dict() == v.summary().to_dict()
+        assert s.slices == v.slices
+
+
+class TestFactoryDispatch:
+    def test_vectorized_core_selected_inside_envelope(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CORE", raising=False)
+        config = _config(0, "vectorized")
+        topo = ParallelNetwork(NUM_TORS, PORTS)
+        sim = make_negotiator(config, topo, [Flow(0, 0, 1, 100, 0.0)])
+        assert isinstance(sim, VectorizedNegotiaToRSimulator)
+
+    def test_scalar_core_selected_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CORE", raising=False)
+        config = _config(0, "scalar")
+        topo = ParallelNetwork(NUM_TORS, PORTS)
+        sim = make_negotiator(config, topo, [Flow(0, 0, 1, 100, 0.0)])
+        assert isinstance(sim, NegotiaToRSimulator)
+
+    def test_env_override_beats_config_field(self, monkeypatch):
+        """REPRO_CORE switches a whole sweep without touching specs."""
+        monkeypatch.setenv("REPRO_CORE", "vectorized")
+        config = _config(0, "scalar")
+        topo = ParallelNetwork(NUM_TORS, PORTS)
+        sim = make_negotiator(config, topo, [Flow(0, 0, 1, 100, 0.0)])
+        assert isinstance(sim, VectorizedNegotiaToRSimulator)
+
+    def test_fallback_outside_envelope(self):
+        topo = ParallelNetwork(NUM_TORS, PORTS)
+        config = _config(0, "vectorized")
+        buffered = replace(config, receiver_buffer_bytes=10_000)
+        assert not vectorized_core_eligible(buffered, topo)
+        sim = make_negotiator(buffered, topo, [Flow(0, 0, 1, 100, 0.0)])
+        assert isinstance(sim, NegotiaToRSimulator)
+        assert not vectorized_core_eligible(
+            config, ThinClos(NUM_TORS, PORTS, NUM_TORS // PORTS)
+        )
+        assert not vectorized_core_eligible(
+            config, topo, record_pair_bandwidth=True
+        )
+
+
+class TestRunLoopControl:
+    """Satellites: integer-ns loop control and max_ns validation."""
+
+    def _engines(self, core="scalar"):
+        config = _config(0, core)
+        flows = [Flow(0, 0, 1, 5_000, 0.0)]
+        thin = ThinClos(NUM_TORS, PORTS, NUM_TORS // PORTS)
+        return [
+            NegotiaToRSimulator(
+                config, ParallelNetwork(NUM_TORS, PORTS), list(flows)
+            ),
+            ObliviousSimulator(config, thin, list(flows)),
+            RotorSimulator(config, thin, list(flows)),
+        ]
+
+    @pytest.mark.parametrize("bad", [0, -1, -1e9])
+    def test_run_until_complete_rejects_nonpositive_max_ns(self, bad):
+        for sim in self._engines():
+            with pytest.raises(ValueError, match="max_ns must be positive"):
+                sim.run_until_complete(max_ns=bad)
+        config = _config(0, "vectorized")
+        vec = VectorizedNegotiaToRSimulator(
+            config, ParallelNetwork(NUM_TORS, PORTS), [Flow(0, 0, 1, 10, 0.0)]
+        )
+        with pytest.raises(ValueError, match="max_ns must be positive"):
+            vec.run_until_complete(max_ns=bad)
+
+    def test_long_horizon_epoch_counts_are_exact(self):
+        """Integer step budgets: epoch counters match ceil(duration/step)
+        exactly even over horizons where float accumulation would drift."""
+        config = _config(0, "scalar", fast_forward=False)
+        topo = ParallelNetwork(NUM_TORS, PORTS)
+        sim = NegotiaToRSimulator(config, topo, [])
+        epoch_ns = sim.timing.epoch_ns
+        duration = 250_000 * epoch_ns  # long horizon, inexact float step
+        sim.run(duration)
+        assert sim.epoch == math.ceil(duration / epoch_ns) or (
+            sim.epoch * epoch_ns >= duration
+            and (sim.epoch - 1) * epoch_ns < duration
+        )
+        # The defining invariant: stepping stopped exactly at the first
+        # epoch whose start time reaches the requested duration.
+        assert (sim.epoch - 1) * epoch_ns < duration <= sim.epoch * epoch_ns
+
+    def test_chunked_run_equals_single_run(self):
+        """Repeated short run() calls land on the same integer epoch count
+        as one long call — no drift from re-deriving the loop bound."""
+        config = _config(0, "scalar", fast_forward=False)
+        topo = ParallelNetwork(NUM_TORS, PORTS)
+        single = NegotiaToRSimulator(config, topo, [])
+        chunked = NegotiaToRSimulator(config, topo, [])
+        epoch_ns = single.timing.epoch_ns
+        total = 999 * epoch_ns * 1.000000001
+        single.run(total)
+        for i in range(1, 10):
+            chunked.run(total * i / 9)
+        assert chunked.epoch == single.epoch

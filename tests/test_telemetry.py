@@ -633,6 +633,26 @@ class TestTraceAnalyzer:
         analysis = analyze(self.synthetic_events(), top=1)
         assert [s["spec"] for s in analysis["slowest_specs"]] == ["aa"]
 
+    def test_percentile_of_empty_series_is_none(self):
+        """Satellite: an empty gauge series must not crash the analyzer."""
+        from repro.telemetry.trace import _percentile
+
+        assert _percentile([], 0.50) is None
+        assert _percentile([], 0.99) is None
+        assert _percentile([5.0], 0.50) == 5.0
+
+    def test_format_trace_renders_missing_depth_stats_as_dash(self):
+        """A truncated JSONL can leave percentile stats absent; the text
+        renderer shows '-' instead of raising on the None."""
+        from repro.telemetry.trace import format_trace
+
+        analysis = analyze([], top=5)
+        analysis["queue_depth"]["negotiator"] = {
+            "samples": 0, "p50": None, "p90": None, "p99": None, "max": None,
+        }
+        text = format_trace(analysis)
+        assert "queue depth (negotiator): p50=- p90=- p99=- max=- " in text
+
 
 # ---------------------------------------------------------------------------
 # CLI
