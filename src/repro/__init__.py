@@ -33,9 +33,11 @@ from .core.pipeline import PipelinedScheduler
 from .core.relay import RelayPolicy, SelectiveRelaySimulator
 from .core.rings import RoundRobinRing
 from .core.variants import make_scheduler
+from .sim.adaptive import AdaptiveSimulator
 from .sim.config import (
     KB,
     MICE_THRESHOLD_BYTES,
+    AdaptiveConfig,
     EpochConfig,
     EpochTiming,
     SimConfig,
@@ -86,6 +88,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AWGR",
+    "AdaptiveConfig",
+    "AdaptiveSimulator",
     "BandwidthRecorder",
     "Direction",
     "EmpiricalCDF",

@@ -145,9 +145,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--system",
         action="append",
         dest="systems",
-        choices=["negotiator", "oblivious", "rotor"],
+        metavar="SYSTEM",
         default=None,
-        help="system to sweep (repeatable; default: negotiator)",
+        help="system to sweep: negotiator, oblivious, rotor, or adaptive "
+        "(repeatable; default: negotiator)",
     )
     sweep.add_argument(
         "--topology",
@@ -360,8 +361,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument(
         "--system",
-        choices=["negotiator", "oblivious", "rotor"],
+        metavar="SYSTEM",
         default="negotiator",
+        help="system to simulate: negotiator, oblivious, rotor, or "
+        "adaptive (default: negotiator)",
     )
     simulate.add_argument(
         "--topology", choices=["parallel", "thinclos"], default="parallel"
@@ -407,10 +410,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--engine",
-        choices=["negotiator", "rotor"],
+        metavar="ENGINE",
         default=None,
-        help="scale-bench engine under test (default negotiator; rotor runs "
-        "the RotorNet-style baseline on thin-clos)",
+        help="scale-bench engine under test: negotiator (default), rotor "
+        "(the RotorNet-style baseline on thin-clos), or adaptive (the "
+        "demand-aware baseline on thin-clos)",
     )
     bench.add_argument(
         "--scale-load",
@@ -522,21 +526,27 @@ def resolve_scale(name: str | None):
     return SCALES[name]
 
 
+CLI_SYSTEMS = ("adaptive", "negotiator", "oblivious", "rotor")
+"""Systems runnable from the CLI.  The spec-level registry
+(:data:`repro.sweep.spec.SYSTEMS`) additionally holds ``relay``, which has
+no CLI entry point."""
+
+
 def _reject_unknown(names, registry, kind: str) -> bool:
     """Report names missing from a registry; True when any was unknown.
 
     The single home of the CLI's unknown-name diagnostics: every command
-    that validates user-supplied experiment/scenario names goes through
-    here, so all of them emit the identical exit-2 message shape.
+    that validates user-supplied experiment/scenario/system names goes
+    through here, so all of them emit the identical exit-2 message shape
+    (the same shape spec validation raises — see
+    :func:`repro.sweep.spec.unknown_name_message`).
     """
+    from .sweep.spec import unknown_name_message
+
     unknown = [n for n in names if n not in registry]
     if not unknown:
         return False
-    print(
-        f"unknown {kind}(s): {', '.join(unknown)} "
-        f"(choose from {', '.join(sorted(registry))})",
-        file=sys.stderr,
-    )
+    print(unknown_name_message(kind, unknown, registry), file=sys.stderr)
     return True
 
 
@@ -779,6 +789,8 @@ def cmd_sweep(args) -> int:
             print(str(exc), file=sys.stderr)
             return 2
     systems = args.systems or ["negotiator"]
+    if _reject_unknown(systems, CLI_SYSTEMS, "system"):
+        return 2
     topologies = args.topologies or ["parallel"]
     loads = args.loads or list(scale.loads)
     seeds = args.seeds or [scale.seed]
@@ -797,13 +809,13 @@ def cmd_sweep(args) -> int:
             )
             for system in systems:
                 for topology in topologies:
-                    # The oblivious and rotor baselines only run on
-                    # thin-clos (their round-robin schedules need the AWGR
+                    # The oblivious, rotor, and adaptive baselines only
+                    # run on thin-clos (their schedules need the AWGR
                     # structure), whatever the --topology axis says;
                     # duplicates dedupe below.
                     fields = (
                         system_spec_fields(system)
-                        if system in ("oblivious", "rotor")
+                        if system in ("adaptive", "oblivious", "rotor")
                         else {"system": system, "topology": topology}
                     )
                     for load in point_loads:
@@ -1045,6 +1057,7 @@ def cmd_simulate(args) -> int:
     import random
 
     from .experiments.common import (
+        run_adaptive,
         run_negotiator,
         run_oblivious,
         run_rotor,
@@ -1052,6 +1065,8 @@ def cmd_simulate(args) -> int:
     )
     from .workloads import by_name, poisson_workload, trace_io
 
+    if _reject_unknown([args.system], CLI_SYSTEMS, "system"):
+        return 2
     scale = resolve_scale(args.scale)
     duration_ns = (
         args.duration_ms * 1e6 if args.duration_ms is not None
@@ -1079,9 +1094,11 @@ def cmd_simulate(args) -> int:
             random.Random(config.seed),
         )
 
-    run = {"oblivious": run_oblivious, "rotor": run_rotor}.get(
-        args.system, run_negotiator
-    )
+    run = {
+        "oblivious": run_oblivious,
+        "rotor": run_rotor,
+        "adaptive": run_adaptive,
+    }.get(args.system, run_negotiator)
     summary = run(
         scale, args.topology, flows, duration_ns=duration_ns, config=config
     ).summary

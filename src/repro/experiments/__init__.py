@@ -21,6 +21,7 @@ from .common import (
     ExperimentScale,
     current_scale,
     make_topology,
+    run_adaptive,
     run_negotiator,
     run_oblivious,
     run_relay,
@@ -40,6 +41,7 @@ EXPERIMENT_MODULES = {
     "fig7b": "fig7_alltoall",
     "fig8": "fig8_reconfig_delay",
     "fig9": "fig9_main_results",
+    "fig9_adaptive_baseline": "fig9_adaptive_baseline",
     "fig9_rotor_baseline": "fig9_rotor_baseline",
     "fig10": "fig10_fault_tolerance",
     "fig11": "fig11_no_speedup",
@@ -76,6 +78,7 @@ __all__ = [
     "current_scale",
     "load_experiment",
     "make_topology",
+    "run_adaptive",
     "run_negotiator",
     "run_oblivious",
     "run_relay",

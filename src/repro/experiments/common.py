@@ -360,6 +360,54 @@ def run_rotor(
     return RunArtifacts(summary=summary, simulator=sim, bandwidth=bandwidth)
 
 
+def run_adaptive(
+    scale: ExperimentScale,
+    topology_kind: str,
+    flows,
+    *,
+    duration_ns: float | None = None,
+    config: SimConfig | None = None,
+    priority_queue: bool = True,
+    adaptive=None,
+    bandwidth_bin_ns: float | None = None,
+    failure_model=None,
+    failure_plan=None,
+    until_complete: bool = False,
+    max_ns: float | None = None,
+    stream: bool = False,
+    tracer=None,
+) -> RunArtifacts:
+    """Run the demand-aware adaptive baseline on a workload.
+
+    ``adaptive`` is a :class:`~repro.sim.config.AdaptiveConfig` (default
+    estimation/matching knobs when None).  ``stream=True`` consumes
+    ``flows`` as a lazy arrival-ordered iterator with a bounded-memory
+    tracker (DESIGN.md §11).
+    """
+    from ..sim.adaptive import AdaptiveSimulator
+
+    if config is None:
+        config = sim_config(scale, priority_queue_enabled=priority_queue)
+    topology = make_topology(scale, topology_kind)
+    bandwidth = (
+        BandwidthRecorder(bandwidth_bin_ns) if bandwidth_bin_ns else None
+    )
+    sim = AdaptiveSimulator(
+        config,
+        topology,
+        flows,
+        adaptive=adaptive,
+        failure_model=failure_model,
+        failure_plan=failure_plan,
+        bandwidth_recorder=bandwidth,
+        stream=stream,
+        tracer=tracer,
+    )
+    duration = duration_ns if duration_ns is not None else scale.duration_ns
+    summary = _run_registered(sim, duration, until_complete, max_ns)
+    return RunArtifacts(summary=summary, simulator=sim, bandwidth=bandwidth)
+
+
 def sized_distribution(scale: ExperimentScale, trace: str = "hadoop"):
     """A flow-size distribution truncated to the scale's cap.
 

@@ -31,6 +31,7 @@ from dataclasses import dataclass, fields, replace
 
 from .perf import Stopwatch, fabric_config
 from .sim.factory import make_negotiator
+from .sweep.spec import unknown_name_message
 from .topology.parallel import ParallelNetwork
 from .topology.thinclos import ThinClos
 from .workloads.distributions import FixedSize
@@ -45,13 +46,16 @@ _BENCH_SEED = 0x5CA1E
 
 SCALE_BENCH_FILE = "BENCH_scale.json"
 
+#: Engines the scale bench can drive, in the shared rejection-message order.
+ENGINES = ("adaptive", "negotiator", "rotor")
+
 
 @dataclass(frozen=True)
 class ScaleBenchResult:
     """One streaming scale run's throughput and residency counters.
 
     ``epochs`` counts the engine's own steps — NegotiaToR epochs for the
-    negotiator engine, rotor slices for the rotor engine.
+    negotiator engine, circuit slices for the rotor and adaptive engines.
     """
 
     num_flows: int
@@ -115,15 +119,14 @@ def run_scale_bench(
     whole lifecycle — lazy generation, injection, scheduling, delivery,
     and eviction into the online accumulators.  ``engine`` selects the
     bounded-memory engine under test: ``negotiator`` (the default, on the
-    parallel network) or ``rotor`` (the RotorNet-style baseline on
-    thin-clos, its reference fabric).
+    parallel network), ``rotor`` (the RotorNet-style baseline on
+    thin-clos, its reference fabric), or ``adaptive`` (the demand-aware
+    engine, also on thin-clos).
     """
     if num_flows <= 0:
         raise ValueError("num_flows must be positive")
-    if engine not in ("negotiator", "rotor"):
-        raise ValueError(
-            f"unknown engine {engine!r}; choose 'negotiator' or 'rotor'"
-        )
+    if engine not in ENGINES:
+        raise ValueError(unknown_name_message("engine", [engine], ENGINES))
     config = fabric_config(num_tors, ports_per_tor, fast_forward=fast_forward)
     if core is not None:
         config = replace(config, core=core)
@@ -140,20 +143,23 @@ def run_scale_bench(
     span_ns = heavy_poisson_span_ns(
         distribution, load, num_tors, host_aggregate_gbps, num_flows
     )
-    if engine == "rotor":
-        from .sim.rotor import RotorSimulator
-
+    if engine in ("adaptive", "rotor"):
         if num_tors % ports_per_tor:
             raise ValueError(
-                "the rotor scale bench runs on the balanced thin-clos: "
+                f"the {engine} scale bench runs on the balanced thin-clos: "
                 "num_tors must be a multiple of ports_per_tor"
             )
-        sim = RotorSimulator(
-            config,
-            ThinClos(num_tors, ports_per_tor, num_tors // ports_per_tor),
-            flows,
-            stream=True,
+        topology = ThinClos(
+            num_tors, ports_per_tor, num_tors // ports_per_tor
         )
+        if engine == "rotor":
+            from .sim.rotor import RotorSimulator
+
+            sim = RotorSimulator(config, topology, flows, stream=True)
+        else:
+            from .sim.adaptive import AdaptiveSimulator
+
+            sim = AdaptiveSimulator(config, topology, flows, stream=True)
     else:
         sim = make_negotiator(
             config, ParallelNetwork(num_tors, ports_per_tor), flows, stream=True

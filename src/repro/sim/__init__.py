@@ -1,8 +1,10 @@
 """Simulation engines, queues, failures, and measurement instruments."""
 
+from .adaptive import AdaptiveSimulator
 from .config import (
     KB,
     MICE_THRESHOLD_BYTES,
+    AdaptiveConfig,
     EpochConfig,
     EpochTiming,
     RotorConfig,
@@ -30,6 +32,8 @@ from .rotor import RotorSimulator
 from .source import MaterializedFlowSource, StreamingFlowSource
 
 __all__ = [
+    "AdaptiveConfig",
+    "AdaptiveSimulator",
     "BandwidthRecorder",
     "DEFAULT_RESERVOIR_SIZE",
     "Direction",

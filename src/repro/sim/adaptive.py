@@ -1,0 +1,679 @@
+"""The demand-aware adaptive baseline: EWMA demand estimation + matching.
+
+This is the fourth corner of the reconfigurable-DCN design space the repo
+compares NegotiaToR against (after the Sirius-flavored per-slot oblivious
+fabric and the RotorNet-style rotor): a D3-class system that *watches* the
+traffic matrix and reconfigures toward it, in the spirit of demand-aware
+designs such as D3 and integrated static+rotor+on-demand topologies.
+Where the rotor cycles a fixed schedule blind to demand, the adaptive
+fabric:
+
+* **Estimates demand** — every flow arrival adds its bytes to a
+  per-(src, dst) observation window; at each recompute boundary (every
+  ``AdaptiveConfig.recompute_slices`` slices) the window folds into an
+  EWMA-estimated traffic matrix (``ewma_alpha`` weight on the new window)
+  and resets, so the estimate tracks shifting hotspots while smoothing
+  over burst noise.
+* **Schedules toward the heavy entries** — the estimated matrix feeds a
+  greedy max-weight matching over the port planes: entries are visited
+  heaviest-first (ties broken by (src, dst) for determinism) and claim a
+  circuit on a plane where both endpoints are free.  On topologies that
+  pin an ordered pair to a single plane (thin-clos
+  :meth:`~repro.topology.base.FlatTopology.data_port`) only that plane
+  is considered, so every circuit the matching emits is physically
+  realizable.  A pair that stays hot keeps its circuit across recomputes
+  and pays nothing; only ports whose assignment *changed* go dark for
+  ``reconfiguration_delay_ns`` — the demand-aware engine's defining
+  advantage over the rotor, whose every slice pays the delay.
+* **Covers the residual demand** — each cycle, ``residual_ports`` of the
+  port planes take a turn on the topology's round-robin rotation (the
+  same predefined schedule the rotor rides, paying the same per-slice
+  reconfiguration penalty), and the duty rotates across planes from
+  cycle to cycle: plane ``p`` is on rotation duty in cycle ``c`` iff
+  ``(p - c) % ports_per_tor < residual_ports``.  The planes' rotations
+  jointly connect every ordered pair once per cycle, so every pair —
+  including those that lose the matching, and on thin-clos the pairs
+  pinned to a plane currently on rotation duty — is periodically
+  connected and sparse demand is never starved.  A plane returning from
+  rotation duty must re-establish its demand circuits and pays one
+  reconfiguration delay from the cycle boundary.
+
+The engine reuses the shared substrate end to end, exactly as the rotor
+did: segment queues (:class:`~repro.sim.queues.PiasDestQueue`, PIAS bands
+at sources), the failure model and event plans (:mod:`repro.sim.failures`
+— a transmission is lost when its (tor, port) link is down), the
+bandwidth recorder, the telemetry ``tracer=`` hook, and both flow-source
+modes (``stream=True`` pairs a lazy arrival-ordered iterator with the
+bounded-memory tracker, DESIGN.md section 11).  All traffic is one-hop:
+demand-aware circuits serve their pair directly and the residual rotation
+serves whatever backlog waits for the connected peer, so there is no
+relay buffer and conservation is per-source-queue exact.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+from time import perf_counter
+
+from ..topology.base import FlatTopology
+from .config import AdaptiveConfig, SimConfig, transmit_ns
+from .failures import FailurePlan, LinkFailureModel
+from .flows import Flow, FlowTracker
+from .metrics import BandwidthRecorder, RunSummary
+from .queues import PiasDestQueue
+from .source import MaterializedFlowSource, StreamingFlowSource
+
+
+class AdaptiveSimulator:
+    """Slice-driven demand-aware fabric over a finite set of flows.
+
+    ``stream=True`` consumes ``flows`` lazily from an arrival-ordered
+    iterator with a bounded-memory tracker, mirroring the other engines'
+    streaming mode.
+    """
+
+    def __init__(
+        self,
+        config: SimConfig,
+        topology: FlatTopology,
+        flows: Iterable[Flow],
+        adaptive: AdaptiveConfig | None = None,
+        failure_model: LinkFailureModel | None = None,
+        failure_plan: FailurePlan | None = None,
+        bandwidth_recorder: BandwidthRecorder | None = None,
+        stream: bool = False,
+        tracer=None,
+    ) -> None:
+        if topology.num_tors != config.num_tors:
+            raise ValueError("topology and config disagree on num_tors")
+        if topology.ports_per_tor != config.ports_per_tor:
+            raise ValueError("topology and config disagree on ports_per_tor")
+        self.config = config
+        self.topology = topology
+        self.adaptive = adaptive or AdaptiveConfig()
+        if self.adaptive.residual_ports > config.ports_per_tor:
+            raise ValueError(
+                "residual_ports cannot exceed ports_per_tor "
+                f"({self.adaptive.residual_ports} > {config.ports_per_tor})"
+            )
+
+        packet_bytes = (
+            config.epoch.data_header_bytes + config.epoch.data_payload_bytes
+        )
+        self._tx_ns = transmit_ns(packet_bytes, config.uplink_gbps)
+        self.slice_ns = self.adaptive.slice_ns(config.epoch, config.uplink_gbps)
+        self.payload_bytes = config.epoch.data_payload_bytes
+        self.cycle_slots = topology.predefined_slots
+
+        self.failures = failure_model or LinkFailureModel(
+            config.num_tors, config.ports_per_tor
+        )
+        self._failure_events = (
+            failure_plan.sorted_events() if failure_plan is not None else []
+        )
+        self._next_failure_event = 0
+
+        self._stream = stream
+        if stream:
+            self.tracker = FlowTracker(
+                config.num_tors,
+                retain_flows=False,
+                mice_threshold_bytes=config.mice_threshold_bytes,
+                reservoir_seed=config.seed,
+            )
+            self._source = StreamingFlowSource(flows)
+        else:
+            self.tracker = FlowTracker(config.num_tors)
+            self._source = MaterializedFlowSource(flows)
+            self.tracker.register_all(self._source.flows)
+
+        n = config.num_tors
+        if config.priority_queue_enabled:
+            self._band_limits = tuple(config.pias_thresholds)
+        else:
+            self._band_limits = ()
+        # Per (source, destination) direct queues with PIAS bands: bytes
+        # wait here until a demand-aware circuit or the residual rotation
+        # connects the pair.  All traffic is one-hop — no relay buffers.
+        self._direct: list[dict[int, PiasDestQueue]] = [{} for _ in range(n)]
+        self._direct_pending = [0] * n
+        self.bandwidth = bandwidth_recorder
+        self._tracer = tracer
+        self._slice = 0
+        self._vectorized = config.resolved_core == "vectorized"
+        self._ff_enabled = self._vectorized and config.idle_fast_forward
+        self._slices_fast_forwarded = 0
+
+        # Demand estimation and the circuit schedule.
+        self._est = [[0.0] * n for _ in range(n)]
+        self._window = [[0] * n for _ in range(n)]
+        self._window_bytes = 0
+        # Whether any arrival has ever been observed: while False, every
+        # recompute is provably the identity (zero window onto a zero
+        # estimate yields an empty schedule), which is what licenses the
+        # idle fast-forward below.
+        self._demand_seen = False
+        # schedule[tor][port] = peer of the plane's demand circuit (None:
+        # idle).  Every physical plane carries a demand assignment; a
+        # plane simply ignores it while taking its turn on rotation duty.
+        ports = config.ports_per_tor
+        self._schedule: list[list[int | None]] = [
+            [None] * ports for _ in range(n)
+        ]
+        # Absolute time each port's demand circuit finishes reconfiguring.
+        self._ready_ns = [[0.0] * ports for _ in range(n)]
+        # Last cycle whose residual-duty roles have been applied; planes
+        # returning from rotation duty re-establish their circuits.
+        self._role_cycle = 0
+        # Residual ports rotate every slice, so — like the rotor — they
+        # pay the reconfiguration penalty at every slice start, expressed
+        # here as lost packet opportunities.
+        if self._tx_ns > 0 and self.adaptive.reconfiguration_delay_ns > 0:
+            self._residual_offset = math.ceil(
+                self.adaptive.reconfiguration_delay_ns / self._tx_ns
+            )
+        else:
+            self._residual_offset = 0
+        self._recomputes = 0
+        self._reconfigured_ports = 0
+
+    # ------------------------------------------------------------------
+    # public accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def now_ns(self) -> float:
+        """Start time of the next slice."""
+        return self._slice * self.slice_ns
+
+    @property
+    def slices(self) -> int:
+        """Number of slices simulated so far."""
+        return self._slice
+
+    @property
+    def core_used(self) -> str:
+        """Which engine core this instance runs (internal switch)."""
+        return "vectorized" if self._vectorized else "scalar"
+
+    @property
+    def total_queued_bytes(self) -> int:
+        """Bytes waiting in source queues (the fabric holds nothing else)."""
+        return sum(self._direct_pending)
+
+    def direct_bytes_at(self, tor: int) -> int:
+        """Bytes currently queued for transmission at one ToR."""
+        return self._direct_pending[tor]
+
+    @property
+    def recomputes(self) -> int:
+        """Schedule recomputations performed (or provably skipped idle)."""
+        return self._recomputes
+
+    @property
+    def reconfigured_ports(self) -> int:
+        """Demand-aware port assignments changed across all recomputes."""
+        return self._reconfigured_ports
+
+    def estimated_demand(self, src: int, dst: int) -> float:
+        """Current EWMA-estimated demand of one ordered pair, in bytes."""
+        return self._est[src][dst]
+
+    def schedule_peer(self, tor: int, port: int) -> int | None:
+        """Peer of the plane's demand circuit (None: idle).
+
+        The circuit only serves while the plane is not taking its turn on
+        rotation duty (see :meth:`residual_in_cycle`).
+        """
+        self.topology.check_port(port)
+        return self._schedule[tor][port]
+
+    def residual_in_cycle(self, port: int, cycle: int) -> bool:
+        """Whether plane ``port`` is on rotation duty during ``cycle``.
+
+        The duty rotates: plane ``p`` covers cycles where
+        ``(p - cycle) % ports_per_tor < residual_ports``, so over
+        ``ports_per_tor`` consecutive cycles every plane — and hence the
+        union of all planes' predefined rotations, which connects every
+        ordered pair — takes a turn.
+        """
+        ports = self.config.ports_per_tor
+        return (port - cycle) % ports < self.adaptive.residual_ports
+
+    # ------------------------------------------------------------------
+    # run loops
+    # ------------------------------------------------------------------
+
+    def run(self, duration_ns: float) -> None:
+        """Simulate whole slices until ``duration_ns`` is covered.
+
+        Loop control is an exact integer slice budget (see the rotor
+        engine): the float duration converts once via :meth:`_slice_ceil`,
+        so long horizons cannot accumulate float drift.
+        """
+        if duration_ns <= 0:
+            raise ValueError("duration must be positive")
+        target_slice = self._slice_ceil(duration_ns)
+        while self._slice < target_slice:
+            self._maybe_fast_forward(target_slice)
+            if self._slice >= target_slice:
+                break
+            self.step_slice()
+
+    def run_until_complete(self, max_ns: float) -> bool:
+        """Simulate until every flow completes (or ``max_ns``)."""
+        if max_ns <= 0:
+            raise ValueError("max_ns must be positive")
+        limit_slice = self._slice_ceil(max_ns)
+        while (
+            self._source.next_arrival_ns is not None
+            or not self.tracker.all_complete
+        ):
+            if self._slice >= limit_slice:
+                return False
+            self._maybe_fast_forward(limit_slice)
+            if self._slice >= limit_slice:
+                return False
+            self.step_slice()
+        return True
+
+    @property
+    def fast_forwarded_slices(self) -> int:
+        """Idle slices the run loops skipped without stepping them."""
+        return self._slices_fast_forwarded
+
+    def _slice_ceil(self, time_ns: float) -> int:
+        """Smallest slice index whose start time is at or after ``time_ns``."""
+        slice_ns = self.slice_ns
+        index = math.ceil(time_ns / slice_ns)
+        while index > 0 and (index - 1) * slice_ns >= time_ns:
+            index -= 1
+        while index * slice_ns < time_ns:
+            index += 1
+        return index
+
+    def _maybe_fast_forward(self, limit_slice: int) -> None:
+        """Jump ``_slice`` over slices in which provably nothing happens.
+
+        Stricter than the rotor's condition: beyond an empty fabric and
+        quiescent failure detection, no demand may ever have been observed
+        — then every skipped recompute folds a zero window onto a zero
+        estimate and leaves the (empty) schedule untouched, so skipping
+        it is exact.  Once any arrival lands, the EWMA carries state
+        between recomputes and slices are always stepped.
+        """
+        if not self._ff_enabled or not self.failures.is_quiescent:
+            return
+        if self._demand_seen or any(self._direct_pending):
+            return
+        target = limit_slice
+        arrival = self._source.next_arrival_ns
+        if arrival is not None:
+            target = min(target, self._slice_ceil(arrival))
+        events = self._failure_events
+        if self._next_failure_event < len(events):
+            target = min(
+                target,
+                self._slice_ceil(events[self._next_failure_event].time_ns),
+            )
+        if target > self._slice:
+            skipped = target - self._slice
+            self._slices_fast_forwarded += skipped
+            # Preserve counter totals: each skipped slice would have
+            # counted one "slices" tick, and each skipped recompute
+            # boundary one identity recompute.
+            period = self.adaptive.recompute_slices
+            first = self._slice + (-self._slice % period)
+            if first < target:
+                self._recomputes += 1 + (target - 1 - first) // period
+            self._slice = target
+            if self._tracer is not None:
+                self._tracer.count("slices", skipped)
+
+    # ------------------------------------------------------------------
+    # one slice
+    # ------------------------------------------------------------------
+
+    def step_slice(self) -> None:
+        """Simulate one slice across all ToRs and ports."""
+        slice_index = self._slice
+        start_ns = self.now_ns
+        tracer = self._tracer
+        if tracer is not None:
+            t_inject = perf_counter()
+        self._apply_failure_events(start_ns)
+        self.failures.tick_epoch()
+        self._inject_arrivals(start_ns)
+        self._apply_role_transitions(slice_index // self.cycle_slots)
+        if tracer is not None:
+            now = perf_counter()
+            tracer.add_span("inject", now - t_inject)
+            t_match = now
+        if slice_index % self.adaptive.recompute_slices == 0:
+            reconfigured = self._recompute_schedule(start_ns)
+            if tracer is not None:
+                tracer.add_span("matching", perf_counter() - t_match)
+                tracer.count("recomputes")
+                tracer.count("reconfigured_ports", reconfigured)
+
+        topology = self.topology
+        cycle_slot = slice_index % self.cycle_slots
+        cycle = slice_index // self.cycle_slots
+        failures = self.failures
+        check = failures.any_failed
+        budget = self.adaptive.packets_per_slice
+        skip_idle_tors = self._vectorized
+        direct_pending = self._direct_pending
+
+        if tracer is None:
+            for tor in range(self.config.num_tors):
+                if skip_idle_tors and not direct_pending[tor]:
+                    continue
+                for port in range(self.config.ports_per_tor):
+                    peer, offset = self._port_assignment(
+                        tor, port, cycle_slot, cycle,
+                        start_ns, budget, topology,
+                    )
+                    if peer is None:
+                        continue
+                    if check and not failures.transmission_ok(
+                        tor, port, peer, port
+                    ):
+                        continue
+                    self._serve_direct(tor, peer, start_ns, offset, budget)
+        else:
+            for tor in range(self.config.num_tors):
+                if skip_idle_tors and not direct_pending[tor]:
+                    continue
+                for port in range(self.config.ports_per_tor):
+                    peer, offset = self._port_assignment(
+                        tor, port, cycle_slot, cycle,
+                        start_ns, budget, topology,
+                    )
+                    if peer is None:
+                        continue
+                    if check and not failures.transmission_ok(
+                        tor, port, peer, port
+                    ):
+                        continue
+                    t0 = perf_counter()
+                    sent = self._serve_direct(
+                        tor, peer, start_ns, offset, budget
+                    )
+                    tracer.add_span("drain", perf_counter() - t0)
+                    key = (
+                        "residual_packets"
+                        if self.residual_in_cycle(port, cycle)
+                        else "demand_packets"
+                    )
+                    tracer.count(key, sent)
+        self.tracker.flush_completions()
+        self._slice += 1
+        if tracer is not None:
+            tracer.count("slices")
+            if tracer.gauge_due(int(self.now_ns)):
+                tracer.sample(
+                    int(self.now_ns),
+                    queued_bytes=self.total_queued_bytes,
+                    active_circuits=sum(
+                        1
+                        for row in self._schedule
+                        for peer in row
+                        if peer is not None
+                    ),
+                )
+
+    def _port_assignment(
+        self,
+        tor: int,
+        port: int,
+        cycle_slot: int,
+        cycle: int,
+        start_ns: float,
+        budget: int,
+        topology: FlatTopology,
+    ) -> tuple[int | None, int]:
+        """(peer, first usable packet slot) of one port this slice.
+
+        A plane on rotation duty this cycle follows the predefined
+        rotation and — like the rotor — pays the reconfiguration penalty
+        at every slice start.  Otherwise the plane serves its demand
+        circuit, holding it until the next recompute and losing leading
+        packet opportunities only while still reconfiguring.
+        """
+        if self.residual_in_cycle(port, cycle):
+            if self._residual_offset >= budget:
+                return None, 0
+            peer = topology.predefined_peer(tor, port, cycle_slot, cycle)
+            return peer, self._residual_offset
+        peer = self._schedule[tor][port]
+        if peer is None:
+            return None, 0
+        ready = self._ready_ns[tor][port]
+        if ready <= start_ns:
+            return peer, 0
+        offset = math.ceil((ready - start_ns) / self._tx_ns)
+        if offset >= budget:
+            return None, 0
+        return peer, offset
+
+    def _apply_role_transitions(self, cycle: int) -> None:
+        """Re-establish circuits on planes returning from rotation duty.
+
+        While a plane rotates it cannot hold its demand circuit, so when
+        the duty moves on the circuit must be set up again: its ready
+        time advances to one reconfiguration delay past the boundary of
+        the cycle the plane rejoined demand service.  Idle assignments
+        need nothing, which keeps this exact across fast-forwarded gaps
+        (pre-demand the schedule is empty).
+        """
+        prev = self._role_cycle
+        if cycle == prev:
+            return
+        self._role_cycle = cycle
+        ports = self.config.ports_per_tor
+        residual = self.adaptive.residual_ports
+        if residual == 0 or residual >= ports:
+            return
+        span = cycle - prev
+        cycle_start_ns = cycle * self.cycle_slots * self.slice_ns
+        delay = self.adaptive.reconfiguration_delay_ns
+        for port in range(ports):
+            if self.residual_in_cycle(port, cycle):
+                continue
+            rotated = span >= ports or any(
+                self.residual_in_cycle(port, c)
+                for c in range(max(prev, cycle - ports), cycle)
+            )
+            if not rotated:
+                continue
+            ready = cycle_start_ns + delay
+            for tor in range(self.config.num_tors):
+                if (
+                    self._schedule[tor][port] is not None
+                    and self._ready_ns[tor][port] < ready
+                ):
+                    self._ready_ns[tor][port] = ready
+
+    # ------------------------------------------------------------------
+    # demand estimation and schedule recomputation
+    # ------------------------------------------------------------------
+
+    def _recompute_schedule(self, now_ns: float) -> int:
+        """Fold the observation window and re-match; returns ports changed.
+
+        The estimate update is ``est = (1 - alpha) * est + alpha * window``
+        entry-wise, after which the window resets — between recomputes the
+        schedule is frozen, so the engine's behavior is piecewise-static
+        and exactly reproducible.  Matching is greedy max-weight over the
+        port planes: heaviest estimated entries first (ties by
+        (src, dst)), an entry claims the lowest-indexed plane where both
+        its endpoints are free — restricted to the pair's single feasible
+        plane on topologies whose :meth:`data_port` pins it (thin-clos) —
+        and a pair holds at most one demand-aware circuit.  Ports whose
+        assignment changed (including newly lit and newly darkened ones)
+        go dark for ``reconfiguration_delay_ns`` from ``now_ns``.
+        """
+        n = self.config.num_tors
+        alpha = self.adaptive.ewma_alpha
+        keep = 1.0 - alpha
+        est = self._est
+        window = self._window
+        if self._window_bytes or self._demand_seen:
+            for src in range(n):
+                row_e = est[src]
+                row_w = window[src]
+                for dst in range(n):
+                    row_e[dst] = keep * row_e[dst] + alpha * row_w[dst]
+                    if row_w[dst]:
+                        row_w[dst] = 0
+        self._window_bytes = 0
+        self._recomputes += 1
+
+        entries: list[tuple[float, int, int]] = []
+        for src in range(n):
+            row = est[src]
+            for dst in range(n):
+                if row[dst] > 0.0:
+                    entries.append((-row[dst], src, dst))
+        entries.sort()
+
+        changed = 0
+        delay = self.adaptive.reconfiguration_delay_ns
+        ports = self.config.ports_per_tor
+        data_port = self.topology.data_port
+        src_used = [[False] * n for _ in range(ports)]
+        dst_used = [[False] * n for _ in range(ports)]
+        assignment: list[list[int | None]] = [
+            [None] * n for _ in range(ports)
+        ]
+        for _neg_weight, src, dst in entries:
+            pinned = data_port(src, dst)
+            planes = range(ports) if pinned is None else (pinned,)
+            for plane in planes:
+                if src_used[plane][src] or dst_used[plane][dst]:
+                    continue
+                src_used[plane][src] = True
+                dst_used[plane][dst] = True
+                assignment[plane][src] = dst
+                break
+        for port in range(ports):
+            plane_assignment = assignment[port]
+            for tor in range(n):
+                if plane_assignment[tor] != self._schedule[tor][port]:
+                    self._schedule[tor][port] = plane_assignment[tor]
+                    self._ready_ns[tor][port] = now_ns + delay
+                    changed += 1
+        self._reconfigured_ports += changed
+        return changed
+
+    # ------------------------------------------------------------------
+    # slice timing
+    # ------------------------------------------------------------------
+
+    def _packet_start_ns(self, slice_start_ns: float, k: int) -> float:
+        """Start of the k-th packet opportunity inside one slice."""
+        return slice_start_ns + k * self._tx_ns
+
+    def _packet_deliver_ns(self, slice_start_ns: float, k: int) -> float:
+        """Arrival time of the k-th packet at the receiving ToR."""
+        return (
+            self._packet_start_ns(slice_start_ns, k)
+            + self._tx_ns
+            + self.config.propagation_ns
+        )
+
+    # ------------------------------------------------------------------
+    # arrivals
+    # ------------------------------------------------------------------
+
+    def _inject_arrivals(self, before_ns: float) -> None:
+        source = self._source
+        arrival = source.next_arrival_ns
+        register = self.tracker.register if self._stream else None
+        while arrival is not None and arrival <= before_ns:
+            flow = source.pop()
+            if register is not None:
+                register(flow)
+            queue = self._direct[flow.src].get(flow.dst)
+            if queue is None:
+                queue = PiasDestQueue(
+                    self._band_limits, enabled=bool(self._band_limits)
+                )
+                self._direct[flow.src][flow.dst] = queue
+            queue.enqueue_flow(flow)
+            self._direct_pending[flow.src] += flow.size_bytes
+            # The demand observation the next recompute folds in.
+            self._window[flow.src][flow.dst] += flow.size_bytes
+            self._window_bytes += flow.size_bytes
+            self._demand_seen = True
+            arrival = source.next_arrival_ns
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+
+    def _serve_direct(
+        self, tor: int, peer: int, start_ns: float, offset: int, budget: int
+    ) -> int:
+        """Drain the (tor, peer) backlog in PIAS order; returns slots used."""
+        queue = self._direct[tor].get(peer)
+        if queue is None or queue.is_empty:
+            return 0
+        sent = 0
+
+        def deliver(flow: Flow, num_bytes: int, last_slot: int) -> None:
+            nonlocal sent
+            sent += num_bytes
+            deliver_ns = self._packet_deliver_ns(start_ns, offset + last_slot)
+            self.tracker.deliver(flow, num_bytes, deliver_ns)
+            if self.bandwidth is not None:
+                self.bandwidth.record(("rx", peer), num_bytes, deliver_ns)
+
+        used = queue.drain_slots(
+            num_slots=budget - offset,
+            payload_bytes=self.payload_bytes,
+            slot_start_ns=lambda k: self._packet_start_ns(
+                start_ns, offset + k
+            ),
+            deliver=deliver,
+        )
+        self._direct_pending[tor] -= sent
+        return used
+
+    # ------------------------------------------------------------------
+    # failures
+    # ------------------------------------------------------------------
+
+    def _apply_failure_events(self, now_ns: float) -> None:
+        events = self._failure_events
+        while (
+            self._next_failure_event < len(events)
+            and events[self._next_failure_event].time_ns <= now_ns
+        ):
+            self.failures.apply(events[self._next_failure_event])
+            self._next_failure_event += 1
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def summary(self, duration_ns: float | None = None) -> RunSummary:
+        """Headline metrics over ``duration_ns`` (default: simulated time)."""
+        duration = duration_ns if duration_ns is not None else self.now_ns
+        mice_p99, mice_mean = self.tracker.mice_fct_summary(
+            self.config.mice_threshold_bytes
+        )
+        return RunSummary(
+            duration_ns=duration,
+            epoch_ns=None,
+            num_flows=self._source.popped,
+            num_completed=self.tracker.num_completed,
+            goodput_normalized=self.tracker.goodput_normalized(
+                duration, self.config.host_aggregate_gbps
+            ),
+            goodput_gbps=self.tracker.goodput_gbps(duration),
+            mice_fct_p99_ns=mice_p99,
+            mice_fct_mean_ns=mice_mean,
+        )

@@ -206,6 +206,59 @@ class RotorConfig:
         return (slice_ns - self.reconfiguration_delay_ns) / slice_ns
 
 
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Knobs of the demand-aware adaptive baseline (D3-class).
+
+    The adaptive fabric (sim/adaptive.py) estimates the traffic matrix
+    from observed per-(src, dst) arrivals with an EWMA (``ewma_alpha``
+    folded in every ``recompute_slices`` slices) and points its circuits
+    at the heavy entries via a greedy max-weight matching.  Unlike the
+    rotor, a slice boundary is *not* a reconfiguration: only ports whose
+    assignment actually changed at a recompute pay
+    ``reconfiguration_delay_ns`` (during which the affected link carries
+    nothing); unchanged circuits keep transmitting at full duty cycle.
+    Each cycle, ``residual_ports`` of every ToR's port planes take a turn
+    on the rotor-style round-robin rotation (paying the rotor's per-slice
+    reconfiguration penalty), and the duty rotates across planes from
+    cycle to cycle so the planes' rotations jointly connect every ordered
+    pair — pairs too sparse to win a matching are never starved.
+
+    The defaults match the rotor baseline's timebase — 16 data packets
+    per slice and a 160 ns reconfiguration penalty — so the two systems
+    differ only in *what* they schedule, not in link arithmetic.
+    """
+
+    packets_per_slice: int = 16
+    reconfiguration_delay_ns: float = 160.0
+    ewma_alpha: float = 0.25
+    recompute_slices: int = 4
+    residual_ports: int = 1
+
+    def __post_init__(self) -> None:
+        if self.packets_per_slice <= 0:
+            raise ValueError("packets_per_slice must be positive")
+        if self.reconfiguration_delay_ns < 0:
+            raise ValueError("reconfiguration_delay_ns must be non-negative")
+        if not (0.0 < self.ewma_alpha <= 1.0):
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if self.recompute_slices <= 0:
+            raise ValueError("recompute_slices must be positive")
+        if self.residual_ports < 0:
+            raise ValueError("residual_ports must be non-negative")
+
+    def slice_ns(self, epoch: EpochConfig, uplink_gbps: float) -> float:
+        """Duration of one slice: the packet budget, with no blanket guard.
+
+        Reconfiguration time is charged per affected port at recompute
+        boundaries (the demand-aware engine's defining advantage over the
+        rotor, whose every slice pays the delay), so the slice itself is
+        pure transmission time.
+        """
+        packet_bytes = epoch.data_header_bytes + epoch.data_payload_bytes
+        return self.packets_per_slice * transmit_ns(packet_bytes, uplink_gbps)
+
+
 def epoch_config_without_piggyback(
     base: EpochConfig, uplink_gbps: float, predefined_slots: int
 ) -> EpochConfig:

@@ -4,13 +4,18 @@
 between the scalar reference engine and the vectorized core.  The
 vectorized core supports the common configuration only — the parallel
 network with the base scheduler and no per-epoch recorders — so this
-factory checks eligibility and silently falls back to the scalar engine
-outside that envelope.  Both cores are bit-identical on a fixed seed;
-the fallback is a performance decision, never a semantic one.
+factory checks eligibility and falls back to the scalar engine outside
+that envelope.  Because the default core is ``"scalar"``, a resolved
+``"vectorized"`` is always an explicit request (config field or env
+var), and a fallback then emits one :class:`RuntimeWarning` naming the
+first envelope condition that failed; the default configuration never
+warns.  Both cores are bit-identical on a fixed seed; the fallback is a
+performance decision, never a semantic one.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Iterable
 
 from ..topology.parallel import ParallelNetwork
@@ -18,6 +23,39 @@ from .config import SimConfig
 from .flows import Flow
 from .network import NegotiaToRSimulator
 from .vectorized import VectorizedNegotiaToRSimulator
+
+
+def vectorized_core_ineligibility(
+    config: SimConfig,
+    topology,
+    *,
+    scheduler=None,
+    match_recorder=None,
+    bandwidth_recorder=None,
+    record_pair_bandwidth: bool = False,
+) -> str | None:
+    """Why the vectorized core cannot run this configuration (None: it can).
+
+    The envelope: parallel network, base scheduler (no variant hooks),
+    no match-ratio or bandwidth recorders, and no receiver buffers.
+    Link failures, streaming sources, and telemetry tracers are all
+    supported inside the envelope.  Returns the first failed condition
+    as a human-readable phrase, which the factory's fallback warning
+    quotes verbatim.
+    """
+    if not isinstance(topology, ParallelNetwork):
+        return f"topology {topology.name!r} is not the parallel network"
+    if scheduler is not None:
+        return "a scheduler variant is attached"
+    if match_recorder is not None:
+        return "a match-ratio recorder is attached"
+    if bandwidth_recorder is not None:
+        return "a bandwidth recorder is attached"
+    if record_pair_bandwidth:
+        return "per-pair bandwidth recording is enabled"
+    if config.receiver_buffer_bytes is not None:
+        return "receiver buffers are configured"
+    return None
 
 
 def vectorized_core_eligible(
@@ -29,20 +67,17 @@ def vectorized_core_eligible(
     bandwidth_recorder=None,
     record_pair_bandwidth: bool = False,
 ) -> bool:
-    """Whether the vectorized core can run this exact configuration.
-
-    The envelope: parallel network, base scheduler (no variant hooks),
-    no match-ratio or bandwidth recorders, and no receiver buffers.
-    Link failures, streaming sources, and telemetry tracers are all
-    supported inside the envelope.
-    """
+    """Whether the vectorized core can run this exact configuration."""
     return (
-        isinstance(topology, ParallelNetwork)
-        and scheduler is None
-        and match_recorder is None
-        and bandwidth_recorder is None
-        and not record_pair_bandwidth
-        and config.receiver_buffer_bytes is None
+        vectorized_core_ineligibility(
+            config,
+            topology,
+            scheduler=scheduler,
+            match_recorder=match_recorder,
+            bandwidth_recorder=bandwidth_recorder,
+            record_pair_bandwidth=record_pair_bandwidth,
+        )
+        is None
     )
 
 
@@ -65,24 +100,36 @@ def make_negotiator(
     Returns a :class:`VectorizedNegotiaToRSimulator` when
     ``config.resolved_core`` is ``"vectorized"`` and the configuration is
     inside the vectorized envelope; the scalar
-    :class:`NegotiaToRSimulator` otherwise.
+    :class:`NegotiaToRSimulator` otherwise.  Falling back from an
+    explicit vectorized request warns (see the module docstring); the
+    result's actual core is always reported by its ``core_used``
+    property.
     """
-    if config.resolved_core == "vectorized" and vectorized_core_eligible(
-        config,
-        topology,
-        scheduler=scheduler,
-        match_recorder=match_recorder,
-        bandwidth_recorder=bandwidth_recorder,
-        record_pair_bandwidth=record_pair_bandwidth,
-    ):
-        return VectorizedNegotiaToRSimulator(
+    if config.resolved_core == "vectorized":
+        reason = vectorized_core_ineligibility(
             config,
             topology,
-            flows,
-            failure_model=failure_model,
-            failure_plan=failure_plan,
-            stream=stream,
-            tracer=tracer,
+            scheduler=scheduler,
+            match_recorder=match_recorder,
+            bandwidth_recorder=bandwidth_recorder,
+            record_pair_bandwidth=record_pair_bandwidth,
+        )
+        if reason is None:
+            return VectorizedNegotiaToRSimulator(
+                config,
+                topology,
+                flows,
+                failure_model=failure_model,
+                failure_plan=failure_plan,
+                stream=stream,
+                tracer=tracer,
+            )
+        warnings.warn(
+            "vectorized core was requested but this configuration is "
+            f"outside its envelope ({reason}); running the scalar "
+            "reference engine instead",
+            RuntimeWarning,
+            stacklevel=2,
         )
     return NegotiaToRSimulator(
         config,

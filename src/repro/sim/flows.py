@@ -17,6 +17,15 @@ The tracker runs in one of two modes (DESIGN.md section 11):
   are never retained, so memory stays O(flows in flight) on million-flow
   streaming runs.  Percentiles are exact while the completed count fits the
   reservoir and are unbiased estimates beyond it.
+
+Bounded-mode folds are *order-canonicalized*: completions buffer as scalar
+tuples and fold in ``(completed_ns, fid)`` order at each engine step
+(:meth:`FlowTracker.flush_completions`), so the accumulator state — the
+running FCT sum in particular — is independent of the order the engine
+happened to deliver within a step.  That is what makes the scalar and
+vectorized cores bit-identical in streaming mode (DESIGN.md section 15):
+both cores complete the same flows at the same times within each step,
+and the canonical sort erases their differing intra-step delivery order.
 """
 
 from __future__ import annotations
@@ -172,6 +181,10 @@ class FlowTracker:
         self._num_registered = 0
         self._live_flows = 0
         self._peak_live_flows = 0
+        # Bounded-mode fold buffer: (completed_ns, fid, fct_ns, is_mice)
+        # scalar tuples — never Flow references, so buffering keeps the
+        # bounded-memory contract.  Engines flush once per step.
+        self._pending_folds: list[tuple[float, int, float, bool]] = []
         if retain_flows:
             self._mice_fct: ReservoirSampler | None = None
             self._all_fct: ReservoirSampler | None = None
@@ -260,10 +273,38 @@ class FlowTracker:
             self._fold_completed(flow)
 
     def _fold_completed(self, flow: Flow) -> None:
-        fct = flow.fct_ns
-        self._all_fct.add(fct)
-        if flow.is_mice(self._mice_threshold):
-            self._mice_fct.add(fct)
+        # Buffer, don't fold: the accumulators consume completions in
+        # canonical order at the next flush_completions() call.
+        self._pending_folds.append(
+            (
+                flow.completed_ns,
+                flow.fid,
+                flow.fct_ns,
+                flow.is_mice(self._mice_threshold),
+            )
+        )
+
+    def flush_completions(self) -> None:
+        """Fold buffered completions in canonical ``(completed_ns, fid)`` order.
+
+        Engines call this once at the end of each step (epoch, slice, or
+        slot); accumulator reads flush implicitly.  Both cores of an engine
+        complete the same flow set at the same times within each step, so
+        sorting each step's batch by ``(completed_ns, fid)`` — a total order,
+        since fids are unique and completion times are bit-identical across
+        cores — makes the global fold sequence, and with it every running
+        sum and reservoir draw, identical whatever intra-step order the
+        engine delivered in.  No-op in materialized mode.
+        """
+        pending = self._pending_folds
+        if not pending:
+            return
+        pending.sort()
+        for _completed_ns, _fid, fct, mice in pending:
+            self._all_fct.add(fct)
+            if mice:
+                self._mice_fct.add(fct)
+        pending.clear()
 
     # ------------------------------------------------------------------
     # flow views (materialized mode only)
@@ -344,11 +385,13 @@ class FlowTracker:
     @property
     def mice_fct_sample(self) -> ReservoirSampler | None:
         """The mice-FCT reservoir (bounded mode only, else None)."""
+        self.flush_completions()
         return self._mice_fct
 
     @property
     def all_fct_sample(self) -> ReservoirSampler | None:
         """The all-completions FCT reservoir (bounded mode only, else None)."""
+        self.flush_completions()
         return self._all_fct
 
     def mice_fct_summary(
@@ -359,9 +402,10 @@ class FlowTracker:
         Materialized mode computes both exactly from the retained flows —
         bit-identical to the historical ``fct_percentile_ns``/``fct_mean_ns``
         calls the golden baselines were recorded with.  Bounded mode answers
-        from the accumulators: the mean is an exact running sum (modulo
-        float addition order) and the percentile is reservoir-exact while
-        the completed-mice count fits the capacity.
+        from the accumulators: the mean is an exact running sum folded in
+        canonical ``(completed_ns, fid)`` order (identical across engine
+        cores) and the percentile is reservoir-exact while the
+        completed-mice count fits the capacity.
         """
         if self._retain:
             mice = self.mice_flows(threshold_bytes)
@@ -376,6 +420,7 @@ class FlowTracker:
                 f"bounded tracker folded mice at {self._mice_threshold} "
                 f"bytes; cannot re-split at {threshold_bytes}"
             )
+        self.flush_completions()
         if self._mice_fct.count == 0:
             return None, None
         return self._mice_fct.percentile(99), self._mice_fct.mean()

@@ -185,6 +185,11 @@ class NegotiaToRSimulator:
         """Start time of the next epoch."""
         return self._epoch * self._epoch_ns
 
+    @property
+    def core_used(self) -> str:
+        """Which engine core this instance runs."""
+        return "scalar"
+
     def attach_stats_recorder(self, recorder: EpochStatsRecorder) -> None:
         """Record per-epoch scheduler statistics into ``recorder``."""
         self._stats = recorder
@@ -417,6 +422,7 @@ class NegotiaToRSimulator:
                     scheduled_bytes=self._phase_bytes[1],
                 )
             )
+        self.tracker.flush_completions()
         self._epoch += 1
         if tracer is not None and tracer.gauge_due(int(self.now_ns)):
             tracer.sample(

@@ -126,6 +126,11 @@ class ObliviousSimulator:
         return self._slot * self.slot_ns
 
     @property
+    def core_used(self) -> str:
+        """Which engine core this instance runs (internal switch)."""
+        return "vectorized" if self._vectorized else "scalar"
+
+    @property
     def total_queued_bytes(self) -> int:
         """Bytes staged at sources plus bytes in flight at intermediates."""
         return sum(self._stage_pending) + sum(self._relay_pending)
@@ -304,6 +309,7 @@ class ObliviousSimulator:
                     tracer.add_span("drain", perf_counter() - now)
                     if staged:
                         tracer.count("direct_cells")
+        self.tracker.flush_completions()
         self._slot += 1
         if tracer is not None:
             tracer.count("slots")

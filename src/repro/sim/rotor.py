@@ -151,6 +151,11 @@ class RotorSimulator:
         return self._slice * self.slice_ns
 
     @property
+    def core_used(self) -> str:
+        """Which engine core this instance runs (internal switch)."""
+        return "vectorized" if self._vectorized else "scalar"
+
+    @property
     def slices(self) -> int:
         """Number of slices simulated so far."""
         return self._slice
@@ -354,6 +359,7 @@ class RotorSimulator:
                             tor, peer, start_ns, used, budget
                         )
                         tracer.add_span("offload", perf_counter() - t0)
+        self.tracker.flush_completions()
         self._slice += 1
         if tracer is not None:
             tracer.count("slices")

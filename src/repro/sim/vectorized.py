@@ -208,6 +208,11 @@ class VectorizedNegotiaToRSimulator:
         return self._epoch * self._epoch_ns
 
     @property
+    def core_used(self) -> str:
+        """Which engine core this instance runs."""
+        return "vectorized"
+
+    @property
     def total_queued_bytes(self) -> int:
         """Bytes currently waiting in all per-destination queues."""
         return self._queued
@@ -392,6 +397,7 @@ class VectorizedNegotiaToRSimulator:
         if tracer is not None:
             tracer.add_span("drain", perf_counter() - t_phase)
 
+        self.tracker.flush_completions()
         self._epoch += 1
         if tracer is not None and tracer.gauge_due(int(self.now_ns)):
             tracer.sample(

@@ -29,6 +29,7 @@ from ..experiments.common import (
     SCALES,
     ExperimentScale,
     make_topology,
+    run_adaptive,
     run_negotiator,
     run_oblivious,
     run_relay,
@@ -36,6 +37,7 @@ from ..experiments.common import (
     sim_config,
 )
 from ..sim.config import (
+    AdaptiveConfig,
     EpochConfig,
     RotorConfig,
     epoch_config_for_reconfiguration_delay,
@@ -66,7 +68,7 @@ from .resilience import (
     default_quarantine_path,
     run_with_retries,
 )
-from .spec import RunSpec
+from .spec import SYSTEMS, RunSpec, unknown_name_message
 from .store import ResultStore
 
 
@@ -157,6 +159,23 @@ def resolve_rotor(spec: RunSpec) -> RotorConfig | None:
     if unknown:
         raise ValueError(f"unknown rotor_params key(s): {sorted(unknown)}")
     return RotorConfig(**params)
+
+
+def resolve_adaptive(spec: RunSpec) -> AdaptiveConfig | None:
+    """The adaptive configuration a spec's ``adaptive_params`` describe.
+
+    Keys map to :class:`~repro.sim.config.AdaptiveConfig` fields.  Returns
+    None (engine defaults) when the spec has no overrides.
+    """
+    params = dict(spec.adaptive_params)
+    if not params:
+        return None
+    unknown = set(params) - {
+        f.name for f in dataclasses.fields(AdaptiveConfig)
+    }
+    if unknown:
+        raise ValueError(f"unknown adaptive_params key(s): {sorted(unknown)}")
+    return AdaptiveConfig(**params)
 
 
 def resolve_failures(
@@ -485,9 +504,13 @@ def execute_spec(spec: RunSpec) -> RunSummary:
             raise ValueError(
                 "scheduler variants apply to the negotiator system only"
             )
-        if failure_model is not None and spec.system != "rotor":
+        if failure_model is not None and spec.system not in (
+            "rotor",
+            "adaptive",
+        ):
             raise ValueError(
-                "failure plans apply to the negotiator and rotor systems only"
+                "failure plans apply to the negotiator, rotor, and "
+                "adaptive systems only"
             )
         if instrument.get("pair_bandwidth") or instrument.get("match_ratio"):
             raise ValueError(
@@ -496,6 +519,8 @@ def execute_spec(spec: RunSpec) -> RunSummary:
             )
     if spec.rotor_params and spec.system != "rotor":
         raise ValueError("rotor_params apply to the rotor system only")
+    if spec.adaptive_params and spec.system != "adaptive":
+        raise ValueError("adaptive_params apply to the adaptive system only")
 
     if spec.system == "oblivious":
         if spec.scheduler_params:
@@ -534,6 +559,26 @@ def execute_spec(spec: RunSpec) -> RunSummary:
             stream=spec.stream,
             tracer=tracer,
         )
+    elif spec.system == "adaptive":
+        if spec.scheduler_params:
+            raise ValueError(
+                "scheduler variants apply to the negotiator system only"
+            )
+        artifacts = run_adaptive(
+            scale,
+            spec.topology,
+            flows,
+            duration_ns=duration,
+            config=config,
+            adaptive=resolve_adaptive(spec),
+            bandwidth_bin_ns=instrument.get("bandwidth_bin_ns"),
+            failure_model=failure_model,
+            failure_plan=failure_plan,
+            until_complete=spec.until_complete,
+            max_ns=spec.max_ns,
+            stream=spec.stream,
+            tracer=tracer,
+        )
     elif spec.system == "relay":
         from ..core.relay import RelayPolicy
 
@@ -556,7 +601,7 @@ def execute_spec(spec: RunSpec) -> RunSummary:
             max_ns=spec.max_ns,
             tracer=tracer,
         )
-    else:
+    elif spec.system == "negotiator":
         artifacts = run_negotiator(
             scale,
             spec.topology,
@@ -575,8 +620,19 @@ def execute_spec(spec: RunSpec) -> RunSummary:
             stream=spec.stream,
             tracer=tracer,
         )
+    else:
+        # RunSpec validation makes this unreachable, but the dispatch is
+        # kept exhaustive so a registry/dispatch drift fails loudly with
+        # the same message shape as every other entry point.
+        raise ValueError(
+            unknown_name_message("system", [spec.system], SYSTEMS)
+        )
 
     summary = artifacts.summary
+    # Which core actually ran is observability, not spec content: it
+    # lands in ``extra`` (never in the engine's own summary()) so the
+    # cross-core parity suites can keep comparing summaries verbatim.
+    summary.extra["core_used"] = artifacts.simulator.core_used
     if tracer is not None:
         tracer.finish(int(artifacts.simulator.now_ns))
     for name in spec.collect:

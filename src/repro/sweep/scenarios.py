@@ -22,6 +22,7 @@ to serial ones.
 
 from __future__ import annotations
 
+import itertools
 import random
 from collections.abc import Callable, Iterator, Mapping
 from dataclasses import dataclass, field
@@ -30,7 +31,11 @@ from ..experiments.common import sized_distribution, workload_for
 from ..sim.config import KB
 from ..sim.flows import Flow
 from ..workloads.distributions import FixedSize
-from ..workloads.generators import single_pair_stream
+from ..workloads.generators import (
+    network_arrival_rate_per_ns,
+    single_pair_stream,
+    uniform_pair,
+)
 from ..workloads.streams import heavy_poisson_stream
 from ..workloads.incast import (
     all_to_all_workload,
@@ -321,6 +326,112 @@ def _rotor_skewed(scale, load, duration_ns, rng, *, trace, hot_fraction, hot_wei
         hot_fraction=hot_fraction,
         hot_weight=hot_weight,
     )
+
+
+# ---------------------------------------------------------------------------
+# the adaptive comparison family (fig9_adaptive_baseline and adaptive sweeps)
+# ---------------------------------------------------------------------------
+
+
+@register(
+    "adaptive-shifting",
+    "hotspot whose hot ToR set is re-drawn every phase (tracker stress)",
+    trace="hadoop",
+    phases=4,
+    hot_fraction=0.25,
+    hot_weight=0.9,
+)
+def _adaptive_shifting(
+    scale, load, duration_ns, rng, *, trace, phases, hot_fraction, hot_weight
+):
+    # The demand tracker's re-convergence test: the skew is steady (a small
+    # hot set carries most bytes) but the hot set is re-drawn at every phase
+    # boundary, so a schedule tuned to the old matrix goes stale at once.
+    # A static matching would decay to residual coverage; the EWMA
+    # estimator should re-aim within a few recompute intervals.
+    if phases < 1:
+        raise ValueError("phases must be at least 1")
+    size_dist = sized_distribution(scale, trace)
+    num_tors = scale.num_tors
+    num_hot = min(num_tors, max(2, round(hot_fraction * num_tors)))
+    hot_sets = [rng.sample(range(num_tors), num_hot) for _ in range(phases)]
+    rate = network_arrival_rate_per_ns(
+        load, size_dist.mean(), num_tors, scale.host_aggregate_gbps
+    )
+    phase_ns = duration_ns / phases
+    fids = itertools.count()
+    flows = []
+    t = rng.expovariate(rate)
+    while t < duration_ns:
+        hot = hot_sets[min(int(t // phase_ns), phases - 1)]
+        if rng.random() < hot_weight:
+            src, dst = rng.sample(hot, 2)
+        else:
+            src, dst = uniform_pair(num_tors, rng)
+        flows.append(
+            Flow(
+                fid=next(fids),
+                src=src,
+                dst=dst,
+                size_bytes=size_dist.sample(rng),
+                arrival_ns=t,
+                tag="shifting",
+            )
+        )
+        t += rng.expovariate(rate)
+    return flows
+
+
+@register(
+    "adaptive-elephants",
+    "few persistent elephant pairs over a light uniform mesh",
+    trace="hadoop",
+    num_elephants=2,
+    elephant_weight=0.8,
+)
+def _adaptive_elephants(
+    scale, load, duration_ns, rng, *, trace, num_elephants, elephant_weight
+):
+    # Steady-state sweet spot for demand-aware circuits: a handful of
+    # fixed ordered pairs carry most bytes, so a matching that pins those
+    # pairs beats any oblivious rotation, while the uniform remainder
+    # keeps the residual-coverage path honest.
+    if num_elephants < 1:
+        raise ValueError("num_elephants must be at least 1")
+    if not 0 <= elephant_weight <= 1:
+        raise ValueError("elephant_weight must be in [0, 1]")
+    size_dist = sized_distribution(scale, trace)
+    num_tors = scale.num_tors
+    pairs = sorted(
+        (src, dst)
+        for src in range(num_tors)
+        for dst in range(num_tors)
+        if src != dst
+    )
+    elephants = rng.sample(pairs, min(num_elephants, len(pairs)))
+    rate = network_arrival_rate_per_ns(
+        load, size_dist.mean(), num_tors, scale.host_aggregate_gbps
+    )
+    fids = itertools.count()
+    flows = []
+    t = rng.expovariate(rate)
+    while t < duration_ns:
+        if rng.random() < elephant_weight:
+            src, dst = elephants[rng.randrange(len(elephants))]
+        else:
+            src, dst = uniform_pair(num_tors, rng)
+        flows.append(
+            Flow(
+                fid=next(fids),
+                src=src,
+                dst=dst,
+                size_bytes=size_dist.sample(rng),
+                arrival_ns=t,
+                tag="elephants",
+            )
+        )
+        t += rng.expovariate(rate)
+    return flows
 
 
 # ---------------------------------------------------------------------------

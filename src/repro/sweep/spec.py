@@ -22,7 +22,7 @@ import json
 from collections.abc import Mapping
 from dataclasses import dataclass, fields, replace
 
-SPEC_VERSION = 3
+SPEC_VERSION = 5
 """The newest spec schema this code understands.
 
 The ``spec_version`` a spec *emits* (and therefore hashes) is the oldest
@@ -33,9 +33,12 @@ features.
 Version history: 1 — the original PR 2 schema; 2 — adds ``epoch_params``,
 ``failure_params``, ``instrument`` and the ``relay`` system (the full
 experiment migration); 3 — adds the ``rotor`` system and ``rotor_params``
-(the RotorNet-style baseline).  The ``stream`` field (streaming execution)
-was added hash-neutrally within version 2: like ``rotor_params``, it only
-enters the canonical JSON when non-default, so every pre-existing spec
+(the RotorNet-style baseline); 4 — reserved (streaming execution was
+planned as a schema bump but landed hash-neutrally within version 2, so
+the number was never emitted); 5 — adds the ``adaptive`` system and
+``adaptive_params`` (the demand-aware D3-class baseline).  The ``stream``
+field only enters the canonical JSON when non-default — like
+``rotor_params`` and ``adaptive_params`` — so every pre-existing spec
 keeps its hash."""
 
 Params = tuple[tuple[str, object], ...]
@@ -48,11 +51,26 @@ PARAM_FIELDS = (
     "failure_params",
     "instrument",
     "rotor_params",
+    "adaptive_params",
 )
 """RunSpec fields holding frozen key/value parameter tuples."""
 
-SYSTEMS = ("negotiator", "oblivious", "relay", "rotor")
+SYSTEMS = ("adaptive", "negotiator", "oblivious", "relay", "rotor")
 TOPOLOGIES = ("parallel", "thinclos")
+
+
+def unknown_name_message(kind: str, names, registry) -> str:
+    """The one diagnostic shape for names missing from a registry.
+
+    Every ``system=``/``engine=`` validation site — spec construction,
+    spec execution, the CLI's argument rejection, the scale bench — goes
+    through this helper, so the message can never drift between entry
+    points (the regression in tests/test_cli_and_analysis.py pins it).
+    """
+    return (
+        f"unknown {kind}(s): {', '.join(names)} "
+        f"(choose from {', '.join(sorted(registry))})"
+    )
 
 
 def freeze_params(params: Mapping[str, object] | None) -> Params:
@@ -72,12 +90,12 @@ def system_spec_fields(kind: str) -> dict:
     """Map an experiment "system" label to RunSpec system/topology fields.
 
     Experiments label their curves ``parallel``/``thinclos`` (NegotiaToR on
-    that fabric), ``oblivious``, ``rotor``, or ``relay`` — and the
-    oblivious baseline, the rotor baseline, and the selective-relay variant
-    always run on thin-clos, whose AWGR structure their schemes need.  This
-    helper is that invariant's single home.
+    that fabric), ``oblivious``, ``rotor``, ``adaptive``, or ``relay`` —
+    and the oblivious, rotor, and adaptive baselines and the
+    selective-relay variant always run on thin-clos, whose AWGR structure
+    their schemes need.  This helper is that invariant's single home.
     """
-    if kind in ("oblivious", "relay", "rotor"):
+    if kind in ("adaptive", "oblivious", "relay", "rotor"):
         return {"system": kind, "topology": "thinclos"}
     return {"system": "negotiator", "topology": kind}
 
@@ -122,6 +140,11 @@ class RunSpec:
     like ``stream``, the field enters the canonical JSON only when set, so
     it is hash-neutral for every pre-existing spec.
 
+    ``adaptive_params`` configures the ``adaptive`` system's
+    :class:`~repro.sim.config.AdaptiveConfig` by field name
+    (``packets_per_slice``, ``reconfiguration_delay_ns``, ``ewma_alpha``,
+    ``recompute_slices``, ``residual_ports``); hash-neutral the same way.
+
     ``instrument`` attaches recorders the ``collect`` metrics read:
     ``bandwidth_bin_ns`` (a :class:`~repro.sim.metrics.BandwidthRecorder`),
     ``pair_bandwidth`` (per-pair keys; negotiator only), ``match_ratio``
@@ -153,11 +176,12 @@ class RunSpec:
     collect: tuple[str, ...] = ()
     stream: bool = False
     rotor_params: Params = ()
+    adaptive_params: Params = ()
 
     def __post_init__(self) -> None:
         if self.system not in SYSTEMS:
             raise ValueError(
-                f"unknown system {self.system!r}; choose from {SYSTEMS}"
+                unknown_name_message("system", [self.system], SYSTEMS)
             )
         if self.topology not in TOPOLOGIES:
             raise ValueError(
@@ -182,10 +206,11 @@ class RunSpec:
     def to_dict(self) -> dict:
         """JSON-serializable form (tuples become lists).
 
-        ``stream`` and ``rotor_params`` are emitted only when non-default:
-        both fields joined the schema after stores and baselines existed,
-        and omitting the default keeps the canonical JSON — and therefore
-        every stored content hash — of all pre-existing specs unchanged.
+        ``stream``, ``rotor_params``, and ``adaptive_params`` are emitted
+        only when non-default: all three fields joined the schema after
+        stores and baselines existed, and omitting the default keeps the
+        canonical JSON — and therefore every stored content hash — of all
+        pre-existing specs unchanged.
         """
         payload = {
             "scale": self.scale,
@@ -212,6 +237,10 @@ class RunSpec:
             payload["stream"] = True
         if self.rotor_params:
             payload["rotor_params"] = [list(kv) for kv in self.rotor_params]
+        if self.adaptive_params:
+            payload["adaptive_params"] = [
+                list(kv) for kv in self.adaptive_params
+            ]
         return payload
 
     @classmethod
@@ -238,6 +267,8 @@ class RunSpec:
         feature it actually uses, so adding schema versions never moves
         the hashes of specs that predate them.
         """
+        if self.system == "adaptive" or self.adaptive_params:
+            return 5
         if self.system == "rotor" or self.rotor_params:
             return 3
         return 2

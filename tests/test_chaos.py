@@ -237,7 +237,13 @@ class TestChaosConvergence:
 
 def cli_env(**extra: str) -> dict:
     src = str(Path(__file__).resolve().parent.parent / "src")
-    return {"PYTHONPATH": src, "PATH": "/usr/bin:/bin", **extra}
+    env = {"PYTHONPATH": src, "PATH": "/usr/bin:/bin", **extra}
+    # The subprocess must run the same engine core as this process: stored
+    # summaries record core_used, and the bit-for-bit comparison against an
+    # in-process golden would otherwise diverge on that key alone.
+    if "REPRO_CORE" in os.environ:
+        env["REPRO_CORE"] = os.environ["REPRO_CORE"]
+    return env
 
 
 SWEEP_ARGS = (

@@ -17,6 +17,7 @@ from repro.analysis.shapes import (
 from repro.cli import build_parser, main
 from repro.experiments import EXPERIMENT_MODULES, load_experiment
 from repro.experiments.common import ExperimentResult, ExperimentScale
+from repro.sweep import RunSpec
 
 MICRO = ExperimentScale(
     name="micro",
@@ -112,25 +113,47 @@ class TestCLI:
 
         Before the _reject_unknown helper, run/golden said "(try: python -m
         repro list)" while sweep/bench said "(choose from ...)"; the shape
-        is now pinned so the four paths can never drift apart again.
+        is now pinned — via spec.unknown_name_message — so no path can
+        drift apart again.  The system/engine cases additionally pin the
+        registry contents: every message must enumerate ``adaptive``.
         """
         import re
 
         cases = [
-            (["run", "fig99"], "experiment"),
-            (["golden", "fig99"], "experiment"),
-            (["sweep", "--scenario", "fig99", "--dry-run"], "scenario"),
-            (["bench", "--scenario", "fig99"], "scenario"),
+            (["run", "fig99"], "experiment", "fig99"),
+            (["golden", "fig99"], "experiment", "fig99"),
+            (["sweep", "--scenario", "fig99", "--dry-run"], "scenario", "fig99"),
+            (["bench", "--scenario", "fig99"], "scenario", "fig99"),
+            (["sweep", "--system", "torus", "--dry-run"], "system", "torus"),
+            (["simulate", "--system", "torus"], "system", "torus"),
+            (
+                ["bench", "--scale", "--engine", "torus", "--flows", "10"],
+                "engine",
+                "torus",
+            ),
         ]
         shape = re.compile(
-            r"^unknown (experiment|scenario)\(s\): fig99 "
+            r"^unknown (experiment|scenario|system|engine)\(s\): \w+ "
             r"\(choose from [\w, .-]+\)$"
         )
-        for argv, kind in cases:
+        for argv, kind, name in cases:
             assert main(argv) == 2, argv
             err = capsys.readouterr().err.strip()
             assert shape.fullmatch(err), (argv, err)
-            assert err.startswith(f"unknown {kind}(s): fig99 (choose from ")
+            assert err.startswith(f"unknown {kind}(s): {name} (choose from ")
+            if kind in ("system", "engine"):
+                assert "adaptive" in err, (argv, err)
+
+    def test_spec_and_cli_unknown_system_messages_match(self):
+        """The spec layer and the CLI reject unknown systems identically."""
+        from repro.sweep.spec import SYSTEMS, unknown_name_message
+
+        with pytest.raises(ValueError) as excinfo:
+            RunSpec(scale="tiny", system="torus")
+        assert str(excinfo.value) == unknown_name_message(
+            "system", ["torus"], SYSTEMS
+        )
+        assert "adaptive" in str(excinfo.value)
 
     def test_run_fast_experiment(self, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_SCALE", "tiny")
@@ -221,7 +244,7 @@ class TestExperimentRegistry:
             "table2", "table3", "table4", "table5", "table6",
             "fig6", "fig7a", "fig7b", "fig8", "fig9", "fig10", "fig11",
             "fig12", "fig13", "fig14", "fig15", "fig17_18", "fig19",
-            "fig9_rotor_baseline", "efficiency",
+            "fig9_rotor_baseline", "fig9_adaptive_baseline", "efficiency",
         }
         assert set(EXPERIMENT_MODULES) == expected
 

@@ -1,13 +1,16 @@
-"""Byte-conservation invariant across all three engines.
+"""Byte-conservation invariant across all four engines.
 
-At every epoch (NegotiaToR), slot (oblivious), or slice (rotor) boundary,
-every byte a flow has injected must be accounted for exactly once::
+At every epoch (NegotiaToR), slot (oblivious), or slice (rotor, adaptive)
+boundary, every byte a flow has injected must be accounted for exactly
+once::
 
     bytes injected == bytes delivered + bytes still queued in the network
 
 where "queued" includes the oblivious baseline's staged and relay buffers
 and the rotor's direct and relay buffers (``total_queued_bytes`` spans
-them all).  The engines maintain the queued total incrementally on the hot
+them all); the adaptive engine is one-hop, so its source queues are the
+whole fabric and the invariant additionally pins its schedule
+reconfiguration (tested with a recompute at every slice boundary).  The engines maintain the queued total incrementally on the hot
 path (DESIGN.md section 6), so this test also guards that bookkeeping
 against drift — a single dropped or double-counted segment anywhere in the
 delivery paths breaks the equality.
@@ -24,7 +27,8 @@ import pytest
 
 from repro.experiments.common import MICRO, make_topology, sim_config
 from repro.sweep import RunSpec, build_workload, scale_spec_fields
-from repro.sim.config import RotorConfig
+from repro.sim.adaptive import AdaptiveSimulator
+from repro.sim.config import AdaptiveConfig, RotorConfig
 from repro.sim.network import NegotiaToRSimulator
 from repro.sim.oblivious import ObliviousSimulator
 from repro.sim.rotor import RotorSimulator
@@ -129,6 +133,74 @@ def test_rotor_conserves_bytes_at_every_slice(scenario, seed, load, vlb_relay):
         )
         boundaries += 1
     assert boundaries > 10
+    assert sim.tracker.delivered_bytes > 0
+
+
+@pytest.mark.parametrize("recompute_slices", [1, 4])
+@pytest.mark.parametrize("scenario,seed,load", CASES)
+def test_adaptive_conserves_bytes_at_every_slice(
+    scenario, seed, load, recompute_slices
+):
+    """Conservation across reconfiguration boundaries: recompute_slices=1
+    re-matches at *every* slice, so every boundary the invariant is checked
+    at is also a schedule-recomputation (and potential port-darkening)
+    boundary."""
+    flows = _randomized_flows(scenario, seed, load)
+    sim = AdaptiveSimulator(
+        sim_config(MICRO),
+        make_topology(MICRO, "thinclos"),
+        flows,
+        adaptive=AdaptiveConfig(recompute_slices=recompute_slices),
+    )
+    boundaries = 0
+    while sim.now_ns < DURATION_NS:
+        # The adaptive engine injects at slice *start*; bytes arriving
+        # mid-slice enter the network at the next boundary.
+        boundary_ns = sim.now_ns
+        sim.step_slice()
+        injected = _injected_bytes(sim.tracker.flows, boundary_ns)
+        accounted = sim.tracker.delivered_bytes + sim.total_queued_bytes
+        assert accounted == injected, (
+            f"slice at {sim.now_ns:.0f} ns: injected {injected} != delivered "
+            f"{sim.tracker.delivered_bytes} + queued {sim.total_queued_bytes}"
+        )
+        boundaries += 1
+    assert boundaries > 10
+    assert sim.tracker.delivered_bytes > 0
+    assert sim.recomputes > 0
+
+
+def test_adaptive_conservation_survives_link_failures():
+    """Failures drop transmissions, never bytes — including on circuits
+    that reconfigure while their link is down."""
+    from repro.sim.failures import (
+        Direction,
+        FailurePlan,
+        LinkFailureModel,
+        LinkRef,
+    )
+
+    flows = _randomized_flows("hotspot", 8, 1.0)
+    plan = FailurePlan()
+    plan.add_failure(5_000.0, LinkRef(0, 0, Direction.EGRESS))
+    plan.add_failure(10_000.0, LinkRef(1, 1, Direction.INGRESS))
+    plan.add_repair(40_000.0, LinkRef(0, 0, Direction.EGRESS))
+    model = LinkFailureModel(MICRO.num_tors, MICRO.ports_per_tor)
+    sim = AdaptiveSimulator(
+        sim_config(MICRO),
+        make_topology(MICRO, "thinclos"),
+        flows,
+        adaptive=AdaptiveConfig(recompute_slices=1),
+        failure_model=model,
+        failure_plan=plan,
+    )
+    while sim.now_ns < DURATION_NS:
+        boundary_ns = sim.now_ns
+        sim.step_slice()
+        injected = _injected_bytes(sim.tracker.flows, boundary_ns)
+        assert (
+            sim.tracker.delivered_bytes + sim.total_queued_bytes == injected
+        )
     assert sim.tracker.delivered_bytes > 0
 
 

@@ -7,12 +7,11 @@ enforce that promise with hypothesis-generated traces pushed through
 both cores of all three engines (negotiator, oblivious, rotor), with and
 without link failures, in materialized and streaming tracker modes.
 
-The one documented exception: streaming-mode *mean* FCT fields fold
-completions into a running mean in engine delivery order, and the
-vectorized core delivers within an epoch in canonical (pair-sorted)
-order rather than the scalar engine's dict order.  Sums of floats are
-not associative, so those two fields may differ in the last ulp; every
-other field (counts, bytes, percentiles, completion times) is exact.
+There are no exceptions: streaming-mode FCT accumulators fold each
+step's completions in canonical (completed_ns, fid) order (see
+``FlowTracker.flush_completions``), so even the running-mean fields —
+once allowed a last-ulp carve-out because the cores delivered within an
+epoch in different orders — are bit-identical.
 """
 
 from __future__ import annotations
@@ -35,10 +34,6 @@ from repro.topology.parallel import ParallelNetwork
 
 NUM_TORS = 8
 PORTS = 2
-
-# Streaming-mode running means fold in delivery order; everything else
-# must match bit for bit (see module docstring).
-STREAM_MEAN_FIELDS = {"mice_fct_mean_ns"}
 
 
 def _config(seed: int, core: str, *, fast_forward: bool = True) -> SimConfig:
@@ -83,10 +78,7 @@ def _assert_summaries_identical(scalar_sim, vector_sim, *, stream: bool):
     ds = scalar_sim.summary().to_dict()
     dv = vector_sim.summary().to_dict()
     for key in ds:
-        if stream and key in STREAM_MEAN_FIELDS and ds[key] is not None:
-            assert dv[key] == pytest.approx(ds[key], rel=1e-9), key
-        else:
-            assert ds[key] == dv[key], key
+        assert ds[key] == dv[key], key
     assert scalar_sim.epoch == vector_sim.epoch
     if not stream:
         sc = {f.fid: f.completed_ns for f in scalar_sim.tracker.flows}
@@ -145,7 +137,7 @@ class TestNegotiatorParity:
 
     @given(pairs=flow_tuples, seed=st.integers(0, 2**16))
     @settings(max_examples=25, deadline=None)
-    def test_streaming_matches_with_mean_tolerance(self, pairs, seed):
+    def test_streaming_bit_identical(self, pairs, seed):
         topo = ParallelNetwork(NUM_TORS, PORTS)
         s = NegotiaToRSimulator(
             _config(seed, "scalar"), topo, iter(_flows(pairs)), stream=True
@@ -260,19 +252,62 @@ class TestFactoryDispatch:
         sim = make_negotiator(config, topo, [Flow(0, 0, 1, 100, 0.0)])
         assert isinstance(sim, VectorizedNegotiaToRSimulator)
 
-    def test_fallback_outside_envelope(self):
+    def test_fallback_outside_envelope_warns_loudly(self):
+        """Explicitly requested vectorized on an ineligible config must not
+        silently run the scalar engine: a RuntimeWarning names the failed
+        envelope condition, and the fallback itself still happens."""
         topo = ParallelNetwork(NUM_TORS, PORTS)
         config = _config(0, "vectorized")
         buffered = replace(config, receiver_buffer_bytes=10_000)
         assert not vectorized_core_eligible(buffered, topo)
-        sim = make_negotiator(buffered, topo, [Flow(0, 0, 1, 100, 0.0)])
+        with pytest.warns(RuntimeWarning, match="receiver buffers"):
+            sim = make_negotiator(buffered, topo, [Flow(0, 0, 1, 100, 0.0)])
         assert isinstance(sim, NegotiaToRSimulator)
+        assert sim.core_used == "scalar"
         assert not vectorized_core_eligible(
             config, ThinClos(NUM_TORS, PORTS, NUM_TORS // PORTS)
         )
         assert not vectorized_core_eligible(
             config, topo, record_pair_bandwidth=True
         )
+
+    def test_fallback_warning_names_first_failed_condition(self):
+        from repro.sim.factory import vectorized_core_ineligibility
+
+        config = _config(0, "vectorized")
+        thin = ThinClos(NUM_TORS, PORTS, NUM_TORS // PORTS)
+        with pytest.warns(RuntimeWarning, match="not the parallel network"):
+            make_negotiator(config, thin, [Flow(0, 0, 1, 100, 0.0)])
+        assert vectorized_core_ineligibility(config, thin) is not None
+        assert (
+            vectorized_core_ineligibility(
+                config, ParallelNetwork(NUM_TORS, PORTS)
+            )
+            is None
+        )
+
+    def test_default_scalar_path_stays_silent(self, recwarn, monkeypatch):
+        """The implicit default (core='scalar') is not a fallback; no
+        warning may fire even on a config outside the vectorized envelope."""
+        monkeypatch.delenv("REPRO_CORE", raising=False)
+        config = replace(_config(0, "scalar"), receiver_buffer_bytes=10_000)
+        topo = ParallelNetwork(NUM_TORS, PORTS)
+        sim = make_negotiator(config, topo, [Flow(0, 0, 1, 100, 0.0)])
+        assert isinstance(sim, NegotiaToRSimulator)
+        assert not [
+            w for w in recwarn.list if issubclass(w.category, RuntimeWarning)
+        ]
+
+    def test_eligible_vectorized_path_stays_silent(self, recwarn, monkeypatch):
+        monkeypatch.delenv("REPRO_CORE", raising=False)
+        config = _config(0, "vectorized")
+        topo = ParallelNetwork(NUM_TORS, PORTS)
+        sim = make_negotiator(config, topo, [Flow(0, 0, 1, 100, 0.0)])
+        assert isinstance(sim, VectorizedNegotiaToRSimulator)
+        assert sim.core_used == "vectorized"
+        assert not [
+            w for w in recwarn.list if issubclass(w.category, RuntimeWarning)
+        ]
 
 
 class TestRunLoopControl:

@@ -27,6 +27,7 @@ import random
 import pytest
 
 from repro.experiments.common import MICRO, make_topology, sim_config
+from repro.sim.adaptive import AdaptiveSimulator
 from repro.sim.flows import Flow, FlowTracker, ReservoirSampler
 from repro.sim.failures import LinkFailureModel, random_failure_plan
 from repro.sim.network import NegotiaToRSimulator
@@ -395,6 +396,24 @@ def test_rotor_streaming_matches_materialized(records, with_failures):
     _assert_summaries_match(*runs)
 
 
+@settings(max_examples=40, deadline=None)
+@given(records=flow_records, with_failures=st.booleans())
+def test_adaptive_streaming_matches_materialized(records, with_failures):
+    runs = []
+    for stream in (False, True):
+        flows = _build_flows(records)
+        sim = AdaptiveSimulator(
+            sim_config(MICRO),
+            make_topology(MICRO, "thinclos"),
+            iter(flows) if stream else flows,
+            stream=stream,
+            **_failure_setup(with_failures, seed=2),
+        )
+        sim.run(DURATION_NS)
+        runs.append(sim.summary(DURATION_NS))
+    _assert_summaries_match(*runs)
+
+
 def test_num_flows_counts_injected_flows_in_both_modes():
     """The PR 4 divergence, now closed: both modes count *injected* flows.
 
@@ -451,7 +470,9 @@ class TestStreamSpec:
         for candidate in (spec, spec.with_params(stream=True)):
             assert RunSpec.from_dict(candidate.to_dict()) == candidate
 
-    @pytest.mark.parametrize("system", ["negotiator", "oblivious", "rotor"])
+    @pytest.mark.parametrize(
+        "system", ["negotiator", "oblivious", "rotor", "adaptive"]
+    )
     def test_execute_spec_streaming_matches_materialized(self, system):
         base = RunSpec(
             **scale_spec_fields(MICRO),

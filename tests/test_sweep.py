@@ -20,6 +20,7 @@ from pathlib import Path
 import pytest
 
 from repro.experiments import TINY
+from repro.sim.config import SimConfig
 from repro.sim.metrics import RunSummary
 from repro.sweep import (
     SCENARIOS,
@@ -92,6 +93,12 @@ class TestSpecHash:
                 topology="thinclos",
                 rotor_params={"packets_per_slice": 4},
             ),
+            tiny_spec(system="adaptive", topology="thinclos"),
+            tiny_spec(
+                system="adaptive",
+                topology="thinclos",
+                adaptive_params={"recompute_slices": 2},
+            ),
         ]
         hashes = {spec.content_hash for spec in variants}
         assert len(hashes) == len(variants)
@@ -128,19 +135,39 @@ class TestSpecHash:
             tiny_spec(system="torus")
 
     def test_spec_version_is_the_minimum_able_to_express(self):
-        """Schema v3 growth is hash-neutral for pre-rotor specs.
+        """Schema growth (v3 rotor, v5 adaptive) is hash-neutral for
+        legacy specs.
 
         A spec hashes under the oldest schema that can express it, so the
-        v3 bump (rotor system + rotor_params) must leave every legacy
-        spec's canonical JSON — and hash — byte-identical.
+        v3 bump (rotor system + rotor_params) and the v5 bump (adaptive
+        system + adaptive_params) must leave every legacy spec's canonical
+        JSON — and hash — byte-identical.
         """
         legacy = tiny_spec()
         assert legacy.spec_version == 2
         assert '"spec_version":2' in legacy.canonical_json()
         assert '"rotor_params"' not in legacy.canonical_json()
+        assert '"adaptive_params"' not in legacy.canonical_json()
         rotor = tiny_spec(system="rotor", topology="thinclos")
         assert rotor.spec_version == 3
         assert '"spec_version":3' in rotor.canonical_json()
+        assert '"adaptive_params"' not in rotor.canonical_json()
+        adaptive = tiny_spec(system="adaptive", topology="thinclos")
+        assert adaptive.spec_version == 5
+        assert '"spec_version":5' in adaptive.canonical_json()
+
+    def test_adaptive_spec_roundtrips_and_hashes(self):
+        spec = tiny_spec(
+            system="adaptive",
+            topology="thinclos",
+            adaptive_params={"ewma_alpha": 0.5, "residual_ports": 2},
+        )
+        recycled = RunSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert recycled == spec
+        assert recycled.content_hash == spec.content_hash
+        assert spec.content_hash != tiny_spec(
+            system="adaptive", topology="thinclos"
+        ).content_hash
 
     def test_rotor_spec_roundtrips_and_hashes(self):
         spec = tiny_spec(
@@ -269,16 +296,20 @@ class TestScenarios:
 
 class TestExecuteSpec:
     def test_matches_reference_runner(self):
-        """execute_spec reproduces the experiments' direct-run path."""
+        """execute_spec reproduces the experiments' direct-run path.
+
+        The executor adds exactly one thing on top: the ``core_used``
+        observability key in ``extra`` (direct runs don't report it)."""
         from repro.experiments.common import run_negotiator, workload_for
 
         spec = tiny_spec()
-        summary = execute_spec(spec)
+        summary = execute_spec(spec).to_dict()
+        assert summary["extra"].pop("core_used") == SimConfig().resolved_core
         flows = workload_for(TINY, 0.25, duration_ns=SHORT_NS)
         reference = run_negotiator(
             TINY, "parallel", flows, duration_ns=SHORT_NS
         ).summary
-        assert summary.to_dict() == reference.to_dict()
+        assert summary == reference.to_dict()
 
     def test_collectors_fill_extra(self):
         spec = tiny_spec(
@@ -361,6 +392,73 @@ class TestExecuteSpec:
         with pytest.raises(ValueError, match="rotor system only"):
             execute_spec(tiny_spec(rotor_params={"packets_per_slice": 4}))
 
+    def test_adaptive_system_runs_and_honors_adaptive_params(self):
+        base = tiny_spec(system="adaptive", topology="thinclos", load=0.5)
+        summary = execute_spec(base)
+        assert summary.num_flows > 0
+        assert summary.goodput_normalized > 0
+        rotorlike = execute_spec(
+            base.with_params(adaptive_params={"residual_ports": 2})
+        )
+        assert rotorlike.num_flows == summary.num_flows
+        # Dedicating every plane to the rotation must change the run.
+        assert (
+            rotorlike.goodput_gbps,
+            rotorlike.mice_fct_p99_ns,
+        ) != (summary.goodput_gbps, summary.mice_fct_p99_ns)
+
+    def test_adaptive_rejects_scheduler_variants_and_unknown_params(self):
+        with pytest.raises(ValueError, match="negotiator"):
+            execute_spec(
+                tiny_spec(
+                    system="adaptive",
+                    topology="thinclos",
+                    scheduler="stateful",
+                )
+            )
+        with pytest.raises(ValueError, match="adaptive_params"):
+            execute_spec(
+                tiny_spec(
+                    system="adaptive",
+                    topology="thinclos",
+                    adaptive_params={"matrix_flavor": "mint"},
+                )
+            )
+
+    def test_adaptive_params_rejected_on_other_systems(self):
+        with pytest.raises(ValueError, match="adaptive system only"):
+            execute_spec(tiny_spec(adaptive_params={"ewma_alpha": 0.5}))
+
+    def test_adaptive_accepts_failure_plans(self):
+        healthy = execute_spec(
+            tiny_spec(system="adaptive", topology="thinclos", load=1.0)
+        )
+        failed = execute_spec(
+            tiny_spec(
+                system="adaptive",
+                topology="thinclos",
+                load=1.0,
+                failure_params={
+                    "plan": "random",
+                    "ratio": 0.2,
+                    "fail_at_ns": 0.0,
+                    "repair_at_ns": SHORT_NS * 10,
+                    "seed": 5,
+                },
+            )
+        )
+        assert failed.goodput_normalized < healthy.goodput_normalized
+
+    def test_summary_extra_reports_core_used(self):
+        """Observability only: the executor surfaces which core ran in
+        RunSummary.extra, never inside the engine's own summary()."""
+        summary = execute_spec(tiny_spec())
+        assert summary.extra["core_used"] == SimConfig().resolved_core
+        adaptive = execute_spec(
+            tiny_spec(system="adaptive", topology="thinclos")
+        )
+        assert adaptive.extra["core_used"] in ("scalar", "vectorized")
+
     def test_rotor_accepts_failure_plans(self):
         healthy = execute_spec(
             tiny_spec(system="rotor", topology="thinclos", load=1.0)
@@ -389,7 +487,8 @@ class TestExecuteSpec:
         from repro.sim.config import EpochConfig, epoch_config_without_piggyback
 
         spec = tiny_spec(epoch_params={"piggyback": False})
-        summary = execute_spec(spec)
+        summary = execute_spec(spec).to_dict()
+        assert summary["extra"].pop("core_used") == SimConfig().resolved_core
         slots = make_topology(TINY, "parallel").predefined_slots
         epoch = epoch_config_without_piggyback(EpochConfig(), 100.0, slots)
         flows = workload_for(TINY, 0.25, duration_ns=SHORT_NS)
@@ -398,7 +497,7 @@ class TestExecuteSpec:
             duration_ns=SHORT_NS,
             config=sim_config(TINY, epoch=epoch),
         ).summary
-        assert summary.to_dict() == reference.to_dict()
+        assert summary == reference.to_dict()
 
     def test_unknown_epoch_param_rejected(self):
         with pytest.raises(ValueError, match="epoch_params"):
@@ -461,7 +560,9 @@ class TestResultStore:
         newer = RunSummary.from_dict(summary.to_dict())
         newer.extra["marker"] = 1
         store.put(spec, newer)
-        assert store.get(spec).extra == {"marker": 1}
+        assert store.get(spec).extra == {
+            "core_used": SimConfig().resolved_core, "marker": 1
+        }
         assert store.compact() == 1
         assert len(store.rows()) == 1
 
