@@ -24,7 +24,14 @@ Commands:
   failed specs with exponential backoff, and ``--on-error quarantine``
   records exhausted specs in a sidecar JSONL so the rest of the grid
   completes (exit 3 signals partial success).
-* ``store`` — integrity tooling for result stores: ``verify`` checks
+* ``campaign`` — fleet campaigns over a shared store (DESIGN.md section
+  17): ``run`` joins (or starts) a campaign as one worker — launched N
+  times against the same store it converges on the serial digest, with
+  expiring leases preventing duplicate work and ``--cache-from``
+  importing finished rows from prior campaigns; ``status`` shows
+  completion and live leases; ``merge`` folds stores together.
+* ``store`` — integrity tooling for result stores over every backend
+  (single-file JSONL, sharded directories, SQLite): ``verify`` checks
   every row's checksum and reports torn lines, ``compact`` atomically
   rewrites the store in canonical deduplicated form.
 * ``bench`` — the engine hot-path benchmark suite behind BENCH_engine.json
@@ -48,6 +55,11 @@ Examples::
     python -m repro sweep --resume --store sweep.jsonl   # only new points run
     python -m repro sweep --scale tiny --jobs 8 --timeout-s 120 \\
         --retries 2 --on-error quarantine --store campaign.jsonl
+    python -m repro campaign run --scale tiny --store fleet.db \\
+        --retries 2 --on-error quarantine   # launch on N machines/shells
+    python -m repro campaign run --store fleet.db --cache-from old.jsonl
+    python -m repro campaign status fleet.db
+    python -m repro campaign merge --into merged.db fleet.db old.jsonl
     python -m repro store verify campaign.jsonl --digest
     python -m repro store compact campaign.jsonl
     python -m repro bench --scenario sparse --fabric 64x8
@@ -65,6 +77,155 @@ import json
 import sys
 
 from .experiments import EXPERIMENT_MODULES, SCALES, current_scale, load_experiment
+
+
+CLI_BACKENDS = ("jsonl", "sharded", "sqlite")
+"""Result-store backends selectable from the CLI (mirrors
+:data:`repro.sweep.backends.BACKENDS`; spelled out here so building the
+parser does not import the sweep package)."""
+
+
+def _add_grid_args(parser: argparse.ArgumentParser) -> None:
+    """The spec-grid axes shared by ``sweep`` and ``campaign run``."""
+    parser.add_argument("--scale", choices=sorted(SCALES), default=None)
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        dest="scenarios",
+        metavar="NAME[:k=v,...]",
+        default=None,
+        help="traffic scenario with optional parameter overrides "
+        "(repeatable; default: poisson)",
+    )
+    parser.add_argument(
+        "--system",
+        action="append",
+        dest="systems",
+        metavar="SYSTEM",
+        default=None,
+        help="system to sweep: negotiator, oblivious, rotor, or adaptive "
+        "(repeatable; default: negotiator)",
+    )
+    parser.add_argument(
+        "--topology",
+        action="append",
+        dest="topologies",
+        choices=["parallel", "thinclos"],
+        default=None,
+        help="fabric to sweep (repeatable; default: parallel)",
+    )
+    parser.add_argument(
+        "--load",
+        action="append",
+        dest="loads",
+        type=float,
+        metavar="L",
+        default=None,
+        help="offered load (repeatable; default: the scale's load points)",
+    )
+    parser.add_argument(
+        "--seed",
+        action="append",
+        dest="seeds",
+        type=int,
+        metavar="N",
+        default=None,
+        help="workload seed (repeatable; default: the scale's seed)",
+    )
+    parser.add_argument(
+        "--scheduler",
+        default="base",
+        help="scheduler variant (base, iterative, data-size, hol-delay, "
+        "stateful, projector)",
+    )
+    parser.add_argument("--duration-ms", type=float, default=None)
+    parser.add_argument(
+        "--no-pq", action="store_true", help="disable PIAS priority queues"
+    )
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="run specs through the streaming path: lazy workloads and a "
+        "bounded-memory tracker (headline summaries only)",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the spec grid and hashes without running anything",
+    )
+
+
+def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
+    """Fault-tolerance flags shared by ``sweep`` and ``campaign run``."""
+    parser.add_argument(
+        "--timeout-s",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-spec wall-clock deadline; a spec exceeding it has its "
+        "worker killed and counts as timed-out (enforced via the "
+        "resilient worker pool, even with --jobs 1)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retries per spec after the first attempt, with exponential "
+        "backoff and deterministic jitter (default 0: fail fast)",
+    )
+    parser.add_argument(
+        "--backoff-s",
+        type=float,
+        default=0.1,
+        metavar="S",
+        help="base backoff before the first retry; doubles per attempt "
+        "(default 0.1)",
+    )
+    parser.add_argument(
+        "--on-error",
+        choices=["fail", "skip", "quarantine"],
+        default="fail",
+        help="what to do when a spec exhausts its attempts: abort the "
+        "sweep (fail, default), drop the spec (skip), or record it in "
+        "the quarantine sidecar so the rest of the grid completes "
+        "(quarantine); with skip/quarantine a sweep that loses specs "
+        "exits 3 (partial success)",
+    )
+    parser.add_argument(
+        "--quarantine",
+        default=None,
+        metavar="PATH",
+        help="quarantine sidecar JSONL (default: derived from the store "
+        "path, backend-aware)",
+    )
+
+
+def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
+    """Telemetry/progress flags shared by ``sweep`` and ``campaign run``."""
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="stream schema-versioned telemetry events (engine spans, "
+        "counters, gauges, worker heartbeats, campaign lifecycle) to this "
+        "JSONL file; analyze it afterwards with 'repro trace'",
+    )
+    parser.add_argument(
+        "--telemetry-cadence-us",
+        type=float,
+        default=50.0,
+        metavar="US",
+        help="sim-time gauge sampling cadence in microseconds "
+        "(default 50)",
+    )
+    parser.add_argument(
+        "--progress",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="live progress/ETA line on stderr (default: on when stderr "
+        "is a TTY)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -131,67 +292,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = sub.add_parser(
         "sweep", help="run a spec grid with fan-out, caching, and resume"
     )
-    sweep.add_argument("--scale", choices=sorted(SCALES), default=None)
-    sweep.add_argument(
-        "--scenario",
-        action="append",
-        dest="scenarios",
-        metavar="NAME[:k=v,...]",
-        default=None,
-        help="traffic scenario with optional parameter overrides "
-        "(repeatable; default: poisson)",
-    )
-    sweep.add_argument(
-        "--system",
-        action="append",
-        dest="systems",
-        metavar="SYSTEM",
-        default=None,
-        help="system to sweep: negotiator, oblivious, rotor, or adaptive "
-        "(repeatable; default: negotiator)",
-    )
-    sweep.add_argument(
-        "--topology",
-        action="append",
-        dest="topologies",
-        choices=["parallel", "thinclos"],
-        default=None,
-        help="fabric to sweep (repeatable; default: parallel)",
-    )
-    sweep.add_argument(
-        "--load",
-        action="append",
-        dest="loads",
-        type=float,
-        metavar="L",
-        default=None,
-        help="offered load (repeatable; default: the scale's load points)",
-    )
-    sweep.add_argument(
-        "--seed",
-        action="append",
-        dest="seeds",
-        type=int,
-        metavar="N",
-        default=None,
-        help="workload seed (repeatable; default: the scale's seed)",
-    )
-    sweep.add_argument(
-        "--scheduler",
-        default="base",
-        help="scheduler variant (base, iterative, data-size, hol-delay, "
-        "stateful, projector)",
-    )
-    sweep.add_argument("--duration-ms", type=float, default=None)
-    sweep.add_argument(
-        "--no-pq", action="store_true", help="disable PIAS priority queues"
-    )
-    sweep.add_argument(
-        "--stream",
-        action="store_true",
-        help="run specs through the streaming path: lazy workloads and a "
-        "bounded-memory tracker (headline summaries only)",
-    )
+    _add_grid_args(sweep)
     sweep.add_argument(
         "--jobs",
         type=int,
@@ -209,98 +310,154 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip specs whose hash already has a stored summary",
     )
-    sweep.add_argument(
-        "--timeout-s",
-        type=float,
-        default=None,
-        metavar="S",
-        help="per-spec wall-clock deadline; a spec exceeding it has its "
-        "worker killed and counts as timed-out (enforced via the "
-        "resilient worker pool, even with --jobs 1)",
-    )
-    sweep.add_argument(
-        "--retries",
-        type=int,
-        default=0,
-        metavar="N",
-        help="retries per spec after the first attempt, with exponential "
-        "backoff and deterministic jitter (default 0: fail fast)",
-    )
-    sweep.add_argument(
-        "--backoff-s",
-        type=float,
-        default=0.1,
-        metavar="S",
-        help="base backoff before the first retry; doubles per attempt "
-        "(default 0.1)",
-    )
-    sweep.add_argument(
-        "--on-error",
-        choices=["fail", "skip", "quarantine"],
-        default="fail",
-        help="what to do when a spec exhausts its attempts: abort the "
-        "sweep (fail, default), drop the spec (skip), or record it in "
-        "the quarantine sidecar so the rest of the grid completes "
-        "(quarantine); with skip/quarantine a sweep that loses specs "
-        "exits 3 (partial success)",
-    )
-    sweep.add_argument(
-        "--quarantine",
-        default=None,
-        metavar="PATH",
-        help="quarantine sidecar JSONL (default: the store path with a "
-        ".quarantine.jsonl suffix)",
-    )
+    _add_resilience_args(sweep)
     sweep.add_argument(
         "--json",
         action="store_true",
         help="emit per-spec results as JSON instead of a table",
     )
     sweep.add_argument(
-        "--dry-run",
-        action="store_true",
-        help="print the spec grid and hashes without running anything",
-    )
-    sweep.add_argument(
         "--list-scenarios",
         action="store_true",
         help="list registered scenarios and their parameters, then exit",
     )
-    sweep.add_argument(
-        "--telemetry",
-        default=None,
+    _add_telemetry_args(sweep)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="fleet campaigns: N independent workers drain one grid into "
+        "one shared store via expiring leases",
+    )
+    campaign_sub = campaign.add_subparsers(
+        dest="campaign_command", required=True
+    )
+    campaign_run = campaign_sub.add_parser(
+        "run",
+        help="join (or start) a campaign as one worker; launching this N "
+        "times against the same store converges on the serial result",
+    )
+    _add_grid_args(campaign_run)
+    campaign_run.add_argument(
+        "--store",
+        required=True,
         metavar="PATH",
-        help="stream schema-versioned telemetry events (engine spans, "
-        "counters, gauges, worker heartbeats, campaign lifecycle) to this "
-        "JSONL file; analyze it afterwards with 'repro trace'",
+        help="the shared result store every worker writes to (.db/.sqlite "
+        "for SQLite, a directory for sharded JSONL, anything else for "
+        "single-file JSONL)",
     )
-    sweep.add_argument(
-        "--telemetry-cadence-us",
-        type=float,
-        default=50.0,
-        metavar="US",
-        help="sim-time gauge sampling cadence in microseconds "
-        "(default 50)",
-    )
-    sweep.add_argument(
-        "--progress",
-        action=argparse.BooleanOptionalAction,
+    campaign_run.add_argument(
+        "--backend",
+        choices=CLI_BACKENDS,
         default=None,
-        help="live progress/ETA line on stderr (default: on when stderr "
-        "is a TTY)",
+        help="store backend (default: auto-detected from the path)",
+    )
+    campaign_run.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard count when creating a new sharded store (default 16; "
+        "existing stores keep their on-disk count)",
+    )
+    campaign_run.add_argument(
+        "--cache-from",
+        action="append",
+        dest="cache_from",
+        metavar="PATH",
+        default=None,
+        help="prior result store (any backend) to import finished grid "
+        "specs from before executing anything (repeatable; earlier "
+        "stores win)",
+    )
+    campaign_run.add_argument(
+        "--worker-id",
+        default=None,
+        metavar="ID",
+        help="this worker's identity in leases, heartbeats, and the "
+        "manifest (default: host-pid)",
+    )
+    campaign_run.add_argument(
+        "--lease-ttl-s",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help="lease lifetime; renewed while a spec runs, so it only "
+        "expires when a worker dies (default 60; serial runs renew at "
+        "attempt boundaries, so keep it above the slowest spec)",
+    )
+    campaign_run.add_argument(
+        "--lease-batch",
+        type=int,
+        default=8,
+        metavar="N",
+        help="specs leased per claim round (default 8; smaller spreads "
+        "work more evenly, larger claims less often)",
+    )
+    campaign_run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parallel worker processes within this campaign worker "
+        "(default 1: serial)",
+    )
+    _add_resilience_args(campaign_run)
+    _add_telemetry_args(campaign_run)
+    campaign_run.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the campaign report as JSON",
+    )
+    campaign_status_p = campaign_sub.add_parser(
+        "status",
+        help="completion counts, content digest, and live leases of a "
+        "campaign store",
+    )
+    campaign_status_p.add_argument("path", help="campaign result store")
+    campaign_status_p.add_argument(
+        "--json", action="store_true", help="emit the status as JSON"
+    )
+    campaign_merge = campaign_sub.add_parser(
+        "merge",
+        help="fold stores together: rows absent from the destination are "
+        "appended, first source wins, idempotent",
+    )
+    campaign_merge.add_argument(
+        "sources", nargs="+", metavar="SRC", help="source stores (any backend)"
+    )
+    campaign_merge.add_argument(
+        "--into",
+        required=True,
+        metavar="DST",
+        help="destination store (created if missing)",
+    )
+    campaign_merge.add_argument(
+        "--backend",
+        choices=CLI_BACKENDS,
+        default=None,
+        help="destination backend (default: auto-detected from the path)",
+    )
+    campaign_merge.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard count when creating a new sharded destination",
     )
 
     store = sub.add_parser(
         "store",
-        help="inspect and maintain JSONL result stores",
+        help="inspect and maintain result stores (any backend)",
     )
     store_sub = store.add_subparsers(dest="store_command", required=True)
     store_verify = store_sub.add_parser(
         "verify",
-        help="integrity-check every row (checksums, torn lines); exits "
-        "non-zero on corruption",
+        help="integrity-check every row (checksums, torn lines, backend "
+        "invariants); exits non-zero on corruption",
     )
-    store_verify.add_argument("path", help="result store JSONL file")
+    store_verify.add_argument(
+        "path", help="result store (JSONL file, sharded dir, or SQLite)"
+    )
     store_verify.add_argument(
         "--digest",
         action="store_true",
@@ -312,7 +469,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="atomically rewrite the store in canonical form: last row "
         "per hash, sorted, checksummed, torn lines dropped",
     )
-    store_compact.add_argument("path", help="result store JSONL file")
+    store_compact.add_argument(
+        "path", help="result store (JSONL file, sharded dir, or SQLite)"
+    )
+    for store_cmd in (store_verify, store_compact):
+        store_cmd.add_argument(
+            "--backend",
+            choices=CLI_BACKENDS,
+            default=None,
+            help="store backend (default: auto-detected from the path)",
+        )
+        store_cmd.add_argument(
+            "--shards",
+            type=int,
+            default=None,
+            metavar="N",
+            help="shard count for sharded stores (default: the on-disk "
+            "count)",
+        )
 
     golden = sub.add_parser(
         "golden",
@@ -740,41 +914,23 @@ def _parse_scalar(raw: str):
     return raw
 
 
-def cmd_sweep(args) -> int:
-    from .sweep import (
-        SCENARIOS,
-        ResultStore,
-        RunSpec,
-        SweepRunner,
-        system_spec_fields,
-    )
+def _build_specs(args, scale):
+    """The deduped spec grid for ``sweep``/``campaign run`` arguments.
 
-    if args.list_scenarios:
-        print("scenarios:")
-        for name in sorted(SCENARIOS):
-            scenario = SCENARIOS[name]
-            params = ", ".join(
-                f"{k}={v}" for k, v in sorted(scenario.defaults.items())
-            )
-            sync = " [synchronous]" if scenario.synchronous else ""
-            print(f"  {name:<15} {scenario.description}{sync}")
-            if params:
-                print(f"  {'':<15} params: {params}")
-        return 0
+    Returns None (after printing the diagnostic) when any argument is
+    invalid — callers exit 2.
+    """
+    from .sweep import SCENARIOS, RunSpec, system_spec_fields
 
-    if args.jobs < 1:
-        print("--jobs must be at least 1", file=sys.stderr)
-        return 2
-    scale = resolve_scale(args.scale)
     try:
         scenarios = [
             _parse_scenario_arg(s) for s in (args.scenarios or ["poisson"])
         ]
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
-        return 2
+        return None
     if _reject_unknown([name for name, _ in scenarios], SCENARIOS, "scenario"):
-        return 2
+        return None
     # Resolve parameter overrides up front: --dry-run approves only grids
     # the real run would accept, workers never see bad params, and the
     # specs carry the *resolved* params so their hashes stay valid even if
@@ -787,10 +943,10 @@ def cmd_sweep(args) -> int:
             )
         except ValueError as exc:
             print(str(exc), file=sys.stderr)
-            return 2
+            return None
     systems = args.systems or ["negotiator"]
     if _reject_unknown(systems, CLI_SYSTEMS, "system"):
-        return 2
+        return None
     topologies = args.topologies or ["parallel"]
     loads = args.loads or list(scale.loads)
     seeds = args.seeds or [scale.seed]
@@ -837,6 +993,32 @@ def cmd_sweep(args) -> int:
                                 specs.append(spec)
     except (TypeError, ValueError) as exc:
         print(str(exc), file=sys.stderr)
+        return None
+    return specs
+
+
+def cmd_sweep(args) -> int:
+    from .sweep import SCENARIOS, ResultStore, SweepRunner
+
+    if args.list_scenarios:
+        print("scenarios:")
+        for name in sorted(SCENARIOS):
+            scenario = SCENARIOS[name]
+            params = ", ".join(
+                f"{k}={v}" for k, v in sorted(scenario.defaults.items())
+            )
+            sync = " [synchronous]" if scenario.synchronous else ""
+            print(f"  {name:<15} {scenario.description}{sync}")
+            if params:
+                print(f"  {'':<15} params: {params}")
+        return 0
+
+    if args.jobs < 1:
+        print("--jobs must be at least 1", file=sys.stderr)
+        return 2
+    scale = resolve_scale(args.scale)
+    specs = _build_specs(args, scale)
+    if specs is None:
         return 2
 
     if args.dry_run:
@@ -1008,6 +1190,196 @@ def cmd_sweep(args) -> int:
     return 3 if failed else 0
 
 
+def cmd_campaign(args) -> int:
+    if args.campaign_command == "run":
+        return _cmd_campaign_run(args)
+    if args.campaign_command == "status":
+        return _cmd_campaign_status(args)
+    return _cmd_campaign_merge(args)
+
+
+def _cmd_campaign_run(args) -> int:
+    from pathlib import Path
+
+    from .sweep import (
+        ResultStore,
+        RetryPolicy,
+        SweepExecutionError,
+        default_worker_id,
+        run_campaign,
+    )
+
+    if args.jobs < 1:
+        print("--jobs must be at least 1", file=sys.stderr)
+        return 2
+    if args.retries < 0:
+        print("--retries must be non-negative", file=sys.stderr)
+        return 2
+    if args.telemetry_cadence_us <= 0:
+        print("--telemetry-cadence-us must be positive", file=sys.stderr)
+        return 2
+    if args.lease_ttl_s <= 0:
+        print("--lease-ttl-s must be positive", file=sys.stderr)
+        return 2
+    if args.lease_batch < 1:
+        print("--lease-batch must be at least 1", file=sys.stderr)
+        return 2
+    scale = resolve_scale(args.scale)
+    specs = _build_specs(args, scale)
+    if specs is None:
+        return 2
+    if args.dry_run:
+        for spec in specs:
+            print(f"{spec.short_hash}  {spec.label()}")
+        print(f"{len(specs)} specs")
+        return 0
+
+    cache_from = []
+    for path in args.cache_from or []:
+        if not Path(path).exists():
+            print(f"no such cache store: {path}", file=sys.stderr)
+            return 2
+        cache_from.append(ResultStore(path))
+    try:
+        store = ResultStore(
+            args.store, backend=args.backend, shards=args.shards
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    worker = args.worker_id if args.worker_id else default_worker_id()
+    progress = (
+        args.progress if args.progress is not None else sys.stderr.isatty()
+    )
+    try:
+        report = run_campaign(
+            specs,
+            store,
+            worker=worker,
+            lease_ttl_s=args.lease_ttl_s,
+            lease_batch=args.lease_batch,
+            cache_from=cache_from,
+            jobs=args.jobs,
+            verbose=True,
+            timeout_s=args.timeout_s,
+            retry=RetryPolicy(
+                max_attempts=args.retries + 1,
+                backoff_base_s=args.backoff_s,
+            ),
+            on_error=args.on_error,
+            quarantine=args.quarantine,
+            telemetry=args.telemetry,
+            telemetry_cadence_ns=int(args.telemetry_cadence_us * 1000),
+            progress=progress,
+        )
+    except (ValueError, SweepExecutionError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print(
+            f"\ninterrupted — completed runs are already in {args.store}; "
+            f"this worker's leases expire within {args.lease_ttl_s:g}s, "
+            "after which peers (or a relaunch) pick up the rest",
+            file=sys.stderr,
+        )
+        return 130
+
+    if args.json:
+        payload = report.to_dict()
+        payload["store"] = args.store
+        payload["content_digest"] = store.content_digest()
+        print(json.dumps(payload, indent=2))
+    else:
+        imported = (
+            f" ({report.imported} imported from cache)"
+            if report.imported
+            else ""
+        )
+        print(
+            f"worker {report.worker}: {report.total} specs — "
+            f"{report.executed} executed, "
+            f"{report.cached} already done{imported}, "
+            f"{report.done_elsewhere} finished by peers, "
+            f"{report.failed} failed, {report.rounds} lease round(s)"
+        )
+        print(f"store: {args.store} (digest {store.content_digest()})")
+        if report.manifest_path is not None:
+            print(f"manifest: {report.manifest_path}")
+    return 3 if report.failed else 0
+
+
+def _cmd_campaign_status(args) -> int:
+    from pathlib import Path
+
+    from .sweep import ResultStore, campaign_status
+
+    if not Path(args.path).exists():
+        print(f"no such store: {args.path}", file=sys.stderr)
+        return 2
+    status = campaign_status(ResultStore(args.path))
+    if args.json:
+        print(json.dumps(status, indent=2))
+        return 0
+    print(
+        f"{status['store']} ({status['backend']}): "
+        f"{status['completed']} completed spec(s)"
+    )
+    if status["content_digest"] is not None:
+        print(f"content digest: {status['content_digest']}")
+    leases = status["active_leases"]
+    if leases:
+        print(f"{len(leases)} active lease(s):")
+        for spec_hash, info in leases.items():
+            print(
+                f"  {spec_hash[:12]}  held by {info['owner']}, "
+                f"expires in {info['expires_in_s']:.1f}s"
+            )
+    else:
+        print("no active leases")
+    return 0
+
+
+def _cmd_campaign_merge(args) -> int:
+    from pathlib import Path
+
+    from .sweep import ResultStore
+
+    sources = []
+    for path in args.sources:
+        if not Path(path).exists():
+            print(f"no such store: {path}", file=sys.stderr)
+            return 2
+        sources.append(ResultStore(path))
+    try:
+        destination = ResultStore(
+            args.into, backend=args.backend, shards=args.shards
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    appended = destination.merge(sources)
+    print(
+        f"merged {appended} new row(s) into {args.into} "
+        f"from {len(sources)} store(s)"
+    )
+    print(f"content digest: {destination.content_digest()}")
+    return 0
+
+
+def _store_size_bytes(path) -> int:
+    """On-disk footprint of a store path (a file, or a sharded dir)."""
+    if path.is_dir():
+        return sum(
+            child.stat().st_size
+            for child in path.rglob("*")
+            if child.is_file()
+        )
+    try:
+        return path.stat().st_size
+    except FileNotFoundError:
+        return 0
+
+
 def cmd_store(args) -> int:
     from pathlib import Path
 
@@ -1016,12 +1388,18 @@ def cmd_store(args) -> int:
     if not Path(args.path).exists():
         print(f"no such store: {args.path}", file=sys.stderr)
         return 2
-    store = ResultStore(args.path)
+    try:
+        store = ResultStore(
+            args.path, backend=args.backend, shards=args.shards
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
 
     if args.store_command == "compact":
-        before = Path(args.path).stat().st_size
+        before = _store_size_bytes(Path(args.path))
         dropped = store.compact()
-        after = Path(args.path).stat().st_size
+        after = _store_size_bytes(Path(args.path))
         print(
             f"compacted {args.path}: {dropped} row(s) dropped, "
             f"{before - after} bytes reclaimed, "
@@ -1425,6 +1803,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_report(args.experiments, args.scale, args.output, args.json)
     if args.command == "sweep":
         return cmd_sweep(args)
+    if args.command == "campaign":
+        return cmd_campaign(args)
     if args.command == "store":
         return cmd_store(args)
     if args.command == "simulate":

@@ -10,9 +10,14 @@ The layer between the fast engine and the experiments (DESIGN.md §8):
 * :mod:`~repro.sweep.runner` — :func:`execute_spec` and
   :class:`SweepRunner`, the serial/parallel executor with deterministic
   per-spec seeding.
-* :mod:`~repro.sweep.store` — :class:`ResultStore`, the JSONL store keyed
-  by spec hash that makes sweeps resumable, with per-row checksums and
-  atomic compaction.
+* :mod:`~repro.sweep.store` — :class:`ResultStore`, the store keyed by
+  spec hash that makes sweeps resumable, with per-row checksums and
+  atomic compaction, over pluggable byte backends
+  (:mod:`~repro.sweep.backends`: single-file JSONL, sharded JSONL,
+  SQLite).
+* :mod:`~repro.sweep.campaign` — :func:`run_campaign`, the work-queue
+  lease mode that lets N independent workers drain one grid into one
+  store (DESIGN.md §17).
 * :mod:`~repro.sweep.resilience` — :class:`RetryPolicy`,
   :class:`SpecOutcome`, the crash-safe :class:`WorkerPool`, and the
   :class:`QuarantineLog` sidecar (fault-tolerant execution, DESIGN.md
@@ -21,6 +26,18 @@ The layer between the fast engine and the experiments (DESIGN.md §8):
   injection for testing all of the above.
 """
 
+from .backends import (
+    BACKENDS,
+    detect_backend_kind,
+    make_backend,
+    sidecar_path,
+)
+from .campaign import (
+    CampaignReport,
+    campaign_status,
+    default_worker_id,
+    run_campaign,
+)
 from .chaos import ChaosError, ChaosPlan, Fault
 from .resilience import (
     NO_RETRY,
@@ -46,7 +63,9 @@ from .spec import SPEC_VERSION, RunSpec, freeze_params, system_spec_fields
 from .store import ResultStore, StoreError, StoreReport
 
 __all__ = [
+    "BACKENDS",
     "COLLECTORS",
+    "CampaignReport",
     "ChaosError",
     "ChaosPlan",
     "Fault",
@@ -66,9 +85,15 @@ __all__ = [
     "WorkerPool",
     "build_workload",
     "build_workload_iter",
+    "campaign_status",
     "default_quarantine_path",
+    "default_worker_id",
+    "detect_backend_kind",
     "execute_spec",
     "freeze_params",
+    "make_backend",
+    "run_campaign",
+    "sidecar_path",
     "resolve_epoch",
     "resolve_failures",
     "resolve_scale",

@@ -47,6 +47,7 @@ from multiprocessing import get_context
 from multiprocessing.connection import wait as _wait_connections
 from pathlib import Path
 
+from .backends import sidecar_path
 from .spec import RunSpec
 
 OK = "ok"
@@ -252,8 +253,15 @@ class QuarantineLog:
 
 
 def default_quarantine_path(store_path: str | Path) -> Path:
-    """The sidecar path for a store: ``sweep.jsonl -> sweep.quarantine.jsonl``."""
-    return Path(store_path).with_suffix(".quarantine.jsonl")
+    """The quarantine sidecar for a store, whatever its backend.
+
+    ``sweep.jsonl -> sweep.quarantine.jsonl`` (the legacy derivation),
+    but a SQLite store keeps its suffix (``camp.db ->
+    camp.db.quarantine.jsonl``) and a sharded directory holds the
+    sidecar inside itself — the old ``.jsonl`` suffix-swap silently
+    mangled both.
+    """
+    return sidecar_path(store_path, "quarantine.jsonl")
 
 
 # ---------------------------------------------------------------------------

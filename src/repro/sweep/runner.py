@@ -727,6 +727,8 @@ class SweepRunner:
         telemetry_cadence_ns: int = DEFAULT_CADENCE_NS,
         progress: bool = False,
         heartbeat_s: float = 1.0,
+        worker: str | None = None,
+        on_worker_heartbeat: Callable[[str], None] | None = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
@@ -781,6 +783,12 @@ class SweepRunner:
         )
         self._reporter: ProgressReporter | None = None
         self._aggregator: HeartbeatAggregator | None = None
+        # Campaign lease mode (DESIGN.md §17): ``worker`` names this
+        # runner in heartbeats, telemetry, and the manifest, and
+        # ``on_worker_heartbeat(spec_hash)`` fires on every liveness
+        # signal so the campaign layer can renew its lease on the spec.
+        self.worker = worker
+        self.on_worker_heartbeat = on_worker_heartbeat
         self.campaign_id = f"{int(time.time()):x}-{os.getpid():x}"
         self.started_at = time.time()
         self.executed = 0
@@ -824,11 +832,15 @@ class SweepRunner:
             self._aggregator = HeartbeatAggregator()
         run_started = time.time()
         if self._writer is not None:
+            worker_field = (
+                {"worker": self.worker} if self.worker is not None else {}
+            )
             self._writer.emit(telemetry_events.make_event(
                 telemetry_events.CAMPAIGN_START,
                 campaign=self.campaign_id,
                 total_specs=len(ordered),
                 jobs=self.jobs,
+                **worker_field,
             ))
 
         results: dict[str, RunSummary] = {}
@@ -879,6 +891,9 @@ class SweepRunner:
                 retried = sum(
                     1 for o in self.outcomes.values() if o.attempts > 1
                 )
+                worker_field = (
+                    {"worker": self.worker} if self.worker is not None else {}
+                )
                 self._writer.emit(telemetry_events.make_event(
                     telemetry_events.CAMPAIGN_END,
                     campaign=self.campaign_id,
@@ -888,6 +903,7 @@ class SweepRunner:
                     retried=retried,
                     quarantined=len(self.quarantined_hashes()),
                     elapsed_s=time.time() - run_started,
+                    **worker_field,
                 ))
             if self._reporter is not None:
                 self._reporter.close()
@@ -933,6 +949,7 @@ class SweepRunner:
             quarantined_hashes=self.quarantined_hashes(),
             jobs=self.jobs,
             store_path=str(self.store.path) if self.store is not None else None,
+            worker=self.worker,
         )
 
     def _emit_spec_end(
@@ -998,6 +1015,24 @@ class SweepRunner:
             cached=False,
         )
 
+    def _signal_liveness(self, spec_hash: str) -> None:
+        """Tell the campaign layer this spec is alive (lease renewal).
+
+        A renewal failure (a briefly locked lease table, a vanished
+        sidecar) must never kill the sweep that is making progress — the
+        worst case is the lease expiring and another worker redundantly
+        re-executing a spec, which content-hash dedupe makes harmless.
+        """
+        if self.on_worker_heartbeat is None:
+            return
+        try:
+            self.on_worker_heartbeat(spec_hash)
+        except Exception as exc:  # noqa: BLE001 — observability only
+            print(
+                f"warning: lease heartbeat for {spec_hash[:12]} failed: {exc}",
+                file=sys.stderr,
+            )
+
     def _run_one(self, spec: RunSpec) -> RunSummary | None:
         """Serial in-process execution with retries and backoff.
 
@@ -1010,6 +1045,10 @@ class SweepRunner:
         history: list[Attempt] = []
         attempt = 1
         while True:
+            # Serial execution has no heartbeat thread, so leases renew
+            # at attempt boundaries only; campaign docs tell serial
+            # workers to size lease_ttl_s beyond their slowest spec.
+            self._signal_liveness(spec.content_hash)
             started = time.perf_counter()
             try:
                 _, summary, elapsed = _timed_execute(spec, attempt=attempt)
@@ -1055,6 +1094,9 @@ class SweepRunner:
             self._record_ok(spec, summary, outcome.elapsed_s[-1])
 
         def on_heartbeat(spec: RunSpec, payload: dict) -> None:
+            self._signal_liveness(spec.content_hash)
+            if self.worker is not None:
+                payload = {**payload, "worker": self.worker}
             if self._aggregator is not None:
                 self._aggregator.record(payload)
             if self._reporter is not None:
@@ -1070,9 +1112,12 @@ class SweepRunner:
                 ))
 
         # Heartbeats cost a timer thread per busy worker; only ask for
-        # them when something consumes them.
+        # them when something consumes them (a reporter, a telemetry
+        # sink, or a campaign lease waiting to be renewed).
         fleet_telemetry = (
-            self._reporter is not None or self._writer is not None
+            self._reporter is not None
+            or self._writer is not None
+            or self.on_worker_heartbeat is not None
         )
         run_with_retries(
             pending,

@@ -1,29 +1,43 @@
-"""Content-addressed JSONL result store with resume support.
+"""Content-addressed result store with resume support and pluggable backends.
 
-One line per completed run::
+One logical row per completed run::
 
     {"spec_hash": "...", "spec": {...}, "summary": {...},
      "elapsed_s": 1.23, "store_version": 1, "row_sha256": "..."}
 
-Appending a line is the only write operation, so concurrent sweeps against
-the same store at worst duplicate a run — they never corrupt each other
-(the last line for a hash wins on load).  The hash is the spec's canonical
-content hash (:meth:`repro.sweep.spec.RunSpec.content_hash`), so a store
-entry is valid for exactly the run it describes: change any spec field and
-the lookup misses, change the spec schema and ``SPEC_VERSION`` rolls every
+:class:`ResultStore` owns the row semantics — canonical JSON encoding,
+per-row checksums, torn-line tolerance, last-row-per-hash resolution,
+and the :meth:`~ResultStore.content_digest` convergence contract — while
+a :class:`~repro.sweep.backends.ResultStoreBackend` owns the bytes.
+Three backends share this facade (DESIGN.md §17):
+
+* ``jsonl`` (default) — the original single-file append-only JSONL,
+  byte-identical to the pre-backend format.  Appending a line is the
+  only write, so concurrent sweeps at worst duplicate a run — they never
+  corrupt each other (the last row per hash wins on load).
+* ``sharded`` — a directory of hash-sharded JSONL files with per-shard
+  checksums, for grids too large for one file.
+* ``sqlite`` — one row per hash in a WAL-mode SQLite file, safe for many
+  concurrent campaign workers.
+
+The hash is the spec's canonical content hash
+(:meth:`repro.sweep.spec.RunSpec.content_hash`), so a store entry is
+valid for exactly the run it describes: change any spec field and the
+lookup misses, change the spec schema and ``SPEC_VERSION`` rolls every
 hash over.
 
 Integrity (DESIGN.md §13): every row written carries ``row_sha256``, a
 SHA-256 over the row's canonical JSON without that field.  Reads verify
-it; a mismatch — a torn append, a partial ``compact()``, disk corruption —
-is treated exactly like an unparseable line: skipped in the lenient path
-(the run re-executes on resume), raised with the line number in strict
-mode.  Rows written before checksums existed still load (counted as
-``legacy``).  ``compact()`` is atomic: the survivors are written to a
-sibling temp file, fsynced, and ``os.replace``d over the original, so a
-crash mid-compact leaves either the old file or the new one — never a
-half-written store.  Compaction also canonicalizes: last row per hash,
-sorted by hash, checksums (re)computed, torn lines dropped.
+it; a mismatch — a torn append, a partial ``compact()``, disk corruption
+— is treated exactly like an unparseable line: skipped in the lenient
+path (the run re-executes on resume), raised with the line number in
+strict mode.  Rows written before checksums existed still load (counted
+as ``legacy``).  ``compact()`` is atomic per backend (tmp + fsync +
+``os.replace`` for file backends, one transaction for SQLite), so a
+crash mid-compact never leaves a half-written store.  Compaction also
+canonicalizes: last row per hash, canonically ordered, checksums
+(re)computed, torn lines dropped.  ``merge()`` pulls absent rows in from
+other stores of any backend — the cross-campaign cache-reuse primitive.
 
 Float fidelity: summaries round-trip bit-exactly because ``json`` emits
 CPython's shortest round-trip ``repr`` for floats.  The determinism
@@ -34,11 +48,12 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..sim.metrics import RunSummary
+from .backends import ResultStoreBackend, make_backend, sidecar_path
 from .spec import RunSpec
 
 STORE_VERSION = 1
@@ -60,7 +75,7 @@ def row_checksum(row: dict) -> str:
 
 @dataclass
 class StoreReport:
-    """What :meth:`ResultStore.verify` found in one pass over the file."""
+    """What :meth:`ResultStore.verify` found in one pass over the store."""
 
     lines: int = 0
     rows: int = 0
@@ -76,17 +91,34 @@ class StoreReport:
 
 
 class ResultStore:
-    """Append-only JSONL store keyed by spec content hash."""
+    """Append-only result store keyed by spec content hash."""
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        backend: str | ResultStoreBackend | None = None,
+        shards: int | None = None,
+    ) -> None:
         self.path = Path(path)
+        if isinstance(backend, ResultStoreBackend):
+            self.backend = backend
+        else:
+            self.backend = make_backend(self.path, kind=backend, shards=shards)
         self.skipped_rows = 0
         self._cache_sig: tuple | None = None
         self._cache: dict[str, RunSummary] = {}
 
+    @property
+    def backend_kind(self) -> str:
+        return self.backend.kind
+
     def exists(self) -> bool:
-        """Whether the backing file exists."""
-        return self.path.exists()
+        """Whether the backing file/directory/database exists."""
+        return self.backend.exists()
+
+    def sidecar(self, name: str) -> Path:
+        """This store's sidecar path (quarantine, manifest, leases)."""
+        return sidecar_path(self.path, name, kind=self.backend.kind)
 
     # ------------------------------------------------------------------
     # reading
@@ -112,7 +144,7 @@ class ResultStore:
         return row, None
 
     def rows(self, strict: bool = False) -> list[dict]:
-        """All valid rows in file order (empty when the file is absent).
+        """All valid rows in backend order (empty when the store is absent).
 
         Torn lines — a sweep killed mid-append, interleaved writes from
         concurrent sweeps, or rows whose checksum no longer matches — are
@@ -122,23 +154,18 @@ class ResultStore:
         integrity checks.
         """
         self.skipped_rows = 0
-        if not self.path.exists():
-            return []
         rows = []
-        with self.path.open() as handle:
-            for line_number, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                row, problem = self._decode_line(line)
-                if row is None:
-                    if strict:
-                        raise StoreError(
-                            f"{self.path}:{line_number}: {problem}"
-                        )
-                    self.skipped_rows += 1
-                    continue
-                rows.append(row)
+        for location, line_number, line in self.backend.iter_lines():
+            line = line.strip()
+            if not line:
+                continue
+            row, problem = self._decode_line(line)
+            if row is None:
+                if strict:
+                    raise StoreError(f"{location}:{line_number}: {problem}")
+                self.skipped_rows += 1
+                continue
+            rows.append(row)
         return rows
 
     def verify(self) -> StoreReport:
@@ -146,33 +173,35 @@ class ResultStore:
 
         The report distinguishes torn lines (unparseable) from checksum
         mismatches (parseable but corrupted) from legacy rows (valid,
-        written before checksums existed), with ``path:line`` locations
-        for everything wrong — the engine behind ``repro store verify``.
+        written before checksums existed), with ``location:line``
+        positions for everything wrong, plus any backend-level corruption
+        (shard digests, SQLite quick_check) — the engine behind ``repro
+        store verify``.
         """
         report = StoreReport()
-        if not self.path.exists():
+        if not self.backend.exists():
             return report
         hashes: set[str] = set()
-        with self.path.open() as handle:
-            for line_number, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                report.lines += 1
-                row, problem = self._decode_line(line)
-                if row is None:
-                    if "checksum" in (problem or ""):
-                        report.checksum_mismatches += 1
-                    else:
-                        report.torn_lines += 1
-                    report.problems.append(
-                        f"{self.path}:{line_number}: {problem}"
-                    )
-                    continue
-                report.rows += 1
-                if CHECKSUM_FIELD not in row:
-                    report.legacy_rows += 1
-                hashes.add(row["spec_hash"])
+        for location, line_number, line in self.backend.iter_lines():
+            line = line.strip()
+            if not line:
+                continue
+            report.lines += 1
+            row, problem = self._decode_line(line)
+            if row is None:
+                if "checksum" in (problem or ""):
+                    report.checksum_mismatches += 1
+                else:
+                    report.torn_lines += 1
+                report.problems.append(f"{location}:{line_number}: {problem}")
+                continue
+            report.rows += 1
+            if CHECKSUM_FIELD not in row:
+                report.legacy_rows += 1
+            hashes.add(row["spec_hash"])
+        for problem in self.backend.integrity_problems():
+            report.checksum_mismatches += 1
+            report.problems.append(problem)
         report.unique_hashes = len(hashes)
         return report
 
@@ -183,9 +212,10 @@ class ResultStore:
         (``elapsed_s`` wall-clock, the checksum that covers it) excluded —
         so two stores that hold the same results digest identically no
         matter what order the rows landed in, how many superseded
-        duplicates remain, or how long each run took.  This is the
-        equality the chaos-convergence contract is stated in: a crashed,
-        retried, resumed sweep must reach the same digest as an
+        duplicates remain, how long each run took, or *which backend
+        holds them*.  This is the equality the chaos-convergence and
+        campaign-convergence contracts are stated in: a crashed, retried,
+        resumed, or N-worker sweep must reach the same digest as an
         undisturbed serial run.
         """
         latest: dict[str, dict] = {}
@@ -202,22 +232,16 @@ class ResultStore:
             digest.update(b"\n")
         return digest.hexdigest()
 
-    def _stat_sig(self) -> tuple | None:
-        try:
-            stat = self.path.stat()
-        except FileNotFoundError:
-            return None
-        return (stat.st_mtime_ns, stat.st_size, stat.st_ino)
-
     def _summaries(self) -> dict[str, RunSummary]:
-        """The {hash: summary} index, parsed at most once per file state.
+        """The {hash: summary} index, parsed at most once per store state.
 
-        Cached against the file's (mtime, size, inode) signature:
-        repeated :meth:`get` calls cost one :meth:`rows` pass total, while
-        an append from another process changes the signature and triggers
-        a reparse.  :meth:`put` and :meth:`compact` invalidate explicitly.
+        Cached against the backend's signature (file stat, shard stats,
+        or SQLite data_version): repeated :meth:`get` calls cost one
+        :meth:`rows` pass total, while a write from another process
+        changes the signature and triggers a reparse.  :meth:`put` and
+        :meth:`compact` invalidate explicitly.
         """
-        sig = self._stat_sig()
+        sig = self.backend.signature()
         if sig is None:
             self._cache_sig = None
             self._cache = {}
@@ -235,7 +259,7 @@ class ResultStore:
         self._cache = {}
 
     def load(self) -> dict[str, RunSummary]:
-        """{spec_hash: summary} with the last line winning per hash."""
+        """{spec_hash: summary} with the last row winning per hash."""
         return dict(self._summaries())
 
     def load_specs(self) -> dict[str, RunSpec]:
@@ -273,28 +297,22 @@ class ResultStore:
             "store_version": STORE_VERSION,
         }
         row[CHECKSUM_FIELD] = row_checksum(row)
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        data = (json.dumps(row, sort_keys=True) + "\n").encode()
-        # One O_APPEND write(2) per row: concurrent sweeps append whole
-        # lines rather than interleaving buffered fragments.
-        fd = os.open(self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
-        try:
-            os.write(fd, data)
-        finally:
-            os.close(fd)
+        line = json.dumps(row, sort_keys=True) + "\n"
+        self.backend.append_line(row["spec_hash"], line)
         self._invalidate()
 
     def compact(self) -> int:
-        """Atomically rewrite the file in canonical form.
+        """Atomically rewrite the store in canonical form.
 
-        Canonical form: the last row per hash, sorted by hash, every row
-        checksummed (legacy rows are upgraded), torn lines dropped.
-        Returns the number of rows dropped (superseded duplicates plus
-        torn lines).  The rewrite goes through a sibling temp file, fsync,
-        and ``os.replace`` — a crash at any instant leaves either the
-        original file or the finished replacement, never a torn store
-        (the crash-simulation test in tests/test_sweep.py interrupts the
-        write and checks exactly this).
+        Canonical form: the last row per hash, canonically ordered for
+        the backend (sorted by hash for JSONL, by (shard, hash) for
+        sharded, the primary key for SQLite), every row checksummed
+        (legacy rows are upgraded), torn lines dropped.  Returns the
+        number of rows dropped (superseded duplicates plus torn lines).
+        The rewrite is atomic per backend — a crash at any instant leaves
+        either the original store or the finished replacement, never a
+        torn one (the crash-simulation tests in tests/test_sweep.py
+        interrupt the write and check exactly this).
         """
         rows = self.rows()
         torn = self.skipped_rows
@@ -305,18 +323,51 @@ class ResultStore:
             if CHECKSUM_FIELD not in row:
                 needs_rewrite = True
         dropped = len(rows) - len(latest) + torn
-        ordered_hashes = sorted(latest)
-        if list(latest) != ordered_hashes:
+        if self.backend.stale_order([row["spec_hash"] for row in rows]):
             needs_rewrite = True
         if dropped or needs_rewrite:
-            tmp_path = self.path.with_suffix(".tmp")
-            with tmp_path.open("w") as handle:
-                for spec_hash in ordered_hashes:
-                    row = dict(latest[spec_hash])
-                    row[CHECKSUM_FIELD] = row_checksum(row)
-                    handle.write(json.dumps(row, sort_keys=True) + "\n")
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp_path, self.path)
+            ordered = []
+            for spec_hash in sorted(latest):
+                row = dict(latest[spec_hash])
+                row[CHECKSUM_FIELD] = row_checksum(row)
+                ordered.append(
+                    (spec_hash, json.dumps(row, sort_keys=True) + "\n")
+                )
+            self.backend.rewrite(ordered)
             self._invalidate()
         return dropped
+
+    def merge(
+        self,
+        sources: Iterable["ResultStore"],
+        only_hashes: set[str] | None = None,
+    ) -> int:
+        """Pull rows this store lacks from other stores (any backend).
+
+        For every hash absent here, the first source holding it wins and
+        its latest row is appended verbatim — existing rows are never
+        overwritten, so merging is idempotent and the merged digest is
+        the digest of the union with self-precedence.  ``only_hashes``
+        restricts the pull to a grid (the ``--cache-from`` read-through
+        path).  Returns the number of rows appended.
+        """
+        have = {row["spec_hash"] for row in self.rows()}
+        appended = 0
+        for source in sources:
+            latest: dict[str, dict] = {}
+            for row in source.rows():
+                latest[row["spec_hash"]] = row
+            for spec_hash in sorted(latest):
+                if spec_hash in have:
+                    continue
+                if only_hashes is not None and spec_hash not in only_hashes:
+                    continue
+                self.backend.append_line(
+                    spec_hash,
+                    json.dumps(latest[spec_hash], sort_keys=True) + "\n",
+                )
+                have.add(spec_hash)
+                appended += 1
+        if appended:
+            self._invalidate()
+        return appended

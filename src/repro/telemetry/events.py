@@ -50,7 +50,7 @@ _OPT_STR = (str, type(None))
 EVENT_SCHEMA: dict[str, tuple[dict, dict]] = {
     CAMPAIGN_START: (
         {"campaign": str, "total_specs": int, "jobs": int},
-        {},
+        {"worker": _OPT_STR},
     ),
     CAMPAIGN_END: (
         {
@@ -62,7 +62,7 @@ EVENT_SCHEMA: dict[str, tuple[dict, dict]] = {
             "quarantined": int,
             "elapsed_s": _NUMBER,
         },
-        {},
+        {"worker": _OPT_STR},
     ),
     SPEC_END: (
         {
@@ -82,6 +82,7 @@ EVENT_SCHEMA: dict[str, tuple[dict, dict]] = {
             "epochs": _OPT_INT,
             "flows_completed": _OPT_INT,
             "rss_bytes": _OPT_INT,
+            "worker": _OPT_STR,
         },
     ),
     SPAN: (

@@ -23,7 +23,17 @@ MANIFEST_VERSION = 1
 
 
 def default_manifest_path(store_path: str | Path) -> Path:
-    return Path(store_path).with_suffix(".manifest.json")
+    """The manifest sidecar for a store, whatever its backend.
+
+    ``campaign.jsonl -> campaign.manifest.json``; non-``.jsonl`` stores
+    (SQLite files, sharded directories) get backend-aware derivations
+    instead of the old suffix string-replacement.
+    """
+    # Imported lazily: repro.sweep imports repro.telemetry at load time,
+    # so a module-level import here would complete the cycle.
+    from ..sweep.backends import sidecar_path
+
+    return sidecar_path(store_path, "manifest.json")
 
 
 def _package_versions() -> dict:
@@ -64,6 +74,7 @@ def build_manifest(
     quarantined_hashes: set,
     jobs: int,
     store_path: str | None = None,
+    worker: str | None = None,
 ) -> dict:
     """Assemble the manifest dict from a finished runner's state.
 
@@ -103,6 +114,7 @@ def build_manifest(
     return {
         "manifest_version": MANIFEST_VERSION,
         "campaign": campaign,
+        "worker": worker,
         "started_at": _isoformat(started_at),
         "ended_at": _isoformat(ended_at),
         "elapsed_s": round(ended_at - started_at, 6),

@@ -117,6 +117,11 @@ class ProgressReporter:
             eta = self.eta_s()
             if eta is not None and self.done < self.total:
                 parts.append(f"eta {_format_duration(eta)}")
+        elif self.done < self.total:
+            # No executed completion yet (all-cached resume, or nothing
+            # finished): there is no throughput sample, so the honest ETA
+            # is "unknown" — never a division by zero or a stale guess.
+            parts.append("eta -")
         return " | ".join(parts)
 
     def _render(self, *, force: bool = False) -> None:

@@ -701,7 +701,7 @@ class TestStoreIntegrity:
 
         # Crash while flushing the temp file, before the swap.
         with monkeypatch.context() as m:
-            m.setattr("repro.sweep.store.os.fsync", boom)
+            m.setattr("repro.sweep.backends.os.fsync", boom)
             with pytest.raises(OSError, match="simulated crash"):
                 store.compact()
         assert store.path.read_bytes() == before
@@ -710,7 +710,7 @@ class TestStoreIntegrity:
         # Crash at the atomic swap itself.
         real_replace = os_module.replace
         with monkeypatch.context() as m:
-            m.setattr("repro.sweep.store.os.replace", boom)
+            m.setattr("repro.sweep.backends.os.replace", boom)
             with pytest.raises(OSError, match="simulated crash"):
                 store.compact()
         assert store.path.read_bytes() == before

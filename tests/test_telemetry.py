@@ -426,6 +426,29 @@ class TestProgressReporter:
         # Constant 1 spec/s: EWMA converges to exactly 1.0.
         assert reporter.eta_s() == pytest.approx(6.0)
 
+    def test_all_cached_resume_renders_unknown_eta(self):
+        # An all-cached resume completes specs without ever executing
+        # one: there is no throughput sample, so the line must say
+        # "eta -", not divide by zero or show a stale estimate.
+        reporter, _, _ = self.make(total=6)
+        for _ in range(3):
+            reporter.spec_cached()
+        line = reporter.line()
+        assert reporter.eta_s() is None
+        assert "eta -" in line
+        assert "spec/s" not in line
+
+    def test_no_completions_yet_renders_unknown_eta(self):
+        reporter, _, _ = self.make(total=6)
+        assert "eta -" in reporter.line()
+
+    def test_finished_sweep_has_no_eta_placeholder(self):
+        reporter, _, _ = self.make(total=2)
+        reporter.spec_cached()
+        reporter.spec_cached()
+        line = reporter.line()
+        assert "eta" not in line
+
     def test_cache_hits_do_not_skew_rate(self):
         reporter, clock, _ = self.make(total=10)
         clock.advance(1.0)
